@@ -1,0 +1,39 @@
+//! Ablation: backing-store latency sensitivity (HDD / SSD / NVM), the
+//! Ex-Tmem comparison from the paper's related work. The benefit of
+//! intelligent tmem management is a function of the tmem-vs-swap gap.
+
+use scenarios::runner::run_scenario;
+use scenarios::spec::ScenarioKind;
+use sim_core::cost::CostModel;
+use smartmem_core::PolicyKind;
+
+fn main() {
+    let base = smartmem_bench::bench_config();
+    smartmem_bench::banner("ablation-disk", "swap-device latency sensitivity (Scenario 2)");
+    println!(
+        "{:<6} {:>12} {:>14} {:>14} {:>10}",
+        "store", "no-tmem", "greedy", "smart(6%)", "benefit"
+    );
+    for (name, cost) in [
+        ("hdd", CostModel::hdd()),
+        ("ssd", CostModel::ssd()),
+        ("nvm", CostModel::nvm()),
+    ] {
+        let cfg = scenarios::config::RunConfig {
+            cost,
+            ..base.clone()
+        };
+        let t = |p| {
+            run_scenario(ScenarioKind::Scenario2, p, &cfg)
+                .end_time
+                .as_secs_f64()
+        };
+        let no_tmem = t(PolicyKind::NoTmem);
+        let greedy = t(PolicyKind::Greedy);
+        let smart = t(PolicyKind::SmartAlloc { p: 6.0 });
+        println!(
+            "{name:<6} {no_tmem:>11.1}s {greedy:>13.1}s {smart:>13.1}s {:>9.1}%",
+            100.0 * (greedy - smart) / greedy
+        );
+    }
+}

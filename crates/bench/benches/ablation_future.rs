@@ -1,0 +1,35 @@
+//! Ablation: the paper's best policy vs the `predictive` extension
+//! (future-work §VII) across all scenarios.
+
+use scenarios::runner::run_scenario;
+use scenarios::spec::ScenarioKind;
+use smartmem_core::PolicyKind;
+
+fn main() {
+    let cfg = smartmem_bench::bench_config();
+    smartmem_bench::banner(
+        "ablation-future",
+        "smart-alloc (paper) vs predictive (extension), makespan per scenario",
+    );
+    println!(
+        "{:<10} {:>12} {:>14} {:>12}",
+        "scenario", "greedy", "smart-alloc", "predictive"
+    );
+    for (kind, p) in [
+        (ScenarioKind::Scenario1, 0.75),
+        (ScenarioKind::Scenario2, 6.0),
+        (ScenarioKind::UsememScenario, 2.0),
+        (ScenarioKind::Scenario3, 4.0),
+    ] {
+        let t = |policy| {
+            run_scenario(kind, policy, &cfg).end_time.as_secs_f64()
+        };
+        println!(
+            "{:<10} {:>11.1}s {:>13.1}s {:>11.1}s",
+            kind.name(),
+            t(PolicyKind::Greedy),
+            t(PolicyKind::SmartAlloc { p }),
+            t(PolicyKind::Predictive),
+        );
+    }
+}

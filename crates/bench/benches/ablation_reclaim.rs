@@ -1,0 +1,34 @@
+//! Ablation: the hypervisor's slow-reclaim rate (paper §III-B says only
+//! "very slowly"). Too slow leaves over-target VMs squatting; too fast
+//! floods the shared disk with write-back.
+
+use scenarios::config::RunConfig;
+use scenarios::runner::run_scenario;
+use scenarios::spec::ScenarioKind;
+use smartmem_core::PolicyKind;
+
+fn main() {
+    let base = smartmem_bench::bench_config();
+    smartmem_bench::banner(
+        "ablation-reclaim",
+        "slow-reclaim rate sweep (usemem scenario, reconf-static)",
+    );
+    println!("{:>16} {:>12} {:>12}", "reclaim %/intvl", "makespan", "disk writes");
+    for frac in [0.0, 0.0025, 0.005, 0.01, 0.02, 0.05, 0.1] {
+        let cfg = RunConfig {
+            reclaim_frac_per_interval: frac,
+            ..base.clone()
+        };
+        let r = run_scenario(
+            ScenarioKind::UsememScenario,
+            PolicyKind::ReconfStatic,
+            &cfg,
+        );
+        println!(
+            "{:>15.2}% {:>11.2}s {:>12}",
+            frac * 100.0,
+            r.end_time.as_secs_f64(),
+            r.disk_writes
+        );
+    }
+}

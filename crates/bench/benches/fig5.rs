@@ -1,0 +1,16 @@
+//! Regenerates the paper's Fig. 5 (running times) — see EXPERIMENTS.md.
+
+use scenarios::figures;
+use scenarios::report;
+
+fn main() {
+    let cfg = smartmem_bench::bench_config();
+    let reps = smartmem_bench::bench_reps();
+    let fig = figures::fig5(&cfg, reps);
+    smartmem_bench::banner(&fig.id, &fig.title);
+    print!("{}", report::render_bars(&fig));
+    let dir = std::path::Path::new("results");
+    if let Ok(p) = report::write_bars_csv(&fig, dir) {
+        println!("csv: {}", p.display());
+    }
+}

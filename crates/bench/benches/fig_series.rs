@@ -1,0 +1,24 @@
+//! Regenerates the paper's occupancy figures 4, 6, 8 and 10 (per-interval
+//! tmem usage and target series per VM) — see EXPERIMENTS.md.
+
+use scenarios::figures;
+use scenarios::report;
+
+fn main() {
+    let cfg = smartmem_bench::bench_config();
+    let figs = [
+        figures::fig4(&cfg),
+        figures::fig6(&cfg),
+        figures::fig8(&cfg),
+        figures::fig10(&cfg),
+    ];
+    for fig in figs {
+        smartmem_bench::banner(&fig.id, &fig.title);
+        print!("{}", report::render_series(&fig, 16));
+        let dir = std::path::Path::new("results");
+        if let Ok(p) = report::write_series_csv(&fig, dir) {
+            println!("csv: {}", p.display());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,202 @@
+//! Component micro-benchmarks (Criterion): the hot paths whose costs the
+//! simulation's fidelity and wall-clock both depend on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use guest_os::budget::StepBudget;
+use guest_os::disk::SharedDisk;
+use guest_os::kernel::{GuestConfig, GuestKernel};
+use guest_os::machine::Machine;
+use sim_core::cost::CostModel;
+use sim_core::event::EventQueue;
+use sim_core::rng::SplitMix64;
+use sim_core::time::{SimDuration, SimTime};
+use smartmem_core::policy::Policy;
+use smartmem_core::{SmartAlloc, SmartAllocConfig};
+use std::hint::black_box;
+use tmem::backend::{PoolKind, TmemBackend};
+use tmem::key::{ObjectId, VmId};
+use tmem::page::Fingerprint;
+use tmem::stats::{MemStats, NodeInfo, VmStat};
+use xen_sim::hypervisor::Hypervisor;
+use xen_sim::vm::VmConfig;
+
+fn bench_tmem_backend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tmem-backend");
+    g.bench_function("put_get_cycle", |b| {
+        b.iter_batched(
+            || {
+                let mut backend: TmemBackend<Fingerprint> = TmemBackend::new(4096);
+                let pool = backend.new_pool(VmId(1), PoolKind::Persistent).unwrap();
+                (backend, pool)
+            },
+            |(mut backend, pool)| {
+                for i in 0..1024u32 {
+                    backend
+                        .put(pool, ObjectId(0), i, Fingerprint(u64::from(i)))
+                        .unwrap();
+                }
+                for i in 0..1024u32 {
+                    black_box(backend.get(pool, ObjectId(0), i).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("flush_object_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut backend: TmemBackend<Fingerprint> = TmemBackend::new(4096);
+                let pool = backend.new_pool(VmId(1), PoolKind::Persistent).unwrap();
+                for i in 0..1024u32 {
+                    backend
+                        .put(pool, ObjectId(7), i, Fingerprint(u64::from(i)))
+                        .unwrap();
+                }
+                (backend, pool)
+            },
+            |(mut backend, pool)| black_box(backend.flush_object(pool, ObjectId(7)).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event-queue/schedule_pop_4k", |b| {
+        let mut rng = SplitMix64::new(9);
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..4096u64 {
+                q.schedule_at(SimTime(rng.next_below(1_000_000)), i);
+            }
+            // Draining requires monotone time; pop everything.
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        })
+    });
+}
+
+fn bench_policy_compute(c: &mut Criterion) {
+    let stats = MemStats {
+        at: SimTime::from_secs(1),
+        node: NodeInfo {
+            total_tmem: 262_144,
+            free_tmem: 1000,
+            vm_count: 32,
+        },
+        vms: (0..32)
+            .map(|i| VmStat {
+                vm_id: VmId(i + 1),
+                puts_total: 100 + u64::from(i),
+                puts_succ: 60,
+                gets_total: 50,
+                gets_succ: 50,
+                flushes: 5,
+                tmem_used: 4000 + u64::from(i) * 13,
+                mm_target: 8192,
+                cumul_puts_failed: 40,
+            })
+            .collect(),
+    };
+    c.bench_function("policy/smart_alloc_32vms", |b| {
+        let mut policy = SmartAlloc::new(SmartAllocConfig::with_percent(2.0));
+        b.iter(|| black_box(policy.compute(black_box(&stats))))
+    });
+}
+
+fn bench_guest_touch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("guest-touch");
+    // Resident hit: the hottest path of the whole simulator.
+    g.bench_function("resident_hit", |b| {
+        let mut hyp: Hypervisor<Fingerprint> = Hypervisor::new(1024, 1024);
+        hyp.register_vm(VmConfig::new(VmId(1), "VM1", 4096 * 4096, 1));
+        let pool = hyp.new_pool(VmId(1), PoolKind::Persistent).unwrap();
+        let mut kernel = GuestKernel::new(GuestConfig {
+            vm: VmId(1),
+            ram_pages: 1024,
+            os_reserved_pages: 2,
+            readahead_pages: 8,
+            frontswap_enabled: true,
+        });
+        kernel.attach_frontswap(pool);
+        let mut disk = SharedDisk::default();
+        let cost = CostModel::hdd();
+        let base = kernel.alloc(512);
+        let mut budget = StepBudget::new(SimDuration::from_secs(1 << 30));
+        {
+            let mut m = Machine {
+                hyp: &mut hyp,
+                disk: &mut disk,
+                cost: &cost,
+                now: SimTime::ZERO,
+                budget: &mut budget,
+            };
+            for i in 0..512 {
+                kernel.touch(base.offset(i), true, &mut m);
+            }
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut m = Machine {
+                hyp: &mut hyp,
+                disk: &mut disk,
+                cost: &cost,
+                now: SimTime::ZERO,
+                budget: &mut budget,
+            };
+            kernel.touch(base.offset(i % 512), false, &mut m);
+            i += 1;
+        })
+    });
+    // Eviction + tmem put + fault back: the managed swap cycle.
+    g.bench_function("tmem_swap_cycle", |b| {
+        b.iter_batched(
+            || {
+                let mut hyp: Hypervisor<Fingerprint> = Hypervisor::new(4096, 4096);
+                hyp.register_vm(VmConfig::new(VmId(1), "VM1", 64 * 4096, 1));
+                let pool = hyp.new_pool(VmId(1), PoolKind::Persistent).unwrap();
+                let mut kernel = GuestKernel::new(GuestConfig {
+                    vm: VmId(1),
+                    ram_pages: 34,
+                    os_reserved_pages: 2,
+                    readahead_pages: 8,
+                    frontswap_enabled: true,
+                });
+                kernel.attach_frontswap(pool);
+                let base = kernel.alloc(64);
+                (hyp, kernel, base)
+            },
+            |(mut hyp, mut kernel, base)| {
+                let mut disk = SharedDisk::default();
+                let cost = CostModel::hdd();
+                let mut budget = StepBudget::new(SimDuration::from_secs(1 << 30));
+                let mut m = Machine {
+                    hyp: &mut hyp,
+                    disk: &mut disk,
+                    cost: &cost,
+                    now: SimTime::ZERO,
+                    budget: &mut budget,
+                };
+                // Two passes over 2× RAM: every touch in the second pass is
+                // a tmem fault + an eviction put.
+                for _ in 0..2 {
+                    for i in 0..64 {
+                        kernel.touch(base.offset(i), true, &mut m);
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tmem_backend,
+    bench_event_queue,
+    bench_policy_compute,
+    bench_guest_touch
+);
+criterion_main!(benches);

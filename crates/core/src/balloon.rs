@@ -1,0 +1,238 @@
+//! Balloon integration — the paper's stated future work (§VII: "as well as
+//! integration of tmem and other memory allocation mechanisms").
+//!
+//! tmem moves *spare* capacity quickly; ballooning moves *owned* capacity
+//! slowly. The [`BalloonManager`] complements a tmem policy: it watches the
+//! same Table I statistics the MM already receives and advises coarse RAM
+//! transfers — deflate the balloon of a persistently-swapping VM at the
+//! expense of a persistently-idle one. Decisions are deliberately sluggish
+//! (hysteresis over a window of intervals), mirroring why the paper
+//! introduces tmem in the first place: "memory ballooning and memory
+//! hotplug... are slow to respond to rapid changes in memory demand."
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tmem::key::VmId;
+use tmem::stats::MemStats;
+
+/// One RAM-transfer recommendation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BalloonAdvice {
+    /// VM whose balloon inflates (loses `pages` frames).
+    pub from: VmId,
+    /// VM whose balloon deflates (gains `pages` frames).
+    pub to: VmId,
+    /// Number of page frames to move.
+    pub pages: u64,
+}
+
+/// Tuning for the balloon manager.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BalloonConfig {
+    /// Never shrink a VM below this many frames.
+    pub min_frames: u64,
+    /// Frames moved per decision.
+    pub step_frames: u64,
+    /// Consecutive intervals a VM must swap (resp. stay idle) before it is
+    /// considered a taker (resp. donor) — the hysteresis window.
+    pub window: u32,
+}
+
+impl Default for BalloonConfig {
+    fn default() -> Self {
+        BalloonConfig {
+            min_frames: 1024, // 4 MiB
+            step_frames: 2048, // 8 MiB per decision
+            window: 5,
+        }
+    }
+}
+
+/// Watches statistics snapshots and advises slow RAM transfers.
+#[derive(Debug)]
+pub struct BalloonManager {
+    config: BalloonConfig,
+    /// Consecutive swapping intervals per VM.
+    pressure: HashMap<VmId, u32>,
+    /// Consecutive idle intervals per VM.
+    idle: HashMap<VmId, u32>,
+    /// Current frame allocation per VM (mirrors what the host applied).
+    frames: HashMap<VmId, u64>,
+    decisions: u64,
+}
+
+impl BalloonManager {
+    /// A manager for VMs whose initial frame counts are given.
+    pub fn new(config: BalloonConfig, initial_frames: impl IntoIterator<Item = (VmId, u64)>) -> Self {
+        BalloonManager {
+            config,
+            pressure: HashMap::new(),
+            idle: HashMap::new(),
+            frames: initial_frames.into_iter().collect(),
+            decisions: 0,
+        }
+    }
+
+    /// Frames currently assigned to `vm` per this manager's bookkeeping.
+    pub fn frames_of(&self, vm: VmId) -> Option<u64> {
+        self.frames.get(&vm).copied()
+    }
+
+    /// Decisions taken so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Ingest a statistics snapshot; possibly advise one transfer. The
+    /// caller applies the advice via `GuestKernel::balloon_resize` on both
+    /// ends (that is what makes it real — this type only decides).
+    pub fn on_stats(&mut self, stats: &MemStats) -> Option<BalloonAdvice> {
+        for vm in &stats.vms {
+            let p = self.pressure.entry(vm.vm_id).or_insert(0);
+            let i = self.idle.entry(vm.vm_id).or_insert(0);
+            if vm.failed_puts() > 0 {
+                *p += 1;
+                *i = 0;
+            } else {
+                *i += 1;
+                *p = 0;
+            }
+        }
+        // Taker: longest-pressured VM past the window.
+        let taker = stats
+            .vms
+            .iter()
+            .filter(|vm| self.pressure[&vm.vm_id] >= self.config.window)
+            .max_by_key(|vm| self.pressure[&vm.vm_id])?
+            .vm_id;
+        // Donor: longest-idle VM past the window with frames to spare.
+        let donor = stats
+            .vms
+            .iter()
+            .filter(|vm| {
+                vm.vm_id != taker
+                    && self.idle[&vm.vm_id] >= self.config.window
+                    && self
+                        .frames
+                        .get(&vm.vm_id)
+                        .is_some_and(|&f| f >= self.config.min_frames + self.config.step_frames)
+            })
+            .max_by_key(|vm| self.idle[&vm.vm_id])?
+            .vm_id;
+
+        let pages = self.config.step_frames;
+        *self.frames.get_mut(&donor).expect("donor tracked") -= pages;
+        *self.frames.entry(taker).or_insert(0) += pages;
+        // Restart both hysteresis windows so transfers stay sluggish.
+        self.pressure.insert(taker, 0);
+        self.idle.insert(donor, 0);
+        self.decisions += 1;
+        Some(BalloonAdvice {
+            from: donor,
+            to: taker,
+            pages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimTime;
+    use tmem::stats::{NodeInfo, VmStat};
+
+    fn snapshot(failed: &[u64]) -> MemStats {
+        MemStats {
+            at: SimTime::from_secs(1),
+            node: NodeInfo {
+                total_tmem: 1000,
+                free_tmem: 0,
+                vm_count: failed.len() as u32,
+            },
+            vms: failed
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| VmStat {
+                    vm_id: VmId(i as u32 + 1),
+                    puts_total: f,
+                    puts_succ: 0,
+                    gets_total: 0,
+                    gets_succ: 0,
+                    flushes: 0,
+                    tmem_used: 0,
+                    mm_target: 0,
+                    cumul_puts_failed: f,
+                })
+                .collect(),
+        }
+    }
+
+    fn manager() -> BalloonManager {
+        BalloonManager::new(
+            BalloonConfig {
+                min_frames: 100,
+                step_frames: 50,
+                window: 3,
+            },
+            [(VmId(1), 500), (VmId(2), 500)],
+        )
+    }
+
+    #[test]
+    fn needs_sustained_pressure_before_moving_memory() {
+        let mut m = manager();
+        // Two intervals of pressure on VM1, idleness on VM2: not enough.
+        assert!(m.on_stats(&snapshot(&[10, 0])).is_none());
+        assert!(m.on_stats(&snapshot(&[10, 0])).is_none());
+        // Third interval crosses the window for both roles.
+        let advice = m.on_stats(&snapshot(&[10, 0])).expect("decision due");
+        assert_eq!(
+            advice,
+            BalloonAdvice {
+                from: VmId(2),
+                to: VmId(1),
+                pages: 50
+            }
+        );
+        assert_eq!(m.frames_of(VmId(1)), Some(550));
+        assert_eq!(m.frames_of(VmId(2)), Some(450));
+        assert_eq!(m.decisions(), 1);
+    }
+
+    #[test]
+    fn hysteresis_resets_after_a_decision() {
+        let mut m = manager();
+        for _ in 0..3 {
+            m.on_stats(&snapshot(&[10, 0]));
+        }
+        // Immediately after a transfer, another one must not fire.
+        assert!(m.on_stats(&snapshot(&[10, 0])).is_none());
+    }
+
+    #[test]
+    fn donor_floor_is_respected() {
+        let mut m = BalloonManager::new(
+            BalloonConfig {
+                min_frames: 480,
+                step_frames: 50,
+                window: 1,
+            },
+            [(VmId(1), 500), (VmId(2), 500)],
+        );
+        // Donor would fall below min (500 - 50 < 480 + 50): no advice.
+        assert!(m.on_stats(&snapshot(&[10, 0])).is_none());
+    }
+
+    #[test]
+    fn intermittent_pressure_never_triggers() {
+        let mut m = manager();
+        for round in 0..12 {
+            let s = if round % 2 == 0 {
+                snapshot(&[10, 0])
+            } else {
+                snapshot(&[0, 10])
+            };
+            assert!(m.on_stats(&s).is_none(), "oscillation must not move RAM");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Bounded statistics history.
+//!
+//! The MM "keeps track of this information across time, generating a
+//! history of how the VMs use tmem" (paper §III-D). The paper's three
+//! policies only need the latest snapshot (the cumulative counters carry
+//! the relevant past), but the history is the extension point for the
+//! "more sophisticated tmem memory policies" the conclusion calls for —
+//! e.g. demand prediction over a window. It also powers report generation.
+
+use std::collections::VecDeque;
+use tmem::key::VmId;
+use tmem::stats::MemStats;
+
+/// A FIFO-bounded window of statistics snapshots.
+#[derive(Debug, Default)]
+pub struct StatsHistory {
+    window: VecDeque<MemStats>,
+    limit: usize,
+}
+
+impl StatsHistory {
+    /// History retaining at most `limit` snapshots (0 disables retention).
+    pub fn new(limit: usize) -> Self {
+        StatsHistory {
+            window: VecDeque::with_capacity(limit.min(4096)),
+            limit,
+        }
+    }
+
+    /// Append a snapshot, evicting the oldest beyond the limit.
+    pub fn push(&mut self, stats: MemStats) {
+        if self.limit == 0 {
+            return;
+        }
+        if self.window.len() == self.limit {
+            self.window.pop_front();
+        }
+        self.window.push_back(stats);
+    }
+
+    /// Snapshots currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &MemStats> {
+        self.window.iter()
+    }
+
+    /// Number of retained snapshots.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Most recent snapshot.
+    pub fn latest(&self) -> Option<&MemStats> {
+        self.window.back()
+    }
+
+    /// Mean failed puts per interval for `vm` over the retained window —
+    /// the kind of windowed signal a predictive policy would use.
+    pub fn mean_failed_puts(&self, vm: VmId) -> Option<f64> {
+        let mut n = 0u64;
+        let mut sum = 0u64;
+        for s in &self.window {
+            if let Some(v) = s.vms.iter().find(|v| v.vm_id == vm) {
+                sum += v.failed_puts();
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum as f64 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimTime;
+    use tmem::stats::{NodeInfo, VmStat};
+
+    fn snap(t: u64, failed: u64) -> MemStats {
+        MemStats {
+            at: SimTime::from_secs(t),
+            node: NodeInfo {
+                total_tmem: 100,
+                free_tmem: 100,
+                vm_count: 1,
+            },
+            vms: vec![VmStat {
+                vm_id: VmId(1),
+                puts_total: failed,
+                puts_succ: 0,
+                gets_total: 0,
+                gets_succ: 0,
+                flushes: 0,
+                tmem_used: 0,
+                mm_target: 0,
+                cumul_puts_failed: failed,
+            }],
+        }
+    }
+
+    #[test]
+    fn bounded_fifo() {
+        let mut h = StatsHistory::new(3);
+        for t in 0..5 {
+            h.push(snap(t, 0));
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.iter().next().unwrap().at, SimTime::from_secs(2));
+        assert_eq!(h.latest().unwrap().at, SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn zero_limit_disables_retention() {
+        let mut h = StatsHistory::new(0);
+        h.push(snap(0, 0));
+        assert!(h.is_empty());
+        assert!(h.latest().is_none());
+    }
+
+    #[test]
+    fn mean_failed_puts_over_window() {
+        let mut h = StatsHistory::new(10);
+        for f in [2, 4, 6] {
+            h.push(snap(f, f));
+        }
+        assert_eq!(h.mean_failed_puts(VmId(1)), Some(4.0));
+        assert_eq!(h.mean_failed_puts(VmId(9)), None, "unknown VM");
+    }
+}

@@ -1,0 +1,76 @@
+//! The `greedy` baseline: stock Xen tmem behaviour.
+//!
+//! "Current implementations of tmem allocate pages on puts in a greedy way,
+//! as long as there are free tmem pages" (paper §II-B). Expressed in
+//! SmarTmem's target mechanism, greedy simply sets every VM's target to the
+//! whole node, so Algorithm 1's target check never binds and only the
+//! free-page check (line 7) remains — first come, first served.
+
+use super::Policy;
+use tmem::stats::{MemStats, MmTarget};
+
+/// The default, unmanaged allocation policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Greedy;
+
+impl Policy for Greedy {
+    fn name(&self) -> String {
+        "greedy".into()
+    }
+
+    fn initial_target(&self, total_tmem: u64) -> u64 {
+        total_tmem
+    }
+
+    fn compute(&mut self, stats: &MemStats) -> Vec<MmTarget> {
+        stats
+            .vms
+            .iter()
+            .map(|vm| MmTarget {
+                vm_id: vm.vm_id,
+                mm_target: stats.node.total_tmem,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimTime;
+    use tmem::key::VmId;
+    use tmem::stats::{NodeInfo, VmStat};
+
+    fn stats(n: usize, total: u64) -> MemStats {
+        MemStats {
+            at: SimTime::from_secs(1),
+            node: NodeInfo {
+                total_tmem: total,
+                free_tmem: total,
+                vm_count: n as u32,
+            },
+            vms: (0..n)
+                .map(|i| VmStat {
+                    vm_id: VmId(i as u32 + 1),
+                    puts_total: 0,
+                    puts_succ: 0,
+                    gets_total: 0,
+                    gets_succ: 0,
+                    flushes: 0,
+                    tmem_used: 0,
+                    mm_target: total,
+                    cumul_puts_failed: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn everyone_gets_the_whole_node() {
+        let mut p = Greedy;
+        let out = p.compute(&stats(3, 1000));
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|t| t.mm_target == 1000));
+        assert_eq!(p.initial_target(1000), 1000);
+    }
+}

@@ -1,0 +1,129 @@
+//! Algorithm 3: Reconfigurable Static Allocation (`reconf-static`).
+//!
+//! "This policy divides the available tmem capacity equally among the VMs
+//! that are actively using tmem... allocates an equal share to each VM that
+//! has performed at least one tmem put, initially allocating no tmem
+//! capacity to any VM."
+//!
+//! Activity detection follows Algorithm 3 line 5 literally: a VM counts as
+//! active once its *cumulative failed puts* are positive — with an initial
+//! target of zero, a VM's very first put fails, which is both the paper's
+//! described "the VM has to swap a number of times before getting any tmem"
+//! latency and the activation signal.
+//!
+//! Per the pseudocode (lines 11–14), the computed share is written to
+//! *every* VM's target, not only the active ones; an inactive VM holding a
+//! nonzero target is harmless because, by definition, it is not putting.
+
+use super::Policy;
+use tmem::stats::{MemStats, MmTarget};
+
+/// Equal shares over the VMs that have used tmem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReconfStatic;
+
+impl Policy for ReconfStatic {
+    fn name(&self) -> String {
+        "reconf-static".into()
+    }
+
+    fn initial_target(&self, _total_tmem: u64) -> u64 {
+        0
+    }
+
+    fn compute(&mut self, stats: &MemStats) -> Vec<MmTarget> {
+        // Lines 4–9: count VMs whose cumulative failed puts are positive.
+        let num_active = stats
+            .vms
+            .iter()
+            .filter(|vm| vm.cumul_puts_failed > 0)
+            .count() as u64;
+        if num_active == 0 {
+            // Nobody has touched tmem yet: keep everyone at zero.
+            return stats
+                .vms
+                .iter()
+                .map(|vm| MmTarget {
+                    vm_id: vm.vm_id,
+                    mm_target: 0,
+                })
+                .collect();
+        }
+        // Lines 11–15.
+        let mm_target = stats.node.total_tmem / num_active;
+        stats
+            .vms
+            .iter()
+            .map(|vm| MmTarget {
+                vm_id: vm.vm_id,
+                mm_target,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimTime;
+    use tmem::key::VmId;
+    use tmem::stats::{NodeInfo, VmStat};
+
+    fn stats(failed: &[u64], total: u64) -> MemStats {
+        MemStats {
+            at: SimTime::from_secs(1),
+            node: NodeInfo {
+                total_tmem: total,
+                free_tmem: total,
+                vm_count: failed.len() as u32,
+            },
+            vms: failed
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| VmStat {
+                    vm_id: VmId(i as u32 + 1),
+                    puts_total: 0,
+                    puts_succ: 0,
+                    gets_total: 0,
+                    gets_succ: 0,
+                    flushes: 0,
+                    tmem_used: 0,
+                    mm_target: 0,
+                    cumul_puts_failed: f,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn no_activity_means_zero_targets() {
+        let mut p = ReconfStatic;
+        let out = p.compute(&stats(&[0, 0, 0], 900));
+        assert!(out.iter().all(|t| t.mm_target == 0));
+    }
+
+    #[test]
+    fn shares_split_over_active_vms_only() {
+        let mut p = ReconfStatic;
+        // Two of three VMs have ever failed a put.
+        let out = p.compute(&stats(&[3, 1, 0], 900));
+        assert!(out.iter().all(|t| t.mm_target == 450));
+    }
+
+    #[test]
+    fn reconfigures_as_activity_spreads() {
+        let mut p = ReconfStatic;
+        assert_eq!(p.compute(&stats(&[1, 0, 0], 900))[0].mm_target, 900);
+        assert_eq!(p.compute(&stats(&[1, 1, 0], 900))[0].mm_target, 450);
+        assert_eq!(p.compute(&stats(&[1, 1, 1], 900))[0].mm_target, 300);
+    }
+
+    #[test]
+    fn activity_is_cumulative_not_per_interval() {
+        // A VM quiet this interval but with historical failed puts stays
+        // counted — its share is not confiscated.
+        let mut p = ReconfStatic;
+        let out = p.compute(&stats(&[7, 7, 7], 900));
+        assert!(out.iter().all(|t| t.mm_target == 300));
+    }
+}

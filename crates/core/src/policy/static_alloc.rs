@@ -1,0 +1,108 @@
+//! Algorithm 2: Static Memory Capacity Allocation (`static-alloc`).
+//!
+//! "This policy divides the available tmem capacity equally across all
+//! tmem-capable VMs... the targets are only modified when a new VM is
+//! created (and registers itself with tmem) or a VM is destroyed."
+//!
+//! The equal division recomputes every interval; because it only changes
+//! when the VM population changes, the MM's transmission suppression means
+//! targets are effectively sent on registration/destruction only, exactly
+//! as the paper describes.
+
+use super::Policy;
+use tmem::stats::{MemStats, MmTarget};
+
+/// Equal static shares for every registered VM.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticAlloc;
+
+impl Policy for StaticAlloc {
+    fn name(&self) -> String {
+        "static-alloc".into()
+    }
+
+    fn initial_target(&self, _total_tmem: u64) -> u64 {
+        // A fresh VM gets no capacity until the next MM cycle recomputes
+        // the equal shares over the new population (≤1 s later).
+        0
+    }
+
+    fn compute(&mut self, stats: &MemStats) -> Vec<MmTarget> {
+        let num_vms = stats.vm_count() as u64;
+        if num_vms == 0 {
+            return Vec::new();
+        }
+        // Algorithm 2 line 5: mm_target ← local_tmem / num_vms.
+        let mm_target = stats.node.total_tmem / num_vms;
+        stats
+            .vms
+            .iter()
+            .map(|vm| MmTarget {
+                vm_id: vm.vm_id,
+                mm_target,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimTime;
+    use tmem::key::VmId;
+    use tmem::stats::{NodeInfo, VmStat};
+
+    fn stats(n: usize, total: u64) -> MemStats {
+        MemStats {
+            at: SimTime::from_secs(1),
+            node: NodeInfo {
+                total_tmem: total,
+                free_tmem: total,
+                vm_count: n as u32,
+            },
+            vms: (0..n)
+                .map(|i| VmStat {
+                    vm_id: VmId(i as u32 + 1),
+                    puts_total: 5,
+                    puts_succ: 5,
+                    gets_total: 0,
+                    gets_succ: 0,
+                    flushes: 0,
+                    tmem_used: 0,
+                    mm_target: 0,
+                    cumul_puts_failed: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn divides_equally() {
+        let mut p = StaticAlloc;
+        let out = p.compute(&stats(3, 900));
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|t| t.mm_target == 300));
+    }
+
+    #[test]
+    fn shares_shrink_when_population_grows() {
+        let mut p = StaticAlloc;
+        assert_eq!(p.compute(&stats(2, 900))[0].mm_target, 450);
+        assert_eq!(p.compute(&stats(3, 900))[0].mm_target, 300);
+    }
+
+    #[test]
+    fn integer_division_never_overcommits() {
+        let mut p = StaticAlloc;
+        let out = p.compute(&stats(3, 1000));
+        let sum: u64 = out.iter().map(|t| t.mm_target).sum();
+        assert!(sum <= 1000);
+        assert_eq!(out[0].mm_target, 333);
+    }
+
+    #[test]
+    fn empty_population_yields_no_targets() {
+        let mut p = StaticAlloc;
+        assert!(p.compute(&stats(0, 1000)).is_empty());
+    }
+}

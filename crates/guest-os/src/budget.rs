@@ -1,0 +1,101 @@
+//! Execution-step budgets.
+//!
+//! A VM advances in *quanta*: the scenario event loop dispatches a step, the
+//! workload issues memory references until the quantum's worth of simulated
+//! time is consumed (or a blocking disk access ends the step early), and the
+//! loop schedules the next step at the resulting instant. The budget keeps
+//! compute time (dilated by CPU contention) separate from I/O wait (never
+//! dilated — a blocked vCPU holds no core).
+
+use sim_core::time::SimDuration;
+
+/// Time accounting for one execution step of a vCPU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepBudget {
+    /// Target compute time for this step.
+    pub quantum: SimDuration,
+    /// Compute (CPU-bound) time consumed so far: resident touches, fault
+    /// overheads, hypercalls.
+    pub compute: SimDuration,
+    /// Blocking I/O wait consumed so far (disk reads, write throttling).
+    pub io_wait: SimDuration,
+    /// Number of page faults taken during this step.
+    pub faults: u64,
+    /// Whether a blocking disk access occurred (ends the step).
+    pub blocked: bool,
+}
+
+impl StepBudget {
+    /// A fresh budget with the given quantum.
+    pub fn new(quantum: SimDuration) -> Self {
+        StepBudget {
+            quantum,
+            compute: SimDuration::ZERO,
+            io_wait: SimDuration::ZERO,
+            faults: 0,
+            blocked: false,
+        }
+    }
+
+    /// True once the step should end: the quantum's compute is consumed or
+    /// a blocking disk access occurred. Workloads poll this between
+    /// references and yield when it fires.
+    #[inline]
+    pub fn exhausted(&self) -> bool {
+        self.blocked || self.compute >= self.quantum
+    }
+
+    /// Charge CPU-bound time.
+    #[inline]
+    pub fn charge_compute(&mut self, d: SimDuration) {
+        self.compute += d;
+    }
+
+    /// Charge blocking I/O wait and mark the step blocked.
+    #[inline]
+    pub fn charge_io(&mut self, d: SimDuration) {
+        self.io_wait += d;
+        self.blocked = true;
+    }
+
+    /// Total simulated duration of the step given a CPU-contention dilation
+    /// factor for the compute part.
+    pub fn elapsed(&self, dilation: f64) -> SimDuration {
+        self.compute.scale(dilation) + self.io_wait
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustion_by_compute() {
+        let mut b = StepBudget::new(SimDuration::from_micros(100));
+        assert!(!b.exhausted());
+        b.charge_compute(SimDuration::from_micros(99));
+        assert!(!b.exhausted());
+        b.charge_compute(SimDuration::from_micros(1));
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn exhaustion_by_blocking_io() {
+        let mut b = StepBudget::new(SimDuration::from_micros(100));
+        b.charge_io(SimDuration::from_millis(5));
+        assert!(b.exhausted());
+        assert!(b.blocked);
+    }
+
+    #[test]
+    fn elapsed_dilates_compute_only() {
+        let mut b = StepBudget::new(SimDuration::from_micros(100));
+        b.charge_compute(SimDuration::from_micros(100));
+        b.charge_io(SimDuration::from_millis(1));
+        let e = b.elapsed(2.0);
+        assert_eq!(
+            e,
+            SimDuration::from_micros(200) + SimDuration::from_millis(1)
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! The shared virtual disk.
+//!
+//! The paper's testbed puts every VM's virtual disk (and swap) on one
+//! spinning drive behind two virtualization layers, so VMs that swap to disk
+//! contend with each other. The model is a single-server FIFO queue:
+//!
+//! * **reads** (swap-in) are synchronous: the requester waits until the disk
+//!   has drained earlier work and served its request;
+//! * **writes** (swap-out) are submitted through a write-back model of the
+//!   kernel's swap clustering: they occupy disk time at an amortized
+//!   positioning cost (one seek per cluster) and only *throttle* the guest
+//!   when the backlog exceeds a threshold, mirroring kswapd's asynchronous
+//!   write-back with congestion control.
+
+use serde::{Deserialize, Serialize};
+use sim_core::cost::CostModel;
+use sim_core::time::{SimDuration, SimTime};
+
+/// Write-back tuning: how many swap-out pages share one positioning cost
+/// (Linux's swap cluster) and how much backlog accrues before the guest is
+/// throttled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WritebackConfig {
+    /// Pages per clustered swap write (Linux default SWAPFILE_CLUSTER-ish).
+    pub cluster_pages: u64,
+    /// Maximum backlog before a writer blocks until the queue drains back
+    /// under the threshold.
+    pub max_backlog: SimDuration,
+}
+
+impl Default for WritebackConfig {
+    fn default() -> Self {
+        WritebackConfig {
+            cluster_pages: 32,
+            max_backlog: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// A single shared disk with a FIFO queue.
+#[derive(Debug, Clone)]
+pub struct SharedDisk {
+    /// Instant at which the disk finishes all currently queued work.
+    next_free: SimTime,
+    writeback: WritebackConfig,
+    reads: u64,
+    writes: u64,
+    read_wait_total: SimDuration,
+    throttle_total: SimDuration,
+}
+
+impl SharedDisk {
+    /// A fresh, idle disk.
+    pub fn new(writeback: WritebackConfig) -> Self {
+        SharedDisk {
+            next_free: SimTime::ZERO,
+            writeback,
+            reads: 0,
+            writes: 0,
+            read_wait_total: SimDuration::ZERO,
+            throttle_total: SimDuration::ZERO,
+        }
+    }
+
+    /// Synchronous read of `pages` pages issued at `now`. Returns the
+    /// requester's total wait (queueing + service). `sequential` requests
+    /// (stream continuations detected by the guest's fault path) pay the
+    /// reduced positioning cost.
+    pub fn read(
+        &mut self,
+        now: SimTime,
+        pages: u64,
+        sequential: bool,
+        cost: &CostModel,
+    ) -> SimDuration {
+        debug_assert!(pages > 0);
+        self.reads += 1;
+        let service = if sequential {
+            cost.disk_seq_request(pages)
+        } else {
+            cost.disk_request(pages)
+        };
+        let start = self.next_free.max(now);
+        let completion = start + service;
+        self.next_free = completion;
+        let wait = completion - now;
+        self.read_wait_total += wait;
+        wait
+    }
+
+    /// Asynchronous clustered write of one page issued at `now`. The disk
+    /// absorbs amortized service time; the guest is charged a wait only when
+    /// the backlog exceeds the write-back threshold (congestion throttling).
+    pub fn write_page(&mut self, now: SimTime, cost: &CostModel) -> SimDuration {
+        self.writes += 1;
+        // One positioning cost shared by the whole cluster, plus this
+        // page's transfer.
+        let service = SimDuration::from_nanos(
+            cost.disk_access.as_nanos() / self.writeback.cluster_pages
+                + cost.disk_page_transfer.as_nanos(),
+        );
+        let start = self.next_free.max(now);
+        self.next_free = start + service;
+        let backlog = self.next_free.saturating_since(now);
+        if backlog > self.writeback.max_backlog {
+            let throttle = backlog.saturating_sub(self.writeback.max_backlog);
+            self.throttle_total += throttle;
+            throttle
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Number of read requests served.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of page writes absorbed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Sum of all read waits (queueing + service), for reports.
+    pub fn read_wait_total(&self) -> SimDuration {
+        self.read_wait_total
+    }
+
+    /// Sum of all write-throttle stalls, for reports.
+    pub fn throttle_total(&self) -> SimDuration {
+        self.throttle_total
+    }
+
+    /// Instant the disk goes idle.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+}
+
+impl Default for SharedDisk {
+    fn default() -> Self {
+        SharedDisk::new(WritebackConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_queue_fifo() {
+        let cost = CostModel::hdd();
+        let mut d = SharedDisk::default();
+        let w1 = d.read(SimTime::ZERO, 1, false, &cost);
+        assert_eq!(w1, cost.disk_request(1));
+        // Second read at t=0 waits behind the first.
+        let w2 = d.read(SimTime::ZERO, 1, false, &cost);
+        assert_eq!(w2.as_nanos(), 2 * cost.disk_request(1).as_nanos());
+        assert_eq!(d.reads(), 2);
+    }
+
+    #[test]
+    fn idle_disk_serves_immediately() {
+        let cost = CostModel::hdd();
+        let mut d = SharedDisk::default();
+        d.read(SimTime::ZERO, 1, false, &cost);
+        // Request long after the queue drained: no queueing delay.
+        let later = SimTime::from_secs(10);
+        let w = d.read(later, 1, false, &cost);
+        assert_eq!(w, cost.disk_request(1));
+    }
+
+    #[test]
+    fn sequential_reads_pay_reduced_positioning() {
+        let cost = CostModel::hdd();
+        let mut d = SharedDisk::default();
+        let w = d.read(SimTime::ZERO, 8, true, &cost);
+        assert_eq!(w, cost.disk_seq_request(8));
+        assert!(w < cost.disk_request(8));
+    }
+
+    #[test]
+    fn writes_are_cheap_until_backlog() {
+        let cost = CostModel::hdd();
+        let mut d = SharedDisk::default();
+        // A handful of writes on an idle disk: no throttling.
+        for _ in 0..10 {
+            assert_eq!(d.write_page(SimTime::ZERO, &cost), SimDuration::ZERO);
+        }
+        assert_eq!(d.writes(), 10);
+        // Flood: eventually the backlog exceeds 50 ms and stalls appear.
+        let mut stalled = SimDuration::ZERO;
+        for _ in 0..1000 {
+            stalled += d.write_page(SimTime::ZERO, &cost);
+        }
+        assert!(stalled > SimDuration::ZERO, "sustained flood must throttle");
+        assert_eq!(d.throttle_total(), stalled);
+    }
+
+    #[test]
+    fn writes_delay_subsequent_reads() {
+        let cost = CostModel::hdd();
+        let mut d = SharedDisk::default();
+        for _ in 0..100 {
+            d.write_page(SimTime::ZERO, &cost);
+        }
+        let w = d.read(SimTime::ZERO, 1, false, &cost);
+        assert!(
+            w > cost.disk_request(1),
+            "read must queue behind write-back traffic"
+        );
+    }
+
+    #[test]
+    fn amortized_write_cost_is_less_than_a_full_access() {
+        let cost = CostModel::hdd();
+        let mut d = SharedDisk::default();
+        d.write_page(SimTime::ZERO, &cost);
+        let busy = d.next_free().saturating_since(SimTime::ZERO);
+        assert!(busy < cost.disk_request(1));
+    }
+}

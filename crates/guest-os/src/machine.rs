@@ -1,0 +1,72 @@
+//! The per-step machine context.
+//!
+//! Guest-kernel operations need the hypervisor (for hypercalls), the shared
+//! disk, the cost model and the step budget. Bundling them keeps the hot
+//! `touch` path to a single argument and keeps ownership simple: the
+//! scenario event loop owns all four and lends them out for the duration of
+//! one step.
+
+use crate::budget::StepBudget;
+use crate::disk::SharedDisk;
+use sim_core::cost::CostModel;
+use sim_core::time::SimTime;
+use tmem::page::Fingerprint;
+use xen_sim::hypervisor::Hypervisor;
+
+/// Mutable view of the simulated machine for one execution step.
+pub struct Machine<'a> {
+    /// The hypervisor (tmem hypercalls land here).
+    pub hyp: &'a mut Hypervisor<Fingerprint>,
+    /// The shared virtual disk.
+    pub disk: &'a mut SharedDisk,
+    /// Latency model.
+    pub cost: &'a CostModel,
+    /// Dispatch time of the current step.
+    pub now: SimTime,
+    /// Time accounting for the current step.
+    pub budget: &'a mut StepBudget,
+}
+
+impl Machine<'_> {
+    /// Best-effort current instant *within* the step: the dispatch time plus
+    /// time consumed so far. Used to timestamp disk-queue arrivals; the
+    /// small error from ignoring CPU dilation here is irrelevant next to
+    /// millisecond disk latencies.
+    pub fn approx_now(&self) -> SimTime {
+        self.now + self.budget.compute + self.budget.io_wait
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimDuration;
+
+    #[test]
+    fn approx_now_advances_with_consumption() {
+        let mut hyp = Hypervisor::new(16, 16);
+        let mut disk = SharedDisk::default();
+        let cost = CostModel::hdd();
+        let mut budget = StepBudget::new(SimDuration::from_millis(1));
+        let m = Machine {
+            hyp: &mut hyp,
+            disk: &mut disk,
+            cost: &cost,
+            now: SimTime::from_secs(1),
+            budget: &mut budget,
+        };
+        assert_eq!(m.approx_now(), SimTime::from_secs(1));
+        m.budget.charge_compute(SimDuration::from_micros(10));
+        let m2 = Machine {
+            hyp: &mut hyp,
+            disk: &mut disk,
+            cost: &cost,
+            now: SimTime::from_secs(1),
+            budget: &mut budget,
+        };
+        assert_eq!(
+            m2.approx_now(),
+            SimTime::from_secs(1) + SimDuration::from_micros(10)
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! The Tmem Kernel Module (TKM), paper §III-C.
+//!
+//! Two roles, two types:
+//!
+//! * [`GuestTkm`] — loaded in every guest: registers the frontswap (or
+//!   cleancache) pool with the hypervisor at module init and hands it to the
+//!   guest kernel's swap path.
+//! * [`Dom0Tkm`] — loaded in the privileged domain: receives the
+//!   hypervisor's per-second statistics VIRQ, forwards the snapshot to the
+//!   user-space Memory Manager over a netlink-like channel, and forwards
+//!   the MM's target allocations back down via the custom `SetTargets`
+//!   hypercall. The simulation performs the calls inline, but the relay
+//!   keeps full message accounting so tests (and the communication-overhead
+//!   ablation) can observe the traffic the paper describes.
+
+use tmem::backend::PoolKind;
+use tmem::error::TmemError;
+use tmem::key::{PoolId, VmId};
+use tmem::page::PagePayload;
+use tmem::stats::{MemStats, MmTarget};
+use xen_sim::hypervisor::Hypervisor;
+
+/// Guest-side TKM instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuestTkm {
+    vm: VmId,
+    pool: PoolId,
+    kind: PoolKind,
+}
+
+impl GuestTkm {
+    /// Module init: create this VM's tmem pool in the hypervisor.
+    pub fn init<P: PagePayload>(
+        hyp: &mut Hypervisor<P>,
+        vm: VmId,
+        kind: PoolKind,
+    ) -> Result<Self, TmemError> {
+        let pool = hyp.new_pool(vm, kind)?;
+        Ok(GuestTkm { vm, pool, kind })
+    }
+
+    /// The pool this module registered.
+    pub fn pool(&self) -> PoolId {
+        self.pool
+    }
+
+    /// The VM this module runs in.
+    pub fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    /// Pool kind (frontswap = persistent, cleancache = ephemeral).
+    pub fn kind(&self) -> PoolKind {
+        self.kind
+    }
+
+    /// Module unload / VM teardown: destroy the pool. Returns pages freed.
+    pub fn shutdown<P: PagePayload>(self, hyp: &mut Hypervisor<P>) -> u64 {
+        hyp.destroy_pool(self.pool)
+    }
+}
+
+/// Privileged-domain TKM relay with netlink-style message accounting.
+#[derive(Debug, Default)]
+pub struct Dom0Tkm {
+    latest: Option<MemStats>,
+    stats_msgs: u64,
+    stats_bytes: u64,
+    target_msgs: u64,
+    target_entries: u64,
+}
+
+impl Dom0Tkm {
+    /// A fresh relay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// VIRQ handler: accept a statistics snapshot from the hypervisor and
+    /// queue it for the user-space MM (netlink send).
+    pub fn deliver_stats(&mut self, stats: MemStats) {
+        self.stats_msgs += 1;
+        // Netlink message payload estimate: header + per-VM records. Used
+        // by the communication-overhead ablation.
+        self.stats_bytes += 32 + 64 * stats.vms.len() as u64;
+        self.latest = Some(stats);
+    }
+
+    /// User-space MM reads the queued snapshot (netlink recv). `None` when
+    /// no snapshot arrived since the last read.
+    pub fn take_stats(&mut self) -> Option<MemStats> {
+        self.latest.take()
+    }
+
+    /// Forward target allocations from the MM to the hypervisor via the
+    /// custom `SetTargets` hypercall.
+    pub fn forward_targets<P: PagePayload>(
+        &mut self,
+        hyp: &mut Hypervisor<P>,
+        targets: &[MmTarget],
+    ) {
+        self.target_msgs += 1;
+        self.target_entries += targets.len() as u64;
+        hyp.set_targets(targets);
+    }
+
+    /// Number of statistics messages relayed to user space.
+    pub fn stats_msgs(&self) -> u64 {
+        self.stats_msgs
+    }
+
+    /// Estimated bytes of statistics traffic relayed.
+    pub fn stats_bytes(&self) -> u64 {
+        self.stats_bytes
+    }
+
+    /// Number of `SetTargets` hypercalls issued on behalf of the MM.
+    pub fn target_msgs(&self) -> u64 {
+        self.target_msgs
+    }
+
+    /// Total target entries forwarded.
+    pub fn target_entries(&self) -> u64 {
+        self.target_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimTime;
+    use tmem::page::Fingerprint;
+    use xen_sim::vm::VmConfig;
+
+    #[test]
+    fn guest_tkm_registers_and_destroys_a_pool() {
+        let mut hyp: Hypervisor<Fingerprint> = Hypervisor::new(10, 10);
+        hyp.register_vm(VmConfig::new(VmId(1), "VM1", 1 << 20, 1));
+        let tkm = GuestTkm::init(&mut hyp, VmId(1), PoolKind::Persistent).unwrap();
+        assert_eq!(tkm.vm(), VmId(1));
+        assert_eq!(
+            hyp.backend().pool_info(tkm.pool()),
+            Some((VmId(1), PoolKind::Persistent))
+        );
+        assert_eq!(tkm.shutdown(&mut hyp), 0);
+        assert_eq!(hyp.backend().pool_count(), 0);
+    }
+
+    #[test]
+    fn dom0_relay_accounts_traffic() {
+        let mut hyp: Hypervisor<Fingerprint> = Hypervisor::new(10, 10);
+        hyp.register_vm(VmConfig::new(VmId(1), "VM1", 1 << 20, 1));
+        let mut relay = Dom0Tkm::new();
+        let snap = hyp.sample(SimTime::from_secs(1));
+        relay.deliver_stats(snap);
+        assert_eq!(relay.stats_msgs(), 1);
+        assert!(relay.stats_bytes() > 0);
+        let got = relay.take_stats().expect("snapshot queued");
+        assert_eq!(got.vms.len(), 1);
+        assert!(relay.take_stats().is_none(), "queue drained");
+
+        relay.forward_targets(
+            &mut hyp,
+            &[MmTarget {
+                vm_id: VmId(1),
+                mm_target: 7,
+            }],
+        );
+        assert_eq!(relay.target_msgs(), 1);
+        assert_eq!(relay.target_entries(), 1);
+        assert_eq!(hyp.target_of(VmId(1)), Some(7));
+        assert_eq!(hyp.set_target_calls(), 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! `smartmem-cli` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! smartmem-cli table2 [--scale S]
+//! smartmem-cli fig <3|4|5|6|7|8|9|10> [--scale S] [--reps N] [--seed S] [--out DIR]
+//! smartmem-cli all [--scale S] [--reps N] [--out DIR]
+//! smartmem-cli run <scenario1|scenario2|usemem|scenario3> <policy> [--scale S] [--seed S]
+//! ```
+//!
+//! Policies: `no-tmem`, `greedy`, `static-alloc`, `reconf-static`,
+//! `smart-alloc:<P>` (e.g. `smart-alloc:0.75`), `predictive`.
+
+use scenarios::config::RunConfig;
+use scenarios::figures;
+use scenarios::report;
+use scenarios::runner::run_scenario;
+use scenarios::spec::ScenarioKind;
+use smartmem_core::PolicyKind;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    scale: f64,
+    reps: u64,
+    seed: u64,
+    out: Option<PathBuf>,
+}
+
+fn parse_flags(rest: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        scale: 0.125,
+        reps: 3,
+        seed: 42,
+        out: None,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--scale" => args.scale = value()?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--reps" => args.reps = value()?.parse().map_err(|e| format!("--reps: {e}"))?,
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => args.out = Some(PathBuf::from(value()?)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run_config(a: &Args) -> RunConfig {
+    RunConfig {
+        scale: a.scale,
+        seed: a.seed,
+        ..RunConfig::default()
+    }
+}
+
+fn parse_policy(s: &str) -> Result<PolicyKind, String> {
+    match s {
+        "no-tmem" => Ok(PolicyKind::NoTmem),
+        "greedy" => Ok(PolicyKind::Greedy),
+        "static-alloc" => Ok(PolicyKind::StaticAlloc),
+        "reconf-static" => Ok(PolicyKind::ReconfStatic),
+        "predictive" => Ok(PolicyKind::Predictive),
+        _ => {
+            if let Some(p) = s.strip_prefix("smart-alloc:") {
+                let p: f64 = p.parse().map_err(|e| format!("smart-alloc P: {e}"))?;
+                Ok(PolicyKind::SmartAlloc { p })
+            } else {
+                Err(format!("unknown policy '{s}'"))
+            }
+        }
+    }
+}
+
+fn parse_scenario(s: &str) -> Result<ScenarioKind, String> {
+    match s {
+        "scenario1" => Ok(ScenarioKind::Scenario1),
+        "scenario2" => Ok(ScenarioKind::Scenario2),
+        "usemem" => Ok(ScenarioKind::UsememScenario),
+        "scenario3" => Ok(ScenarioKind::Scenario3),
+        _ => Err(format!("unknown scenario '{s}'")),
+    }
+}
+
+fn emit_bars(fig: figures::FigureData, out: &Option<PathBuf>) {
+    print!("{}", report::render_bars(&fig));
+    if let Some(dir) = out {
+        match report::write_bars_csv(&fig, dir) {
+            Ok(p) => println!("csv: {}", p.display()),
+            Err(e) => eprintln!("csv write failed: {e}"),
+        }
+    }
+}
+
+fn emit_series(fig: figures::SeriesFigure, out: &Option<PathBuf>) {
+    print!("{}", report::render_series(&fig, 24));
+    if let Some(dir) = out {
+        match report::write_series_csv(&fig, dir) {
+            Ok(p) => println!("csv: {}", p.display()),
+            Err(e) => eprintln!("csv write failed: {e}"),
+        }
+    }
+}
+
+fn figure(n: u32, a: &Args) -> Result<(), String> {
+    let cfg = run_config(a);
+    match n {
+        3 => emit_bars(figures::fig3(&cfg, a.reps), &a.out),
+        4 => emit_series(figures::fig4(&cfg), &a.out),
+        5 => emit_bars(figures::fig5(&cfg, a.reps), &a.out),
+        6 => emit_series(figures::fig6(&cfg), &a.out),
+        7 => emit_bars(figures::fig7(&cfg, a.reps), &a.out),
+        8 => emit_series(figures::fig8(&cfg), &a.out),
+        9 => emit_bars(figures::fig9(&cfg, a.reps), &a.out),
+        10 => emit_series(figures::fig10(&cfg), &a.out),
+        other => return Err(format!("no figure {other} in the paper's evaluation")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.split_first() {
+        Some((cmd, rest)) => dispatch(cmd, rest),
+        None => Err("usage: smartmem-cli <table2|fig N|all|run SCENARIO POLICY> [flags]".into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
+    match cmd {
+        "table2" => {
+            let a = parse_flags(rest)?;
+            let cfg = run_config(&a);
+            println!("== Table II — scenarios (scale {}) ==", a.scale);
+            for (name, rows) in figures::table2_rows(&cfg) {
+                println!("{name}");
+                for r in rows {
+                    println!("  {r}");
+                }
+            }
+            Ok(())
+        }
+        "fig" => {
+            let (n, rest) = rest
+                .split_first()
+                .ok_or("fig needs a number (3-10)")?;
+            let n: u32 = n.parse().map_err(|e| format!("figure number: {e}"))?;
+            let a = parse_flags(rest)?;
+            figure(n, &a)
+        }
+        "all" => {
+            let a = parse_flags(rest)?;
+            for n in [3, 4, 5, 6, 7, 8, 9, 10] {
+                figure(n, &a)?;
+                println!();
+            }
+            Ok(())
+        }
+        "run" => {
+            let (scenario, rest) = rest.split_first().ok_or("run needs a scenario")?;
+            let (policy, rest) = rest.split_first().ok_or("run needs a policy")?;
+            let kind = parse_scenario(scenario)?;
+            let policy = parse_policy(policy)?;
+            let a = parse_flags(rest)?;
+            let cfg = run_config(&a);
+            let r = run_scenario(kind, policy, &cfg);
+            println!(
+                "{} / {}: end={} events={} disk_reads={} read_wait={} throttle={} mm_tx={}/{}",
+                r.scenario,
+                r.policy,
+                r.end_time,
+                r.events,
+                r.disk_reads,
+                r.disk_read_wait,
+                r.disk_throttle,
+                r.mm_transmissions,
+                r.mm_cycles
+            );
+            for vm in &r.vm_results {
+                let runs: Vec<String> = vm
+                    .runs
+                    .iter()
+                    .map(|rr| {
+                        let tail = format!(
+                            " (df={} tf={} fp={})",
+                            rr.stat_delta(|s| s.disk_faults).unwrap_or(0),
+                            rr.stat_delta(|s| s.tmem_faults).unwrap_or(0),
+                            rr.stat_delta(|s| s.failed_puts).unwrap_or(0),
+                        );
+                        match rr.duration() {
+                            Some(d) => format!("{}={d}{tail}", rr.workload),
+                            None => format!("{}=stopped{tail}", rr.workload),
+                        }
+                    })
+                    .collect();
+                println!(
+                    "  {}: {} | tmem_ev={} disk_ev={} tmem_faults={} disk_faults={} failed_puts={}",
+                    vm.name,
+                    runs.join(", "),
+                    vm.kernel_stats.evictions_to_tmem,
+                    vm.kernel_stats.evictions_to_disk,
+                    vm.kernel_stats.tmem_faults,
+                    vm.kernel_stats.disk_faults,
+                    vm.kernel_stats.failed_puts,
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_with_defaults() {
+        let a = parse_flags(&args(&[])).unwrap();
+        assert_eq!(a.scale, 0.125);
+        assert_eq!(a.reps, 3);
+        assert_eq!(a.seed, 42);
+        assert!(a.out.is_none());
+    }
+
+    #[test]
+    fn flags_parse_all_values() {
+        let a = parse_flags(&args(&[
+            "--scale", "0.5", "--reps", "5", "--seed", "7", "--out", "/tmp/x",
+        ]))
+        .unwrap();
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.reps, 5);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.out.as_deref(), Some(std::path::Path::new("/tmp/x")));
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        assert!(parse_flags(&args(&["--bogus"])).is_err());
+        assert!(parse_flags(&args(&["--scale"])).is_err(), "missing value");
+    }
+
+    #[test]
+    fn policies_parse() {
+        assert_eq!(parse_policy("greedy").unwrap(), PolicyKind::Greedy);
+        assert_eq!(parse_policy("no-tmem").unwrap(), PolicyKind::NoTmem);
+        assert_eq!(
+            parse_policy("smart-alloc:0.75").unwrap(),
+            PolicyKind::SmartAlloc { p: 0.75 }
+        );
+        assert_eq!(parse_policy("predictive").unwrap(), PolicyKind::Predictive);
+        assert!(parse_policy("smart-alloc:x").is_err());
+        assert!(parse_policy("nonsense").is_err());
+    }
+
+    #[test]
+    fn scenarios_parse() {
+        assert_eq!(parse_scenario("usemem").unwrap(), ScenarioKind::UsememScenario);
+        assert_eq!(parse_scenario("scenario3").unwrap(), ScenarioKind::Scenario3);
+        assert!(parse_scenario("scenario9").is_err());
+    }
+
+    #[test]
+    fn figure_numbers_are_validated() {
+        let a = parse_flags(&args(&[])).unwrap();
+        assert!(figure(11, &a).is_err());
+        assert!(figure(2, &a).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Run configuration.
+
+use serde::{Deserialize, Serialize};
+use sim_core::cost::CostModel;
+use sim_core::time::SimDuration;
+
+/// Knobs for one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Memory scale relative to the paper's sizes (1.0 = 1 GB VMs etc.).
+    /// Benches default to 0.125 to bound wall-clock time; tests go smaller.
+    pub scale: f64,
+    /// Time scale for the sampling interval, sleeps and staggered starts.
+    /// `None` (default) tracks `scale`, which keeps policy dynamics
+    /// scale-invariant (see crate docs).
+    pub time_scale: Option<f64>,
+    /// Root seed; repetitions and VMs derive children from it.
+    pub seed: u64,
+    /// Latency model (default: the paper's HDD testbed).
+    pub cost: CostModel,
+    /// Compute quantum per VM execution step.
+    pub quantum: SimDuration,
+    /// Fraction of guest RAM reserved by the OS (kernel, daemons, page
+    /// cache floor) and unavailable to the workload.
+    pub os_reserve_frac: f64,
+    /// Swap-in read-ahead window, pages.
+    pub readahead_pages: u32,
+    /// Physical cores available to guest vCPUs (paper testbed: 2).
+    pub cores: u32,
+    /// Fraction of the node's tmem the hypervisor may slow-reclaim from
+    /// each over-target VM per sampling interval (paper §III-B: "the
+    /// hypervisor can reclaim tmem pages from a VM very slowly").
+    pub reclaim_frac_per_interval: f64,
+    /// Record per-interval occupancy/target time-series (Figs. 4/6/8/10).
+    pub record_series: bool,
+    /// Hard safety cutoff on simulated time; a run hitting it is a bug.
+    pub max_sim_time: SimDuration,
+}
+
+impl RunConfig {
+    /// Effective time scale.
+    pub fn time_scale(&self) -> f64 {
+        self.time_scale.unwrap_or(self.scale)
+    }
+
+    /// Effective sampling interval (the paper's 1 s, time-scaled).
+    pub fn sampling_interval(&self) -> SimDuration {
+        SimDuration::from_nanos(
+            ((1e9 * self.time_scale()).round() as u64).max(1_000_000), // floor 1 ms
+        )
+    }
+
+    /// Scale a byte size by the memory scale, rounding to whole pages.
+    pub fn scale_bytes(&self, bytes: u64) -> u64 {
+        let scaled = (bytes as f64 * self.scale) as u64;
+        (scaled / 4096).max(4) * 4096
+    }
+
+    /// Scale a duration by the time scale.
+    pub fn scale_time(&self, d: SimDuration) -> SimDuration {
+        d.scale(self.time_scale())
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            scale: 0.125,
+            time_scale: None,
+            seed: 42,
+            cost: CostModel::hdd(),
+            quantum: SimDuration::from_millis(1),
+            os_reserve_frac: 0.20,
+            readahead_pages: 32,
+            cores: 2,
+            reclaim_frac_per_interval: 0.02,
+            record_series: false,
+            max_sim_time: SimDuration::from_secs(20_000),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_scale_tracks_memory_scale_by_default() {
+        let cfg = RunConfig {
+            scale: 0.25,
+            ..RunConfig::default()
+        };
+        assert_eq!(cfg.time_scale(), 0.25);
+        assert_eq!(cfg.sampling_interval(), SimDuration::from_millis(250));
+        let explicit = RunConfig {
+            scale: 0.25,
+            time_scale: Some(1.0),
+            ..RunConfig::default()
+        };
+        assert_eq!(explicit.sampling_interval(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn scale_bytes_rounds_to_pages_with_floor() {
+        let cfg = RunConfig {
+            scale: 0.1,
+            ..RunConfig::default()
+        };
+        assert_eq!(cfg.scale_bytes(1 << 30) % 4096, 0);
+        assert_eq!(cfg.scale_bytes(0), 4 * 4096, "floor of 4 pages");
+    }
+
+    #[test]
+    fn sampling_interval_has_a_floor() {
+        let cfg = RunConfig {
+            scale: 1e-9,
+            ..RunConfig::default()
+        };
+        assert_eq!(cfg.sampling_interval(), SimDuration::from_millis(1));
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Scenarios and the experiment runner (paper §IV–V).
+//!
+//! This crate assembles the full simulated node — hypervisor, shared disk,
+//! three guest kernels, the dom0 TKM relay and the user-space Memory
+//! Manager — and drives the four benchmark scenarios of Table II under each
+//! policy, producing exactly the data behind the paper's figures:
+//!
+//! * per-VM, per-run **running times** (Figs. 3, 5, 7, 9),
+//! * per-second **tmem occupancy and target time-series** (Figs. 4, 6, 8,
+//!   10).
+//!
+//! ## Scaling
+//!
+//! Every scenario supports a memory `scale` (1.0 = the paper's sizes). To
+//! keep policy *dynamics* scale-invariant, the sampling interval, sleeps
+//! and staggered starts scale by the same factor by default: halving all
+//! memory halves all phase lengths, so the number of MM cycles a run spans
+//! — the quantity that determines how far a policy's targets can travel —
+//! stays fixed. See `RunConfig::time_scale`.
+
+pub mod config;
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use config::RunConfig;
+pub use runner::{run_scenario, RunResult, VmResult};
+pub use spec::{build_scenario, ScenarioKind, ScenarioSpec};
+
+pub use smartmem_core::PolicyKind;

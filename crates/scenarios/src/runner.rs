@@ -1,0 +1,670 @@
+//! The experiment runner: a full simulated node driving one scenario under
+//! one policy.
+//!
+//! The runner owns the hypervisor, the shared disk, the dom0 TKM relay, the
+//! Memory Manager and one guest kernel + workload program per VM, and
+//! advances them with a deterministic discrete-event loop:
+//!
+//! * `Step(vm)` — the VM executes one compute quantum of its workload
+//!   (ended early by any blocking disk access); the next step is scheduled
+//!   after the consumed time, with the compute part dilated by CPU
+//!   contention,
+//! * `Wake(vm)` / `Start(vm)` — program sleeps and (possibly
+//!   milestone-triggered) program starts,
+//! * `Virq` — the paper's per-second sampling interrupt: the hypervisor
+//!   snapshot travels hypervisor → dom0 TKM → MM, and changed targets
+//!   travel back down.
+
+use crate::config::RunConfig;
+use crate::spec::{build_scenario, ProgramStep, ScenarioKind, StartRule, VmSpec};
+use guest_os::budget::StepBudget;
+use guest_os::disk::SharedDisk;
+use guest_os::kernel::{GuestConfig, GuestKernel, KernelStats};
+use guest_os::machine::Machine;
+use guest_os::tkm::{Dom0Tkm, GuestTkm};
+use sim_core::event::EventQueue;
+use sim_core::metrics::TimeSeries;
+use sim_core::rng::SplitMix64;
+use sim_core::time::{SimDuration, SimTime};
+use smartmem_core::{MemoryManager, PolicyKind};
+use std::collections::HashSet;
+use tmem::backend::PoolKind;
+use tmem::key::VmId;
+use tmem::page::Fingerprint;
+use workloads::traits::{StepOutcome, Workload};
+use xen_sim::hypervisor::Hypervisor;
+use xen_sim::sched::CpuModel;
+
+/// Lifecycle of a VM's program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VmState {
+    NotStarted,
+    Running,
+    Sleeping,
+    Finished,
+    Stopped,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Start(usize),
+    Step(usize),
+    Wake(usize),
+    Virq,
+}
+
+/// One workload execution within a VM's program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Program start instant.
+    pub start: SimTime,
+    /// Completion instant (`None` if stopped externally / truncated).
+    pub end: Option<SimTime>,
+    /// Kernel counters at run start (for per-run deltas).
+    pub stats_at_start: KernelStats,
+    /// Kernel counters at run end.
+    pub stats_at_end: Option<KernelStats>,
+}
+
+impl RunRecord {
+    /// Per-run delta of a kernel counter, via an accessor.
+    pub fn stat_delta(&self, f: impl Fn(&KernelStats) -> u64) -> Option<u64> {
+        self.stats_at_end
+            .as_ref()
+            .map(|e| f(e) - f(&self.stats_at_start))
+    }
+}
+
+impl RunRecord {
+    /// Running time, if the run completed.
+    pub fn duration(&self) -> Option<SimDuration> {
+        self.end.map(|e| e - self.start)
+    }
+}
+
+/// Per-VM outcome of a scenario run.
+#[derive(Debug, Clone)]
+pub struct VmResult {
+    /// VM name ("VM1"...).
+    pub name: String,
+    /// Hypervisor identity.
+    pub vm_id: VmId,
+    /// Workload runs, in program order.
+    pub runs: Vec<RunRecord>,
+    /// Milestones with their timestamps (usemem per-allocation timing).
+    pub milestones: Vec<(String, SimTime)>,
+    /// Guest-kernel event counters at scenario end.
+    pub kernel_stats: KernelStats,
+    /// The VM was stopped by the scenario's global stop trigger.
+    pub stopped_early: bool,
+}
+
+impl VmResult {
+    /// Durations of completed runs, in program order (the bars of Figs. 3,
+    /// 5, 9).
+    pub fn completions(&self) -> Vec<SimDuration> {
+        self.runs.iter().filter_map(|r| r.duration()).collect()
+    }
+
+    /// Time from `alloc:<label>` to the matching `block:<label>` milestone —
+    /// usemem's per-allocation running time (Fig. 7).
+    pub fn span_between(&self, from: &str, to: &str) -> Option<SimDuration> {
+        let start = self.milestones.iter().find(|(l, _)| l == from)?.1;
+        let end = self.milestones.iter().find(|(l, _)| l == to)?.1;
+        Some(end - start)
+    }
+}
+
+/// Occupancy/target time-series for the occupancy figures.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesBundle {
+    /// Per-VM tmem pages in use, sampled every interval.
+    pub used: Vec<TimeSeries>,
+    /// Per-VM target allocation, sampled every interval.
+    pub target: Vec<TimeSeries>,
+}
+
+/// Complete outcome of one scenario × policy run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// Policy display name.
+    pub policy: String,
+    /// The policy that ran.
+    pub policy_kind: PolicyKind,
+    /// Per-VM outcomes, in VM order.
+    pub vm_results: Vec<VmResult>,
+    /// Occupancy series (when `RunConfig::record_series`).
+    pub series: Option<SeriesBundle>,
+    /// MM cycles executed (one per VIRQ while a managed policy ran).
+    pub mm_cycles: u64,
+    /// Target transmissions actually sent (suppression working ⇒ ≤ cycles).
+    pub mm_transmissions: u64,
+    /// Disk read requests served.
+    pub disk_reads: u64,
+    /// Disk page writes absorbed.
+    pub disk_writes: u64,
+    /// Total read wait across all requesters (queueing + service).
+    pub disk_read_wait: sim_core::time::SimDuration,
+    /// Total write-throttle stall time.
+    pub disk_throttle: sim_core::time::SimDuration,
+    /// Instant the last VM finished/stopped.
+    pub end_time: SimTime,
+    /// Events processed by the queue (determinism fingerprint).
+    pub events: u64,
+    /// The run hit the safety cutoff (always a bug — asserted by tests).
+    pub truncated: bool,
+}
+
+struct VmRuntime {
+    spec: VmSpec,
+    kernel: GuestKernel,
+    _tkm: Option<GuestTkm>,
+    workload: Option<Box<dyn Workload>>,
+    state: VmState,
+    prog_idx: usize,
+    run_counter: u32,
+    runs: Vec<RunRecord>,
+    milestones: Vec<(String, SimTime)>,
+    stopped_early: bool,
+}
+
+struct Runner {
+    cfg: RunConfig,
+    hyp: Hypervisor<Fingerprint>,
+    disk: SharedDisk,
+    dom0: Dom0Tkm,
+    mm: Option<MemoryManager>,
+    cpu: CpuModel,
+    vms: Vec<VmRuntime>,
+    queue: EventQueue<Event>,
+    observed: HashSet<(usize, String)>,
+    pending_starts: Vec<(usize, Vec<(usize, String)>)>,
+    stop_all_on: Option<(usize, String)>,
+    series: Option<SeriesBundle>,
+    seed_root: SplitMix64,
+    scenario_name: &'static str,
+    policy_name: String,
+    policy_kind: PolicyKind,
+    sampling: SimDuration,
+    truncated: bool,
+}
+
+/// Run one scenario under one policy. Deterministic in `cfg.seed`.
+pub fn run_scenario(kind: ScenarioKind, policy: PolicyKind, cfg: &RunConfig) -> RunResult {
+    run_spec(build_scenario(kind, cfg), policy, cfg)
+}
+
+/// Run a (possibly customized) scenario spec under one policy. The public
+/// entry point for experiments beyond Table II — e.g. capacity sweeps that
+/// adjust `ScenarioSpec::tmem_bytes` before running.
+pub fn run_spec(spec: crate::spec::ScenarioSpec, policy: PolicyKind, cfg: &RunConfig) -> RunResult {
+    let tmem_pages = spec.tmem_pages();
+
+    let mm = policy.build().map(|p| MemoryManager::new(p, 128));
+    let initial_target = mm
+        .as_ref()
+        .map(|m| m.initial_target(tmem_pages))
+        .unwrap_or(0);
+    let mut hyp: Hypervisor<Fingerprint> = Hypervisor::new(tmem_pages, initial_target);
+
+    let frontswap = policy.tmem_enabled();
+    let mut vms = Vec::with_capacity(spec.vms.len());
+    for vm_spec in &spec.vms {
+        hyp.register_vm(vm_spec.config.clone());
+        let ram_pages = vm_spec.config.ram_pages();
+        let os_reserved = ((ram_pages as f64 * cfg.os_reserve_frac) as u64).max(2);
+        let mut kernel = GuestKernel::new(GuestConfig {
+            vm: vm_spec.config.id,
+            ram_pages,
+            os_reserved_pages: os_reserved,
+            readahead_pages: cfg.readahead_pages,
+            frontswap_enabled: frontswap,
+        });
+        let tkm = if frontswap {
+            let tkm = GuestTkm::init(&mut hyp, vm_spec.config.id, PoolKind::Persistent)
+                .expect("pool creation cannot fail on a fresh hypervisor");
+            kernel.attach_frontswap(tkm.pool());
+            Some(tkm)
+        } else {
+            None
+        };
+        vms.push(VmRuntime {
+            spec: vm_spec.clone(),
+            kernel,
+            _tkm: tkm,
+            workload: None,
+            state: VmState::NotStarted,
+            prog_idx: 0,
+            run_counter: 0,
+            runs: Vec::new(),
+            milestones: Vec::new(),
+            stopped_early: false,
+        });
+    }
+
+    let policy_name = policy.to_string();
+    let mut runner = Runner {
+        series: cfg.record_series.then(|| SeriesBundle {
+            used: vec![TimeSeries::new(); vms.len()],
+            target: vec![TimeSeries::new(); vms.len()],
+        }),
+        sampling: cfg.sampling_interval(),
+        seed_root: SplitMix64::new(cfg.seed),
+        scenario_name: spec.kind.name(),
+        policy_name,
+        policy_kind: policy,
+        cfg: cfg.clone(),
+        hyp,
+        disk: SharedDisk::default(),
+        dom0: Dom0Tkm::new(),
+        mm,
+        cpu: CpuModel::new(cfg.cores),
+        vms,
+        queue: EventQueue::new(),
+        observed: HashSet::new(),
+        pending_starts: Vec::new(),
+        stop_all_on: spec.stop_all_on.clone(),
+        truncated: false,
+    };
+    runner.seed_events();
+    runner.run()
+}
+
+impl Runner {
+    fn seed_events(&mut self) {
+        for (i, vm) in self.vms.iter().enumerate() {
+            match &vm.spec.start {
+                StartRule::At(d) => self.queue.schedule_at(SimTime::ZERO + *d, Event::Start(i)),
+                StartRule::OnMilestonesAll(reqs) => {
+                    self.pending_starts.push((i, reqs.clone()));
+                }
+            }
+        }
+        self.queue
+            .schedule_at(SimTime::ZERO + self.sampling, Event::Virq);
+    }
+
+    fn all_done(&self) -> bool {
+        self.vms
+            .iter()
+            .all(|v| matches!(v.state, VmState::Finished | VmState::Stopped))
+    }
+
+    fn runnable_vcpus(&self) -> u32 {
+        self.vms
+            .iter()
+            .filter(|v| v.state == VmState::Running)
+            .map(|v| v.spec.config.vcpus)
+            .sum()
+    }
+
+    fn run(mut self) -> RunResult {
+        let cutoff = SimTime::ZERO + self.cfg.max_sim_time;
+        while let Some((now, event)) = self.queue.pop() {
+            if now > cutoff {
+                self.truncated = true;
+                self.stop_all(now);
+                break;
+            }
+            match event {
+                Event::Start(i) => {
+                    if self.vms[i].state == VmState::NotStarted {
+                        self.start_next(i, now);
+                    }
+                }
+                Event::Wake(i) => {
+                    if self.vms[i].state == VmState::Sleeping {
+                        self.start_next(i, now);
+                    }
+                }
+                Event::Step(i) => {
+                    if self.vms[i].state == VmState::Running {
+                        self.step_vm(i, now);
+                    }
+                }
+                Event::Virq => self.virq(now),
+            }
+            if self.all_done() {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    /// Begin the next program step of VM `i` at `now` (initial start, after
+    /// a sleep, or after a completed run).
+    fn start_next(&mut self, i: usize, now: SimTime) {
+        let scenario = self.scenario_name;
+        let policy = self.policy_name.clone();
+        let rt = &mut self.vms[i];
+        if rt.prog_idx >= rt.spec.program.len() {
+            rt.state = VmState::Finished;
+            return;
+        }
+        let step = rt.spec.program[rt.prog_idx].clone();
+        rt.prog_idx += 1;
+        match step {
+            ProgramStep::Run(ws) => {
+                let label = format!(
+                    "{scenario}/{policy}/vm{i}/run{}",
+                    rt.run_counter
+                );
+                rt.run_counter += 1;
+                let seed = self.seed_root.derive(&label).next();
+                let workload = ws.build(seed);
+                rt.runs.push(RunRecord {
+                    workload: workload.name().to_string(),
+                    start: now,
+                    end: None,
+                    stats_at_start: *rt.kernel.stats(),
+                    stats_at_end: None,
+                });
+                rt.workload = Some(workload);
+                rt.state = VmState::Running;
+                self.queue.schedule_at(now, Event::Step(i));
+            }
+            ProgramStep::Sleep(d) => {
+                rt.state = VmState::Sleeping;
+                self.queue.schedule_at(now + d, Event::Wake(i));
+            }
+        }
+    }
+
+    /// Execute one quantum of VM `i`'s workload.
+    fn step_vm(&mut self, i: usize, now: SimTime) {
+        let dilation = self.cpu.dilation(self.runnable_vcpus());
+        let mut budget = StepBudget::new(self.cfg.quantum);
+        let outcome;
+        {
+            let rt = &mut self.vms[i];
+            let mut machine = Machine {
+                hyp: &mut self.hyp,
+                disk: &mut self.disk,
+                cost: &self.cfg.cost,
+                now,
+                budget: &mut budget,
+            };
+            let workload = rt.workload.as_mut().expect("running VM has a workload");
+            outcome = workload.step(&mut rt.kernel, &mut machine);
+        }
+        let elapsed = budget.elapsed(dilation);
+        let t_end = now + elapsed;
+
+        // Milestones: record, then evaluate cross-VM triggers.
+        let labels: Vec<String> = self.vms[i]
+            .workload
+            .as_mut()
+            .expect("still present")
+            .drain_milestones()
+            .into_iter()
+            .map(|m| m.0)
+            .collect();
+        let mut stop_everything = false;
+        for label in labels {
+            self.vms[i].milestones.push((label.clone(), t_end));
+            self.observed.insert((i, label.clone()));
+            if let Some((svm, slabel)) = &self.stop_all_on {
+                if *svm == i && *slabel == label {
+                    stop_everything = true;
+                }
+            }
+        }
+        self.fire_ready_starts(t_end);
+        if stop_everything {
+            self.stop_all(t_end);
+            return;
+        }
+
+        match outcome {
+            StepOutcome::Done => {
+                let rt = &mut self.vms[i];
+                let stats = *rt.kernel.stats();
+                let rec = rt
+                    .runs
+                    .last_mut()
+                    .expect("a run record exists while running");
+                rec.end = Some(t_end);
+                rec.stats_at_end = Some(stats);
+                rt.workload = None;
+                self.start_next(i, t_end);
+            }
+            StepOutcome::Runnable => {
+                self.queue.schedule_at(t_end, Event::Step(i));
+            }
+        }
+    }
+
+    /// Start any milestone-triggered VM whose requirements are now met.
+    fn fire_ready_starts(&mut self, at: SimTime) {
+        let observed = &self.observed;
+        let mut ready = Vec::new();
+        self.pending_starts.retain(|(vm, reqs)| {
+            if reqs.iter().all(|r| observed.contains(r)) {
+                ready.push(*vm);
+                false
+            } else {
+                true
+            }
+        });
+        for vm in ready {
+            self.queue.schedule_at(at, Event::Start(vm));
+        }
+    }
+
+    /// The scenario-wide stop trigger: kill every VM's program.
+    fn stop_all(&mut self, at: SimTime) {
+        for i in 0..self.vms.len() {
+            let state = self.vms[i].state;
+            if matches!(state, VmState::Finished | VmState::Stopped) {
+                continue;
+            }
+            // Process kill: release guest memory (flush costs are charged
+            // to a throwaway budget — the scenario is over).
+            let mut budget = StepBudget::new(SimDuration::from_secs(3600));
+            let rt = &mut self.vms[i];
+            if let Some(mut w) = rt.workload.take() {
+                let mut machine = Machine {
+                    hyp: &mut self.hyp,
+                    disk: &mut self.disk,
+                    cost: &self.cfg.cost,
+                    now: at,
+                    budget: &mut budget,
+                };
+                w.abort(&mut rt.kernel, &mut machine);
+            }
+            let stats = *rt.kernel.stats();
+            if let Some(r) = rt.runs.last_mut() {
+                if r.end.is_none() {
+                    r.end = Some(at);
+                    r.stats_at_end = Some(stats);
+                }
+            }
+            rt.state = VmState::Stopped;
+            rt.stopped_early = true;
+        }
+    }
+
+    /// The per-interval sampling VIRQ: hypervisor → dom0 TKM → MM → targets
+    /// back down, plus series recording.
+    fn virq(&mut self, now: SimTime) {
+        let stats = self.hyp.sample(now);
+        self.dom0.deliver_stats(stats);
+        if let Some(mm) = &mut self.mm {
+            let snap = self
+                .dom0
+                .take_stats()
+                .expect("snapshot just delivered");
+            if let Some(targets) = mm.on_stats(&snap) {
+                self.dom0.forward_targets(&mut self.hyp, &targets);
+            }
+            // Slow reclaim: trickle over-target VMs' oldest pages to their
+            // swap devices (hypervisor-driven async write-back).
+            let max = ((self.hyp.node_info().total_tmem as f64
+                * self.cfg.reclaim_frac_per_interval) as u64)
+                .max(1);
+            for rt in &mut self.vms {
+                let Some(tkm) = &rt._tkm else { continue };
+                let reclaimed = self.hyp.reclaim_over_target(tkm.pool(), max);
+                if !reclaimed.is_empty() {
+                    let keys: Vec<(u64, u32)> =
+                        reclaimed.iter().map(|&(o, i)| (o.0, i)).collect();
+                    rt.kernel.tmem_reclaimed(&keys);
+                    for _ in &keys {
+                        self.disk.write_page(now, &self.cfg.cost);
+                    }
+                }
+            }
+        }
+        if let Some(series) = &mut self.series {
+            for (i, vm) in self.vms.iter().enumerate() {
+                let id = vm.spec.config.id;
+                series.used[i].push(now, self.hyp.tmem_used_by(id) as f64);
+                series.target[i].push(now, self.hyp.target_of(id).unwrap_or(0) as f64);
+            }
+        }
+        if !self.all_done() {
+            self.queue.schedule_at(now + self.sampling, Event::Virq);
+        }
+    }
+
+    fn finish(self) -> RunResult {
+        let vm_results = self
+            .vms
+            .into_iter()
+            .map(|rt| VmResult {
+                name: rt.spec.config.name.clone(),
+                vm_id: rt.spec.config.id,
+                runs: rt.runs,
+                milestones: rt.milestones,
+                kernel_stats: *rt.kernel.stats(),
+                stopped_early: rt.stopped_early,
+            })
+            .collect();
+        RunResult {
+            scenario: self.scenario_name.to_string(),
+            policy: self.policy_name,
+            policy_kind: self.policy_kind,
+            vm_results,
+            series: self.series,
+            mm_cycles: self.mm.as_ref().map(|m| m.cycles()).unwrap_or(0),
+            mm_transmissions: self.mm.as_ref().map(|m| m.transmissions()).unwrap_or(0),
+            disk_reads: self.disk.reads(),
+            disk_writes: self.disk.writes(),
+            disk_read_wait: self.disk.read_wait_total(),
+            disk_throttle: self.disk.throttle_total(),
+            end_time: self.queue.now(),
+            events: self.queue.events_processed(),
+            truncated: self.truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(seed: u64) -> RunConfig {
+        RunConfig {
+            scale: 0.01,
+            seed,
+            record_series: true,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn scenario1_completes_under_greedy() {
+        let r = run_scenario(ScenarioKind::Scenario1, PolicyKind::Greedy, &tiny_cfg(1));
+        assert!(!r.truncated);
+        assert_eq!(r.vm_results.len(), 3);
+        for vm in &r.vm_results {
+            assert_eq!(vm.completions().len(), 2, "two analytics runs per VM");
+            assert!(vm.kernel_stats.evictions_to_tmem > 0, "pressure reached tmem");
+        }
+    }
+
+    #[test]
+    fn no_tmem_never_touches_tmem() {
+        let r = run_scenario(ScenarioKind::Scenario2, PolicyKind::NoTmem, &tiny_cfg(2));
+        assert!(!r.truncated);
+        for vm in &r.vm_results {
+            assert_eq!(vm.kernel_stats.evictions_to_tmem, 0);
+            assert!(vm.kernel_stats.evictions_to_disk > 0);
+        }
+        assert_eq!(r.mm_cycles, 0, "no MM process for no-tmem");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let a = run_scenario(
+            ScenarioKind::Scenario1,
+            PolicyKind::SmartAlloc { p: 2.0 },
+            &tiny_cfg(7),
+        );
+        let b = run_scenario(
+            ScenarioKind::Scenario1,
+            PolicyKind::SmartAlloc { p: 2.0 },
+            &tiny_cfg(7),
+        );
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.end_time, b.end_time);
+        let da: Vec<_> = a.vm_results.iter().map(|v| v.completions()).collect();
+        let db: Vec<_> = b.vm_results.iter().map(|v| v.completions()).collect();
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn usemem_scenario_triggers_fire() {
+        let r = run_scenario(
+            ScenarioKind::UsememScenario,
+            PolicyKind::Greedy,
+            &tiny_cfg(3),
+        );
+        assert!(!r.truncated);
+        // VM3 must have started (trigger) and everything stops on its 6th
+        // allocation attempt.
+        assert!(r.vm_results[2].milestones.iter().any(|(l, _)| l.starts_with("alloc")));
+        for vm in &r.vm_results {
+            assert!(vm.stopped_early, "{} must be stopped by the trigger", vm.name);
+        }
+        // VM3 started strictly after VM1/VM2.
+        let vm3_first = r.vm_results[2].milestones.first().unwrap().1;
+        let vm1_first = r.vm_results[0].milestones.first().unwrap().1;
+        assert!(vm3_first > vm1_first);
+    }
+
+    #[test]
+    fn series_are_recorded_per_interval() {
+        let r = run_scenario(
+            ScenarioKind::Scenario2,
+            PolicyKind::StaticAlloc,
+            &tiny_cfg(4),
+        );
+        let series = r.series.expect("requested");
+        assert_eq!(series.used.len(), 3);
+        assert!(series.used[0].len() > 2, "multiple samples");
+        // Static policy: targets equal across VMs once set.
+        let t_end = series.target[0].points().last().unwrap().1;
+        assert!(series.target.iter().all(|s| s.points().last().unwrap().1 == t_end));
+    }
+
+    #[test]
+    fn mm_suppression_keeps_transmissions_below_cycles() {
+        let r = run_scenario(
+            ScenarioKind::Scenario1,
+            PolicyKind::StaticAlloc,
+            &tiny_cfg(5),
+        );
+        assert!(r.mm_cycles > 2);
+        assert!(
+            r.mm_transmissions < r.mm_cycles,
+            "static-alloc must suppress unchanged targets ({} vs {})",
+            r.mm_transmissions,
+            r.mm_cycles
+        );
+    }
+}

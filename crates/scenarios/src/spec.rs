@@ -1,0 +1,399 @@
+//! Table II: the benchmark scenarios.
+//!
+//! Each scenario deploys three VMs with the paper's RAM/CPU parameters and
+//! a per-VM *program* (a sequence of workload runs and sleeps), plus start
+//! rules (fixed times or cross-VM milestone triggers) and an optional
+//! global stop trigger — everything Table II specifies, scaled by the
+//! run configuration.
+
+use crate::config::RunConfig;
+use serde::{Deserialize, Serialize};
+use sim_core::time::SimDuration;
+use tmem::key::VmId;
+use workloads::graph::GraphAnalyticsConfig;
+use workloads::inmem::InMemoryAnalyticsConfig;
+use workloads::traits::Workload;
+use workloads::usemem::UsememConfig;
+use xen_sim::vm::VmConfig;
+
+/// The four scenarios of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// 3 × 1 GB VMs; in-memory-analytics twice with a 5 s sleep; 1 GB tmem.
+    Scenario1,
+    /// 3 × 512 MB VMs; graph-analytics once; VM3 starts 30 s later; 1 GB
+    /// tmem.
+    Scenario2,
+    /// 3 × 512 MB VMs; usemem with cross-VM triggers; 384 MB tmem.
+    UsememScenario,
+    /// VM1/VM2 512 MB graph-analytics; VM3 1 GB in-memory-analytics 30 s
+    /// later; 1 GB tmem.
+    Scenario3,
+}
+
+impl ScenarioKind {
+    /// All scenarios, in paper order.
+    pub const ALL: [ScenarioKind; 4] = [
+        ScenarioKind::Scenario1,
+        ScenarioKind::Scenario2,
+        ScenarioKind::UsememScenario,
+        ScenarioKind::Scenario3,
+    ];
+
+    /// Report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioKind::Scenario1 => "scenario1",
+            ScenarioKind::Scenario2 => "scenario2",
+            ScenarioKind::UsememScenario => "usemem",
+            ScenarioKind::Scenario3 => "scenario3",
+        }
+    }
+
+    /// The smart-alloc `P` values the paper evaluates for this scenario's
+    /// running-time figure.
+    pub fn paper_smart_ps(&self) -> &'static [f64] {
+        match self {
+            ScenarioKind::Scenario1 => &[0.25, 0.75, 2.0],
+            ScenarioKind::Scenario2 => &[2.0, 6.0],
+            ScenarioKind::UsememScenario => &[0.75, 2.0],
+            ScenarioKind::Scenario3 => &[2.0, 4.0],
+        }
+    }
+}
+
+/// What a VM executes, in order.
+#[derive(Debug, Clone)]
+pub enum ProgramStep {
+    /// Run a workload to completion.
+    Run(WorkloadSpec),
+    /// Sleep for a fixed (already time-scaled) duration.
+    Sleep(SimDuration),
+}
+
+/// Workload constructor parameters (kept as data so repetitions can reseed).
+#[derive(Debug, Clone)]
+pub enum WorkloadSpec {
+    /// The usemem micro-benchmark.
+    Usemem(UsememConfig),
+    /// CloudSuite-equivalent in-memory-analytics.
+    InMem(InMemoryAnalyticsConfig),
+    /// CloudSuite-equivalent graph-analytics.
+    Graph(GraphAnalyticsConfig),
+}
+
+impl WorkloadSpec {
+    /// Instantiate the workload with its seed replaced by `seed` (each VM ×
+    /// repetition gets an independent dataset).
+    pub fn build(&self, seed: u64) -> Box<dyn Workload> {
+        match self {
+            WorkloadSpec::Usemem(c) => Box::new(workloads::usemem::Usemem::new(*c)),
+            WorkloadSpec::InMem(c) => {
+                let mut c = *c;
+                c.seed = seed;
+                Box::new(workloads::inmem::InMemoryAnalytics::new(c))
+            }
+            WorkloadSpec::Graph(c) => {
+                let mut c = *c;
+                c.seed = seed;
+                Box::new(workloads::graph::GraphAnalytics::new(c))
+            }
+        }
+    }
+}
+
+/// When a VM's program begins.
+#[derive(Debug, Clone)]
+pub enum StartRule {
+    /// At a fixed instant.
+    At(SimDuration),
+    /// Once every listed `(vm_index, milestone_label)` has been observed.
+    OnMilestonesAll(Vec<(usize, String)>),
+}
+
+/// One VM of a scenario.
+#[derive(Debug, Clone)]
+pub struct VmSpec {
+    /// Hypervisor-facing configuration (RAM, vCPUs).
+    pub config: VmConfig,
+    /// The program to execute.
+    pub program: Vec<ProgramStep>,
+    /// When to begin.
+    pub start: StartRule,
+}
+
+/// A fully-specified scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario identity.
+    pub kind: ScenarioKind,
+    /// tmem capacity enabled on the node, in bytes (already scaled).
+    pub tmem_bytes: u64,
+    /// The deployed VMs (always 3, per Table II).
+    pub vms: Vec<VmSpec>,
+    /// Stop every VM when this `(vm_index, milestone)` fires (the Usemem
+    /// scenario's "stopped simultaneously when VM3 attempts to allocate
+    /// 768 MB").
+    pub stop_all_on: Option<(usize, String)>,
+}
+
+impl ScenarioSpec {
+    /// tmem capacity in pages.
+    pub fn tmem_pages(&self) -> u64 {
+        self.tmem_bytes / 4096
+    }
+}
+
+/// Paper-calibrated workload footprints (bytes, full scale). The CloudSuite
+/// runs must exceed their VM's RAM to create the memory pressure the paper
+/// engineers "for the benchmarks to work in a realistic setting".
+const INMEM_FOOTPRINT: u64 = 1280 << 20; // 1.25 GiB on a 1 GiB VM
+const GRAPH_FOOTPRINT: u64 = 896 << 20; // 896 MiB on a 512 MiB VM
+
+const GIB: u64 = 1 << 30;
+const MIB: u64 = 1 << 20;
+
+/// The `alloc:<MiB>` milestone label usemem emits for its `k`-th block
+/// (1-based) under `cfg`.
+pub fn usemem_alloc_label(cfg: &UsememConfig, k: u64) -> String {
+    let bytes = (cfg.start_bytes + (k - 1) * cfg.step_bytes).min(cfg.max_bytes);
+    format!("alloc:{}", bytes >> 20)
+}
+
+/// Build a scenario spec from Table II, scaled by `cfg`.
+pub fn build_scenario(kind: ScenarioKind, cfg: &RunConfig) -> ScenarioSpec {
+    match kind {
+        ScenarioKind::Scenario1 => {
+            // "All VMs execute in-memory-analytics once simultaneously,
+            // sleep for 5 seconds and execute it again."
+            let sleep = cfg.scale_time(SimDuration::from_secs(5));
+            let footprint = cfg.scale_bytes(INMEM_FOOTPRINT);
+            let vms = (0..3)
+                .map(|i| VmSpec {
+                    config: VmConfig::new(
+                        VmId(i as u32 + 1),
+                        format!("VM{}", i + 1),
+                        cfg.scale_bytes(GIB),
+                        1,
+                    ),
+                    program: vec![
+                        ProgramStep::Run(WorkloadSpec::InMem(
+                            InMemoryAnalyticsConfig::with_footprint(footprint, 0),
+                        )),
+                        ProgramStep::Sleep(sleep),
+                        ProgramStep::Run(WorkloadSpec::InMem(
+                            InMemoryAnalyticsConfig::with_footprint(footprint, 0),
+                        )),
+                    ],
+                    start: StartRule::At(SimDuration::ZERO),
+                })
+                .collect();
+            ScenarioSpec {
+                kind,
+                tmem_bytes: cfg.scale_bytes(GIB),
+                vms,
+                stop_all_on: None,
+            }
+        }
+        ScenarioKind::Scenario2 => {
+            // "The first two VMs launch the benchmarks simultaneously, and
+            // the third one launches it 30 seconds later."
+            let stagger = cfg.scale_time(SimDuration::from_secs(30));
+            let footprint = cfg.scale_bytes(GRAPH_FOOTPRINT);
+            let vms = (0..3)
+                .map(|i| VmSpec {
+                    config: VmConfig::new(
+                        VmId(i as u32 + 1),
+                        format!("VM{}", i + 1),
+                        cfg.scale_bytes(512 * MIB),
+                        1,
+                    ),
+                    program: vec![ProgramStep::Run(WorkloadSpec::Graph(
+                        GraphAnalyticsConfig::with_footprint(footprint, 0),
+                    ))],
+                    start: StartRule::At(if i < 2 {
+                        SimDuration::ZERO
+                    } else {
+                        stagger
+                    }),
+                })
+                .collect();
+            ScenarioSpec {
+                kind,
+                tmem_bytes: cfg.scale_bytes(GIB),
+                vms,
+                stop_all_on: None,
+            }
+        }
+        ScenarioKind::UsememScenario => {
+            // "VM1 and VM2 start executing usemem simultaneously, and VM3
+            // starts when VM1 and VM2 attempt to allocate 640MB... they are
+            // stopped simultaneously when VM3 attempts to allocate 768MB."
+            let ucfg = UsememConfig::paper(cfg.scale);
+            let start_vm3 = usemem_alloc_label(&ucfg, 5); // 640 MB = 5th block
+            let stop_all = usemem_alloc_label(&ucfg, 6); // 768 MB = 6th block
+            let vms = (0..3)
+                .map(|i| VmSpec {
+                    config: VmConfig::new(
+                        VmId(i as u32 + 1),
+                        format!("VM{}", i + 1),
+                        cfg.scale_bytes(512 * MIB),
+                        1,
+                    ),
+                    program: vec![ProgramStep::Run(WorkloadSpec::Usemem(ucfg))],
+                    start: if i < 2 {
+                        StartRule::At(SimDuration::ZERO)
+                    } else {
+                        StartRule::OnMilestonesAll(vec![
+                            (0, start_vm3.clone()),
+                            (1, start_vm3.clone()),
+                        ])
+                    },
+                })
+                .collect();
+            ScenarioSpec {
+                kind,
+                tmem_bytes: cfg.scale_bytes(384 * MIB),
+                vms,
+                stop_all_on: Some((2, stop_all)),
+            }
+        }
+        ScenarioKind::Scenario3 => {
+            // "VM1 and VM2 execute graph-analytics and VM3 executes
+            // in-memory-analytics... VM3 launches 30 seconds later."
+            let stagger = cfg.scale_time(SimDuration::from_secs(30));
+            let graph_fp = cfg.scale_bytes(GRAPH_FOOTPRINT);
+            let inmem_fp = cfg.scale_bytes(INMEM_FOOTPRINT);
+            let mut vms: Vec<VmSpec> = (0..2)
+                .map(|i| VmSpec {
+                    config: VmConfig::new(
+                        VmId(i as u32 + 1),
+                        format!("VM{}", i + 1),
+                        cfg.scale_bytes(512 * MIB),
+                        1,
+                    ),
+                    program: vec![ProgramStep::Run(WorkloadSpec::Graph(
+                        GraphAnalyticsConfig::with_footprint(graph_fp, 0),
+                    ))],
+                    start: StartRule::At(SimDuration::ZERO),
+                })
+                .collect();
+            vms.push(VmSpec {
+                config: VmConfig::new(VmId(3), "VM3", cfg.scale_bytes(GIB), 1),
+                program: vec![ProgramStep::Run(WorkloadSpec::InMem(
+                    InMemoryAnalyticsConfig::with_footprint(inmem_fp, 0),
+                ))],
+                start: StartRule::At(stagger),
+            });
+            ScenarioSpec {
+                kind,
+                tmem_bytes: cfg.scale_bytes(GIB),
+                vms,
+                stop_all_on: None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            scale: 1.0,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_scenario_deploys_three_vms() {
+        for kind in ScenarioKind::ALL {
+            let spec = build_scenario(kind, &cfg());
+            assert_eq!(spec.vms.len(), 3, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn scenario1_matches_table2() {
+        let spec = build_scenario(ScenarioKind::Scenario1, &cfg());
+        assert_eq!(spec.tmem_bytes, 1 << 30);
+        for vm in &spec.vms {
+            assert_eq!(vm.config.ram_bytes, 1 << 30);
+            assert_eq!(vm.config.vcpus, 1);
+            assert_eq!(vm.program.len(), 3, "run, sleep, run");
+            assert!(matches!(vm.program[1], ProgramStep::Sleep(d) if d == SimDuration::from_secs(5)));
+        }
+    }
+
+    #[test]
+    fn scenario2_staggers_vm3_by_30s() {
+        let spec = build_scenario(ScenarioKind::Scenario2, &cfg());
+        assert!(matches!(spec.vms[0].start, StartRule::At(d) if d == SimDuration::ZERO));
+        assert!(
+            matches!(spec.vms[2].start, StartRule::At(d) if d == SimDuration::from_secs(30))
+        );
+        assert_eq!(spec.vms[0].config.ram_bytes, 512 << 20);
+    }
+
+    #[test]
+    fn usemem_scenario_wires_cross_vm_triggers() {
+        let spec = build_scenario(ScenarioKind::UsememScenario, &cfg());
+        assert_eq!(spec.tmem_bytes, 384 << 20);
+        match &spec.vms[2].start {
+            StartRule::OnMilestonesAll(reqs) => {
+                assert_eq!(
+                    reqs,
+                    &vec![(0, "alloc:640".to_string()), (1, "alloc:640".to_string())]
+                );
+            }
+            other => panic!("unexpected start rule {other:?}"),
+        }
+        assert_eq!(spec.stop_all_on, Some((2, "alloc:768".to_string())));
+    }
+
+    #[test]
+    fn scenario3_mixes_vm_sizes() {
+        let spec = build_scenario(ScenarioKind::Scenario3, &cfg());
+        assert_eq!(spec.vms[0].config.ram_bytes, 512 << 20);
+        assert_eq!(spec.vms[2].config.ram_bytes, 1 << 30);
+        assert!(matches!(
+            spec.vms[2].program[0],
+            ProgramStep::Run(WorkloadSpec::InMem(_))
+        ));
+    }
+
+    #[test]
+    fn scaling_shrinks_memory_and_triggers_consistently() {
+        let half = RunConfig {
+            scale: 0.25,
+            ..RunConfig::default()
+        };
+        let spec = build_scenario(ScenarioKind::UsememScenario, &half);
+        assert_eq!(spec.tmem_bytes, 96 << 20);
+        match &spec.vms[2].start {
+            StartRule::OnMilestonesAll(reqs) => {
+                // 640 MB × 0.25 = 160 MB.
+                assert_eq!(reqs[0].1, "alloc:160");
+            }
+            other => panic!("unexpected start rule {other:?}"),
+        }
+    }
+
+    #[test]
+    fn footprints_exceed_vm_ram() {
+        // The pressure precondition of the whole evaluation.
+        let spec = build_scenario(ScenarioKind::Scenario1, &cfg());
+        if let ProgramStep::Run(WorkloadSpec::InMem(c)) = &spec.vms[0].program[0] {
+            assert!(c.footprint_bytes() > spec.vms[0].config.ram_bytes);
+        } else {
+            panic!("scenario1 VM1 must run in-memory-analytics");
+        }
+        let spec2 = build_scenario(ScenarioKind::Scenario2, &cfg());
+        if let ProgramStep::Run(WorkloadSpec::Graph(c)) = &spec2.vms[0].program[0] {
+            assert!(c.footprint_bytes() > spec2.vms[0].config.ram_bytes);
+        } else {
+            panic!("scenario2 VM1 must run graph-analytics");
+        }
+    }
+}

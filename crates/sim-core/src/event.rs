@@ -1,0 +1,181 @@
+//! Discrete-event queue.
+//!
+//! A classic calendar queue built on [`std::collections::BinaryHeap`]. Two
+//! properties matter for reproducibility:
+//!
+//! 1. **Stability** — events scheduled for the same instant pop in the order
+//!    they were pushed (FIFO tie-break via a monotonically increasing
+//!    sequence number), so the simulation never depends on heap internals.
+//! 2. **Monotonicity** — popping an event advances the queue's notion of
+//!    "now"; scheduling into the past is a logic error and panics in debug
+//!    builds (it is clamped to "now" in release builds so a small rounding
+//!    slip cannot corrupt a long experiment).
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pending event: its due time, a stable sequence number and the payload.
+#[derive(Debug)]
+struct Scheduled<E> {
+    due: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Ordering is by (due, seq); the payload never participates, so `E` needs no
+// `Ord` bound and ties break FIFO.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// A deterministic discrete-event queue over event payloads of type `E`.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    now: SimTime,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time: the due time of the most recently popped
+    /// event (zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far (for progress reporting and
+    /// runaway detection).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedule `event` at the absolute instant `due`.
+    ///
+    /// Scheduling into the past panics in debug builds; in release builds
+    /// the event is clamped to `now` so it fires immediately.
+    pub fn schedule_at(&mut self, due: SimTime, event: E) {
+        debug_assert!(
+            due >= self.now,
+            "event scheduled in the past: due={due} now={}",
+            self.now
+        );
+        let due = due.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { due, seq, event }));
+    }
+
+    /// Schedule `event` at `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop the next event, advancing the clock to its due time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        debug_assert!(s.due >= self.now, "event queue time went backwards");
+        self.now = s.due;
+        self.popped += 1;
+        Some((s.due, s.event))
+    }
+
+    /// Due time of the next pending event without popping it.
+    pub fn peek_due(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.due)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(30), "c");
+        q.schedule_at(SimTime(10), "a");
+        q.schedule_at(SimTime(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime(30));
+        assert_eq!(q.events_processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(100), ());
+        q.pop();
+        q.schedule_after(SimDuration(50), ());
+        assert_eq!(q.peek_due(), Some(SimTime(150)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(100), ());
+        q.pop();
+        q.schedule_at(SimTime(50), ());
+    }
+
+    #[test]
+    fn empty_queue_reports_empty() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_due(), None);
+    }
+}

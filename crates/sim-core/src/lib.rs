@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event simulation core for the SmarTmem reproduction.
+//!
+//! This crate is the substrate under every other crate in the workspace. It
+//! provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a nanosecond-resolution simulated clock,
+//! * [`EventQueue`] — a stable (FIFO-on-tie) discrete-event queue,
+//! * [`rng`] — seedable, dependency-light deterministic PRNGs,
+//! * [`CostModel`] — the latency model that converts memory-system events
+//!   (RAM touches, tmem hypercalls, disk accesses) into simulated time,
+//! * [`metrics`] — counters, time-series recorders and summary statistics
+//!   used to regenerate the paper's figures.
+//!
+//! Everything here is deterministic: two runs with the same seeds produce
+//! bit-identical event orders and metric streams. The integration tests in
+//! the workspace root assert this property end-to-end.
+
+pub mod cost;
+pub mod event;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use cost::CostModel;
+pub use event::EventQueue;
+pub use metrics::{Counter, Summary, TimeSeries};
+pub use rng::SplitMix64;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,545 @@
+//! The tmem key–value page store.
+//!
+//! Semantics follow Xen's `common/tmem.c` as described in the paper and in
+//! Magenheimer et al. (OLS 2009):
+//!
+//! * **Persistent pools (frontswap).** A successful `put` consumes one page
+//!   frame; `get` is *exclusive* — it returns the page and frees the frame
+//!   (a swap slot is read back exactly once before being invalidated).
+//!   When no frame is free the put fails and the guest falls back to disk.
+//! * **Ephemeral pools (cleancache).** Pages are a cache of clean pagecache
+//!   data: `get` returns a copy and leaves the page, and when the node is
+//!   out of frames a new ephemeral put may recycle the least-recently-added
+//!   ephemeral page. Persistent pages are never evicted.
+//! * `flush_page` / `flush_object` invalidate one page / every page of an
+//!   object; `destroy_pool` drops everything a VM owns (VM teardown or
+//!   process exit invalidating its swap slots).
+//!
+//! The backend also maintains the node-level accounting the paper's
+//! Table I calls `node_info.free_tmem` and per-VM `tmem_used`.
+
+use crate::error::TmemError;
+use crate::key::{ObjectId, PageIndex, PoolId, TmemKey, VmId};
+use crate::page::PagePayload;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Whether a pool's contents must survive until flushed (frontswap) or may
+/// be dropped under pressure (cleancache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Frontswap-backed: contents are the only copy, gets are exclusive.
+    Persistent,
+    /// Cleancache-backed: contents are a clean cache, evictable, gets copy.
+    Ephemeral,
+}
+
+/// Outcome of a successful put.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// A new page frame was consumed.
+    Stored,
+    /// The key already existed; its contents were replaced in place and no
+    /// new frame was consumed.
+    Replaced,
+    /// A new frame was obtained by evicting an ephemeral page (the evicted
+    /// key is carried for observability).
+    StoredAfterEviction(TmemKey),
+}
+
+#[derive(Debug)]
+struct Pool<P> {
+    owner: VmId,
+    kind: PoolKind,
+    // BTreeMap keeps flush_object and pool teardown deterministic.
+    objects: BTreeMap<ObjectId, BTreeMap<PageIndex, P>>,
+    page_count: u64,
+    /// Persistent pages in put order (oldest first), validated lazily —
+    /// the candidate stream for the hypervisor's slow reclaim.
+    put_order: VecDeque<(ObjectId, PageIndex)>,
+}
+
+impl<P> Pool<P> {
+    fn new(owner: VmId, kind: PoolKind) -> Self {
+        Pool {
+            owner,
+            kind,
+            objects: BTreeMap::new(),
+            page_count: 0,
+            put_order: VecDeque::new(),
+        }
+    }
+}
+
+/// The node-wide tmem backend: a budget of page frames plus the pools that
+/// consume them.
+#[derive(Debug)]
+pub struct TmemBackend<P> {
+    capacity: u64,
+    used: u64,
+    pools: HashMap<PoolId, Pool<P>>,
+    next_pool_id: u32,
+    per_vm_used: HashMap<VmId, u64>,
+    /// Insertion-ordered queue of ephemeral pages, oldest first. Entries are
+    /// validated lazily on pop (flushed pages simply get skipped).
+    ephemeral_fifo: VecDeque<TmemKey>,
+    evictions: u64,
+}
+
+impl<P: PagePayload> TmemBackend<P> {
+    /// A backend owning `capacity` page frames pooled from idle and fallow
+    /// node memory.
+    pub fn new(capacity: u64) -> Self {
+        TmemBackend {
+            capacity,
+            used: 0,
+            pools: HashMap::new(),
+            next_pool_id: 0,
+            per_vm_used: HashMap::new(),
+            ephemeral_fifo: VecDeque::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Total page-frame budget.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Frames currently holding pages.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Frames currently free (`node_info.free_tmem`).
+    pub fn free_pages(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Frames currently consumed by pools owned by `vm`.
+    pub fn used_by(&self, vm: VmId) -> u64 {
+        self.per_vm_used.get(&vm).copied().unwrap_or(0)
+    }
+
+    /// Number of ephemeral pages evicted so far (cleancache recycling).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Number of live pools.
+    pub fn pool_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Owner and kind of a pool, if it exists.
+    pub fn pool_info(&self, pool: PoolId) -> Option<(VmId, PoolKind)> {
+        self.pools.get(&pool).map(|p| (p.owner, p.kind))
+    }
+
+    /// Create a pool for `owner`. Mirrors the guest kernel module
+    /// registering with tmem at initialization.
+    pub fn new_pool(&mut self, owner: VmId, kind: PoolKind) -> Result<PoolId, TmemError> {
+        let id = PoolId(self.next_pool_id);
+        self.next_pool_id = self.next_pool_id.checked_add(1).ok_or(TmemError::PoolLimit)?;
+        self.pools.insert(id, Pool::new(owner, kind));
+        Ok(id)
+    }
+
+    /// Store a page. See [`PutOutcome`] for the three success shapes.
+    ///
+    /// Capacity rules: replacing an existing key never needs a frame; a new
+    /// key needs one free frame; if none is free, an ephemeral put may
+    /// recycle the oldest ephemeral page, a persistent put fails with
+    /// [`TmemError::NoCapacity`].
+    pub fn put(
+        &mut self,
+        pool_id: PoolId,
+        object: ObjectId,
+        index: PageIndex,
+        payload: P,
+    ) -> Result<PutOutcome, TmemError> {
+        let pool = self.pools.get(&pool_id).ok_or(TmemError::NoSuchPool)?;
+        let kind = pool.kind;
+        let owner = pool.owner;
+
+        // Replacement in place: no allocation needed.
+        let exists = pool
+            .objects
+            .get(&object)
+            .is_some_and(|o| o.contains_key(&index));
+        if exists {
+            let pool = self.pools.get_mut(&pool_id).expect("pool checked above");
+            pool.objects
+                .get_mut(&object)
+                .expect("object checked above")
+                .insert(index, payload);
+            return Ok(PutOutcome::Replaced);
+        }
+
+        let mut evicted = None;
+        if self.used >= self.capacity {
+            if kind == PoolKind::Ephemeral {
+                evicted = self.evict_one_ephemeral();
+            }
+            if self.used >= self.capacity {
+                return Err(TmemError::NoCapacity);
+            }
+        }
+
+        let pool = self.pools.get_mut(&pool_id).expect("pool checked above");
+        pool.objects.entry(object).or_default().insert(index, payload);
+        pool.page_count += 1;
+        self.used += 1;
+        *self.per_vm_used.entry(owner).or_insert(0) += 1;
+        match kind {
+            PoolKind::Ephemeral => self
+                .ephemeral_fifo
+                .push_back(TmemKey::new(pool_id, object, index)),
+            PoolKind::Persistent => {
+                let pool = self.pools.get_mut(&pool_id).expect("pool checked above");
+                pool.put_order.push_back((object, index));
+            }
+        }
+        Ok(match evicted {
+            Some(k) => PutOutcome::StoredAfterEviction(k),
+            None => PutOutcome::Stored,
+        })
+    }
+
+    /// Retrieve a page.
+    ///
+    /// Persistent pools: the page is removed and its frame freed (exclusive
+    /// get — frontswap semantics). Ephemeral pools: a copy is returned and
+    /// the page stays cached.
+    pub fn get(
+        &mut self,
+        pool_id: PoolId,
+        object: ObjectId,
+        index: PageIndex,
+    ) -> Result<P, TmemError> {
+        let pool = self.pools.get_mut(&pool_id).ok_or(TmemError::NoSuchPool)?;
+        match pool.kind {
+            PoolKind::Ephemeral => pool
+                .objects
+                .get(&object)
+                .and_then(|o| o.get(&index))
+                .cloned()
+                .ok_or(TmemError::NoSuchPage),
+            PoolKind::Persistent => {
+                let owner = pool.owner;
+                let obj = pool.objects.get_mut(&object).ok_or(TmemError::NoSuchPage)?;
+                let payload = obj.remove(&index).ok_or(TmemError::NoSuchPage)?;
+                if obj.is_empty() {
+                    pool.objects.remove(&object);
+                }
+                pool.page_count -= 1;
+                self.used -= 1;
+                self.debit(owner, 1);
+                Ok(payload)
+            }
+        }
+    }
+
+    /// Invalidate one page. Returns whether a page was actually removed.
+    pub fn flush_page(
+        &mut self,
+        pool_id: PoolId,
+        object: ObjectId,
+        index: PageIndex,
+    ) -> Result<bool, TmemError> {
+        let pool = self.pools.get_mut(&pool_id).ok_or(TmemError::NoSuchPool)?;
+        let owner = pool.owner;
+        let Some(obj) = pool.objects.get_mut(&object) else {
+            return Ok(false);
+        };
+        if obj.remove(&index).is_none() {
+            return Ok(false);
+        }
+        if obj.is_empty() {
+            pool.objects.remove(&object);
+        }
+        pool.page_count -= 1;
+        self.used -= 1;
+        self.debit(owner, 1);
+        Ok(true)
+    }
+
+    /// Invalidate every page of an object. Returns the number of pages
+    /// removed.
+    pub fn flush_object(&mut self, pool_id: PoolId, object: ObjectId) -> Result<u64, TmemError> {
+        let pool = self.pools.get_mut(&pool_id).ok_or(TmemError::NoSuchPool)?;
+        let owner = pool.owner;
+        let Some(obj) = pool.objects.remove(&object) else {
+            return Ok(0);
+        };
+        let n = obj.len() as u64;
+        pool.page_count -= n;
+        self.used -= n;
+        self.debit(owner, n);
+        Ok(n)
+    }
+
+    /// Destroy a pool and free everything in it. Returns the number of pages
+    /// freed.
+    pub fn destroy_pool(&mut self, pool_id: PoolId) -> Result<u64, TmemError> {
+        let pool = self.pools.remove(&pool_id).ok_or(TmemError::NoSuchPool)?;
+        self.used -= pool.page_count;
+        self.debit(pool.owner, pool.page_count);
+        Ok(pool.page_count)
+    }
+
+    /// True if the key currently holds a page.
+    pub fn contains(&self, pool_id: PoolId, object: ObjectId, index: PageIndex) -> bool {
+        self.pools
+            .get(&pool_id)
+            .and_then(|p| p.objects.get(&object))
+            .is_some_and(|o| o.contains_key(&index))
+    }
+
+    /// Number of pages held by one pool.
+    pub fn pool_page_count(&self, pool_id: PoolId) -> Option<u64> {
+        self.pools.get(&pool_id).map(|p| p.page_count)
+    }
+
+    fn debit(&mut self, owner: VmId, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let e = self
+            .per_vm_used
+            .get_mut(&owner)
+            .expect("accounting entry must exist for owner with pages");
+        debug_assert!(*e >= n, "per-VM accounting underflow");
+        *e -= n;
+    }
+
+    /// Remove and return up to `max` of the oldest persistent pages of a
+    /// pool (the hypervisor's slow-reclaim victim stream). The pages are
+    /// flushed from the store; the caller is responsible for writing them
+    /// to the owning VM's swap device.
+    pub fn reclaim_oldest_persistent(
+        &mut self,
+        pool_id: PoolId,
+        max: u64,
+    ) -> Vec<(ObjectId, PageIndex)> {
+        let mut out = Vec::new();
+        while (out.len() as u64) < max {
+            let Some(pool) = self.pools.get_mut(&pool_id) else {
+                break;
+            };
+            debug_assert_eq!(pool.kind, PoolKind::Persistent);
+            let Some((obj, idx)) = pool.put_order.pop_front() else {
+                break;
+            };
+            // Lazy validation: the entry may have been consumed by an
+            // exclusive get or flush already.
+            if self.contains(pool_id, obj, idx) {
+                self.flush_page(pool_id, obj, idx)
+                    .expect("pool existed a moment ago");
+                out.push((obj, idx));
+            }
+        }
+        out
+    }
+
+    /// Drop the oldest still-present ephemeral page; returns its key.
+    fn evict_one_ephemeral(&mut self) -> Option<TmemKey> {
+        while let Some(key) = self.ephemeral_fifo.pop_front() {
+            // Lazy validation: the entry may refer to a page that has since
+            // been flushed or whose pool was destroyed.
+            let still_there = self.contains(key.pool, key.object, key.index);
+            if still_there {
+                self.flush_page(key.pool, key.object, key.index)
+                    .expect("pool existed a moment ago");
+                self.evictions += 1;
+                return Some(key);
+            }
+        }
+        None
+    }
+}
+
+/// Invariant check used by tests and debug assertions: global `used` equals
+/// the sum of pool page counts and the sum of per-VM accounting.
+#[doc(hidden)]
+pub fn accounting_consistent<P: PagePayload>(b: &TmemBackend<P>) -> bool {
+    let by_pool: u64 = b.pools.values().map(|p| p.page_count).sum();
+    let by_vm: u64 = b.per_vm_used.values().sum();
+    let by_content: u64 = b
+        .pools
+        .values()
+        .map(|p| p.objects.values().map(|o| o.len() as u64).sum::<u64>())
+        .sum();
+    by_pool == b.used && by_vm == b.used && by_content == b.used && b.used <= b.capacity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{Fingerprint, PageBuf};
+
+    fn persistent_pool(cap: u64) -> (TmemBackend<PageBuf>, PoolId) {
+        let mut b = TmemBackend::new(cap);
+        let p = b.new_pool(VmId(1), PoolKind::Persistent).unwrap();
+        (b, p)
+    }
+
+    #[test]
+    fn put_get_roundtrips_bytes_exactly() {
+        let (mut b, pool) = persistent_pool(8);
+        let page = PageBuf::filled(0xAB);
+        b.put(pool, ObjectId(1), 0, page.clone()).unwrap();
+        let got = b.get(pool, ObjectId(1), 0).unwrap();
+        assert_eq!(got, page);
+    }
+
+    #[test]
+    fn persistent_get_is_exclusive() {
+        let (mut b, pool) = persistent_pool(8);
+        b.put(pool, ObjectId(1), 0, PageBuf::filled(1)).unwrap();
+        assert_eq!(b.used(), 1);
+        b.get(pool, ObjectId(1), 0).unwrap();
+        assert_eq!(b.used(), 0, "frontswap get must free the frame");
+        assert_eq!(b.get(pool, ObjectId(1), 0), Err(TmemError::NoSuchPage));
+    }
+
+    #[test]
+    fn ephemeral_get_is_a_copy() {
+        let mut b: TmemBackend<PageBuf> = TmemBackend::new(8);
+        let pool = b.new_pool(VmId(1), PoolKind::Ephemeral).unwrap();
+        b.put(pool, ObjectId(1), 0, PageBuf::filled(2)).unwrap();
+        b.get(pool, ObjectId(1), 0).unwrap();
+        assert_eq!(b.used(), 1, "cleancache get must keep the page");
+        assert!(b.get(pool, ObjectId(1), 0).is_ok());
+    }
+
+    #[test]
+    fn persistent_put_fails_when_full() {
+        let (mut b, pool) = persistent_pool(2);
+        b.put(pool, ObjectId(1), 0, PageBuf::filled(1)).unwrap();
+        b.put(pool, ObjectId(1), 1, PageBuf::filled(2)).unwrap();
+        assert_eq!(
+            b.put(pool, ObjectId(1), 2, PageBuf::filled(3)),
+            Err(TmemError::NoCapacity)
+        );
+        assert_eq!(b.free_pages(), 0);
+    }
+
+    #[test]
+    fn replacement_put_needs_no_frame() {
+        let (mut b, pool) = persistent_pool(1);
+        b.put(pool, ObjectId(1), 0, PageBuf::filled(1)).unwrap();
+        let out = b.put(pool, ObjectId(1), 0, PageBuf::filled(9)).unwrap();
+        assert_eq!(out, PutOutcome::Replaced);
+        assert_eq!(b.get(pool, ObjectId(1), 0).unwrap(), PageBuf::filled(9));
+    }
+
+    #[test]
+    fn ephemeral_put_recycles_oldest_when_full() {
+        let mut b: TmemBackend<PageBuf> = TmemBackend::new(2);
+        let pool = b.new_pool(VmId(1), PoolKind::Ephemeral).unwrap();
+        b.put(pool, ObjectId(1), 0, PageBuf::filled(0)).unwrap();
+        b.put(pool, ObjectId(1), 1, PageBuf::filled(1)).unwrap();
+        let out = b.put(pool, ObjectId(1), 2, PageBuf::filled(2)).unwrap();
+        assert_eq!(
+            out,
+            PutOutcome::StoredAfterEviction(TmemKey::new(pool, ObjectId(1), 0))
+        );
+        assert!(!b.contains(pool, ObjectId(1), 0));
+        assert!(b.contains(pool, ObjectId(1), 2));
+        assert_eq!(b.evictions(), 1);
+    }
+
+    #[test]
+    fn ephemeral_eviction_never_touches_persistent_pages() {
+        let mut b: TmemBackend<PageBuf> = TmemBackend::new(2);
+        let pp = b.new_pool(VmId(1), PoolKind::Persistent).unwrap();
+        let ep = b.new_pool(VmId(2), PoolKind::Ephemeral).unwrap();
+        b.put(pp, ObjectId(1), 0, PageBuf::filled(1)).unwrap();
+        b.put(pp, ObjectId(1), 1, PageBuf::filled(2)).unwrap();
+        // Node full of persistent pages: ephemeral put has nothing to evict.
+        assert_eq!(
+            b.put(ep, ObjectId(9), 0, PageBuf::filled(3)),
+            Err(TmemError::NoCapacity)
+        );
+        assert!(b.contains(pp, ObjectId(1), 0));
+        assert!(b.contains(pp, ObjectId(1), 1));
+    }
+
+    #[test]
+    fn flush_page_and_object() {
+        let (mut b, pool) = persistent_pool(8);
+        for i in 0..4 {
+            b.put(pool, ObjectId(7), i, PageBuf::filled(i as u8)).unwrap();
+        }
+        assert!(b.flush_page(pool, ObjectId(7), 2).unwrap());
+        assert!(!b.flush_page(pool, ObjectId(7), 2).unwrap(), "double flush is a no-op");
+        assert_eq!(b.flush_object(pool, ObjectId(7)).unwrap(), 3);
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.flush_object(pool, ObjectId(7)).unwrap(), 0);
+    }
+
+    #[test]
+    fn destroy_pool_frees_everything_and_invalidates_id() {
+        let (mut b, pool) = persistent_pool(8);
+        for i in 0..5 {
+            b.put(pool, ObjectId(1), i, PageBuf::filled(i as u8)).unwrap();
+        }
+        assert_eq!(b.destroy_pool(pool).unwrap(), 5);
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.used_by(VmId(1)), 0);
+        assert_eq!(
+            b.put(pool, ObjectId(1), 0, PageBuf::filled(0)),
+            Err(TmemError::NoSuchPool)
+        );
+    }
+
+    #[test]
+    fn per_vm_accounting_tracks_ownership() {
+        let mut b: TmemBackend<Fingerprint> = TmemBackend::new(10);
+        let p1 = b.new_pool(VmId(1), PoolKind::Persistent).unwrap();
+        let p2 = b.new_pool(VmId(2), PoolKind::Persistent).unwrap();
+        for i in 0..3 {
+            b.put(p1, ObjectId(0), i, Fingerprint::of(i as u64, 0)).unwrap();
+        }
+        for i in 0..2 {
+            b.put(p2, ObjectId(0), i, Fingerprint::of(i as u64, 0)).unwrap();
+        }
+        assert_eq!(b.used_by(VmId(1)), 3);
+        assert_eq!(b.used_by(VmId(2)), 2);
+        assert_eq!(b.used(), 5);
+        b.get(p1, ObjectId(0), 0).unwrap();
+        assert_eq!(b.used_by(VmId(1)), 2);
+        assert!(accounting_consistent(&b));
+    }
+
+    #[test]
+    fn stale_fifo_entries_are_skipped_on_eviction() {
+        let mut b: TmemBackend<PageBuf> = TmemBackend::new(2);
+        let pool = b.new_pool(VmId(1), PoolKind::Ephemeral).unwrap();
+        b.put(pool, ObjectId(1), 0, PageBuf::filled(0)).unwrap();
+        b.put(pool, ObjectId(1), 1, PageBuf::filled(1)).unwrap();
+        // Flush the oldest; its FIFO entry goes stale.
+        b.flush_page(pool, ObjectId(1), 0).unwrap();
+        b.put(pool, ObjectId(1), 2, PageBuf::filled(2)).unwrap();
+        // Node is full again; the next eviction must skip the stale entry
+        // and evict page 1, not fail.
+        let out = b.put(pool, ObjectId(1), 3, PageBuf::filled(3)).unwrap();
+        assert_eq!(
+            out,
+            PutOutcome::StoredAfterEviction(TmemKey::new(pool, ObjectId(1), 1))
+        );
+    }
+
+    #[test]
+    fn get_from_unknown_pool_errors() {
+        let mut b: TmemBackend<PageBuf> = TmemBackend::new(2);
+        assert_eq!(
+            b.get(PoolId(42), ObjectId(0), 0),
+            Err(TmemError::NoSuchPool)
+        );
+        assert_eq!(
+            b.flush_page(PoolId(42), ObjectId(0), 0),
+            Err(TmemError::NoSuchPool)
+        );
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Transcendent memory (tmem) backend substrate.
+//!
+//! This crate reimplements, in safe Rust, the hypervisor-side key–value page
+//! store that Xen exposes to guests through the tmem hypercall interface
+//! (Magenheimer et al., *Transcendent Memory and Linux*, OLS 2009):
+//!
+//! * pages are identified by a three-element tuple — pool id, 64-bit object
+//!   id, 32-bit page index ([`TmemKey`]),
+//! * pools are **persistent** (frontswap: a get must return exactly what was
+//!   put, gets are exclusive/destructive) or **ephemeral** (cleancache: the
+//!   hypervisor may drop pages at any time, gets are copies),
+//! * the backend owns a fixed budget of page frames pooled from idle and
+//!   fallow node memory; persistent puts fail when the budget is exhausted,
+//!   ephemeral puts recycle the oldest ephemeral page.
+//!
+//! The store is generic over its page payload so unit and property tests can
+//! round-trip full 4 KiB buffers ([`page::PageBuf`]) while large-scale
+//! simulations carry a compact fingerprint ([`page::Fingerprint`]) that still
+//! detects lost or mixed-up pages.
+//!
+//! The *policy* side of the paper (target allocations, Algorithm 1 gating)
+//! deliberately does **not** live here: this crate is the vanilla substrate,
+//! and `smartmem-xen` layers SmarTmem's enforcement on top of it, exactly as
+//! the paper layers its hypervisor patch on top of stock Xen tmem.
+
+pub mod backend;
+pub mod error;
+pub mod key;
+pub mod page;
+pub mod stats;
+
+pub use backend::{PoolKind, PutOutcome, TmemBackend};
+pub use error::{ReturnCode, TmemError};
+pub use key::{ObjectId, PageIndex, PoolId, TmemKey, VmId};
+pub use page::{Fingerprint, PageBuf, PAGE_SIZE};

@@ -1,0 +1,176 @@
+//! Property tests: the tmem backend behaves as a capacity-bounded map.
+//!
+//! A reference model (plain `HashMap`) runs the same operation sequence;
+//! the backend must agree on every observable, and its accounting
+//! invariants must hold after every step.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tmem::backend::{accounting_consistent, PoolKind, TmemBackend};
+use tmem::error::TmemError;
+use tmem::key::{ObjectId, PageIndex, PoolId, VmId};
+use tmem::page::Fingerprint;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { pool: u8, obj: u8, idx: u8, val: u64 },
+    Get { pool: u8, obj: u8, idx: u8 },
+    FlushPage { pool: u8, obj: u8, idx: u8 },
+    FlushObject { pool: u8, obj: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..2u8, 0..3u8, 0..16u8, any::<u64>())
+            .prop_map(|(pool, obj, idx, val)| Op::Put { pool, obj, idx, val }),
+        (0..2u8, 0..3u8, 0..16u8).prop_map(|(pool, obj, idx)| Op::Get { pool, obj, idx }),
+        (0..2u8, 0..3u8, 0..16u8).prop_map(|(pool, obj, idx)| Op::FlushPage { pool, obj, idx }),
+        (0..2u8, 0..3u8).prop_map(|(pool, obj)| Op::FlushObject { pool, obj }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Persistent pools: byte-exact agreement with a HashMap model under
+    /// arbitrary op sequences, plus accounting invariants.
+    #[test]
+    fn persistent_backend_agrees_with_model(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        capacity in 1u64..40,
+    ) {
+        let mut backend: TmemBackend<Fingerprint> = TmemBackend::new(capacity);
+        let p0 = backend.new_pool(VmId(1), PoolKind::Persistent).unwrap();
+        let p1 = backend.new_pool(VmId(2), PoolKind::Persistent).unwrap();
+        let pools = [p0, p1];
+        let mut model: HashMap<(PoolId, u64, u32), u64> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Put { pool, obj, idx, val } => {
+                    let pool = pools[pool as usize];
+                    let key = (pool, u64::from(obj), u32::from(idx));
+                    let r = backend.put(
+                        pool,
+                        ObjectId(u64::from(obj)),
+                        PageIndex::from(idx),
+                        Fingerprint(val),
+                    );
+                    match r {
+                        Ok(_) => {
+                            model.insert(key, val);
+                        }
+                        Err(TmemError::NoCapacity) => {
+                            // Full node and a fresh key: model unchanged.
+                            prop_assert!(!model.contains_key(&key));
+                            prop_assert_eq!(backend.free_pages(), 0);
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+                    }
+                }
+                Op::Get { pool, obj, idx } => {
+                    let pool = pools[pool as usize];
+                    let key = (pool, u64::from(obj), u32::from(idx));
+                    let got = backend.get(pool, ObjectId(u64::from(obj)), PageIndex::from(idx));
+                    match model.remove(&key) {
+                        // Exclusive get: model entry removed on hit.
+                        Some(v) => prop_assert_eq!(got, Ok(Fingerprint(v))),
+                        None => prop_assert!(got.is_err()),
+                    }
+                }
+                Op::FlushPage { pool, obj, idx } => {
+                    let pool = pools[pool as usize];
+                    let key = (pool, u64::from(obj), u32::from(idx));
+                    let removed = backend
+                        .flush_page(pool, ObjectId(u64::from(obj)), PageIndex::from(idx))
+                        .unwrap();
+                    prop_assert_eq!(removed, model.remove(&key).is_some());
+                }
+                Op::FlushObject { pool, obj } => {
+                    let pool = pools[pool as usize];
+                    let n = backend.flush_object(pool, ObjectId(u64::from(obj))).unwrap();
+                    let before = model.len();
+                    model.retain(|&(p, o, _), _| !(p == pool && o == u64::from(obj)));
+                    prop_assert_eq!(n as usize, before - model.len());
+                }
+            }
+            // Invariants after every operation.
+            prop_assert_eq!(backend.used() as usize, model.len());
+            prop_assert!(backend.used() <= backend.capacity());
+            prop_assert!(accounting_consistent(&backend));
+            let by_vm = backend.used_by(VmId(1)) + backend.used_by(VmId(2));
+            prop_assert_eq!(by_vm, backend.used());
+        }
+    }
+
+    /// Ephemeral pools may drop pages but must never fabricate them: every
+    /// successful get returns exactly the last value put under that key.
+    #[test]
+    fn ephemeral_backend_never_fabricates(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        capacity in 1u64..20,
+    ) {
+        let mut backend: TmemBackend<Fingerprint> = TmemBackend::new(capacity);
+        let e0 = backend.new_pool(VmId(1), PoolKind::Ephemeral).unwrap();
+        let e1 = backend.new_pool(VmId(2), PoolKind::Ephemeral).unwrap();
+        let pools = [e0, e1];
+        // Model: last value written per key (pages may vanish any time).
+        let mut last: HashMap<(PoolId, u64, u32), u64> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Put { pool, obj, idx, val } => {
+                    let pool = pools[pool as usize];
+                    if backend
+                        .put(pool, ObjectId(u64::from(obj)), PageIndex::from(idx), Fingerprint(val))
+                        .is_ok()
+                    {
+                        last.insert((pool, u64::from(obj), u32::from(idx)), val);
+                    }
+                }
+                Op::Get { pool, obj, idx } => {
+                    let pool = pools[pool as usize];
+                    if let Ok(v) = backend.get(pool, ObjectId(u64::from(obj)), PageIndex::from(idx)) {
+                        let expect = last.get(&(pool, u64::from(obj), u32::from(idx)));
+                        prop_assert_eq!(Some(&v.0), expect, "stale or fabricated page");
+                    }
+                }
+                Op::FlushPage { pool, obj, idx } => {
+                    let pool = pools[pool as usize];
+                    backend
+                        .flush_page(pool, ObjectId(u64::from(obj)), PageIndex::from(idx))
+                        .unwrap();
+                    last.remove(&(pool, u64::from(obj), u32::from(idx)));
+                }
+                Op::FlushObject { pool, obj } => {
+                    let pool = pools[pool as usize];
+                    backend.flush_object(pool, ObjectId(u64::from(obj))).unwrap();
+                    last.retain(|&(p, o, _), _| !(p == pool && o == u64::from(obj)));
+                }
+            }
+            prop_assert!(backend.used() <= backend.capacity());
+            prop_assert!(accounting_consistent(&backend));
+        }
+    }
+
+    /// Destroying a pool returns every frame it held.
+    #[test]
+    fn destroy_pool_conserves_frames(
+        puts in proptest::collection::vec((0..4u8, 0..64u8), 1..80),
+        capacity in 1u64..64,
+    ) {
+        let mut backend: TmemBackend<Fingerprint> = TmemBackend::new(capacity);
+        let p0 = backend.new_pool(VmId(1), PoolKind::Persistent).unwrap();
+        let p1 = backend.new_pool(VmId(2), PoolKind::Persistent).unwrap();
+        for (obj, idx) in puts {
+            let _ = backend.put(p0, ObjectId(u64::from(obj)), PageIndex::from(idx), Fingerprint(1));
+            let _ = backend.put(p1, ObjectId(u64::from(obj)), PageIndex::from(idx), Fingerprint(2));
+        }
+        let used = backend.used();
+        let freed0 = backend.destroy_pool(p0).unwrap();
+        let freed1 = backend.destroy_pool(p1).unwrap();
+        prop_assert_eq!(freed0 + freed1, used);
+        prop_assert_eq!(backend.used(), 0);
+        prop_assert_eq!(backend.free_pages(), capacity);
+    }
+}

@@ -1,0 +1,177 @@
+//! Synthetic dataset generators.
+//!
+//! The paper's workloads consume two public datasets we substitute with
+//! statistically similar synthetic ones (see DESIGN.md §2):
+//!
+//! * **MovieLens-shaped ratings** (Harper & Konstan) for
+//!   in-memory-analytics: `(user, item, rating)` triples where item
+//!   popularity follows a Zipf law — the skew that makes some factor rows
+//!   hot — and users rate in bursts.
+//! * **soc-twitter-follows-shaped graph** (Rossi & Ahmed) for
+//!   graph-analytics: a Chung–Lu style power-law multigraph, degree
+//!   exponent ≈ 2, stored as an edge list for CSR assembly.
+//!
+//! Generators are deterministic in the seed and O(output) in time.
+
+use sim_core::rng::SplitMix64;
+
+/// A synthetic rating triple.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rating {
+    /// User index in `[0, n_users)`.
+    pub user: u32,
+    /// Item index in `[0, n_items)`.
+    pub item: u32,
+    /// Rating value in `[0.5, 5.0]`.
+    pub value: f32,
+}
+
+/// Zipf-ish sampler over `[0, n)` via the inverse-power method: cheap,
+/// deterministic and heavy enough in the head to create hot items.
+fn zipf_sample(rng: &mut SplitMix64, n: u32, skew: f64) -> u32 {
+    debug_assert!(n > 0);
+    let u = rng.next_f64().max(1e-12);
+    // Inverse CDF of a continuous power-law on [1, n].
+    let x = ((n as f64).powf(1.0 - skew) * u + (1.0 - u)).powf(1.0 / (1.0 - skew));
+    (x as u32).min(n - 1)
+}
+
+/// Generate `n_ratings` MovieLens-shaped ratings.
+pub fn movielens_ratings(
+    seed: u64,
+    n_users: u32,
+    n_items: u32,
+    n_ratings: usize,
+) -> Vec<Rating> {
+    assert!(n_users > 0 && n_items > 0);
+    let mut rng = SplitMix64::new(seed).derive("movielens");
+    let mut out = Vec::with_capacity(n_ratings);
+    // Users rate in bursts: pick a user, emit a geometric burst of ratings
+    // over Zipf-popular items. This clusters a user's ratings together in
+    // the array, like a timestamp-sorted export.
+    while out.len() < n_ratings {
+        let user = rng.next_below(u64::from(n_users)) as u32;
+        let burst = 1 + rng.next_below(16) as usize;
+        for _ in 0..burst.min(n_ratings - out.len()) {
+            let item = zipf_sample(&mut rng, n_items, 1.1);
+            // Ratings cluster around per-item "quality" plus user noise.
+            let quality = 2.5 + 2.0 * ((item as f64 * 0.61803).fract() - 0.5);
+            let noise = rng.next_f64() * 2.0 - 1.0;
+            let value = (quality + noise).clamp(0.5, 5.0) as f32;
+            out.push(Rating { user, item, value });
+        }
+    }
+    out
+}
+
+/// Generate a power-law directed multigraph with `n_nodes` nodes and
+/// `n_edges` edges as an unsorted edge list (Chung–Lu style: endpoints
+/// sampled with probability proportional to a power-law weight).
+pub fn powerlaw_edges(seed: u64, n_nodes: u32, n_edges: usize) -> Vec<(u32, u32)> {
+    assert!(n_nodes > 1);
+    let mut rng = SplitMix64::new(seed).derive("powerlaw-graph");
+    let mut out = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        // Sources are mildly skewed (active followers), destinations
+        // heavily skewed (celebrity accounts) — the soc-twitter-follows
+        // shape.
+        let src = zipf_sample(&mut rng, n_nodes, 1.05);
+        let mut dst = zipf_sample(&mut rng, n_nodes, 1.8);
+        if dst == src {
+            dst = (dst + 1) % n_nodes;
+        }
+        out.push((src, dst));
+    }
+    out
+}
+
+/// Assemble an edge list into CSR form: `(offsets, targets)` where node
+/// `v`'s out-neighbours are `targets[offsets[v]..offsets[v+1]]`.
+pub fn to_csr(n_nodes: u32, edges: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
+    let n = n_nodes as usize;
+    let mut degree = vec![0u32; n];
+    for &(s, _) in edges {
+        degree[s as usize] += 1;
+    }
+    let mut offsets = vec![0u32; n + 1];
+    for v in 0..n {
+        offsets[v + 1] = offsets[v] + degree[v];
+    }
+    let mut cursor = offsets.clone();
+    let mut targets = vec![0u32; edges.len()];
+    for &(s, d) in edges {
+        let c = &mut cursor[s as usize];
+        targets[*c as usize] = d;
+        *c += 1;
+    }
+    (offsets, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratings_are_deterministic_and_in_range() {
+        let a = movielens_ratings(7, 100, 50, 1000);
+        let b = movielens_ratings(7, 100, 50, 1000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+        assert!(a.iter().all(|r| r.user < 100 && r.item < 50));
+        assert!(a.iter().all(|r| (0.5..=5.0).contains(&r.value)));
+    }
+
+    #[test]
+    fn ratings_item_popularity_is_skewed() {
+        let ratings = movielens_ratings(3, 1000, 500, 50_000);
+        let mut counts = vec![0u32; 500];
+        for r in &ratings {
+            counts[r.item as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u32 = counts[..10].iter().sum();
+        let total: u32 = counts.iter().sum();
+        assert!(
+            f64::from(top10) / f64::from(total) > 0.10,
+            "top-10 items should capture a disproportionate share"
+        );
+    }
+
+    #[test]
+    fn graph_is_deterministic_with_skewed_in_degree() {
+        let a = powerlaw_edges(5, 10_000, 100_000);
+        let b = powerlaw_edges(5, 10_000, 100_000);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&(s, d)| s < 10_000 && d < 10_000 && s != d));
+        let mut indeg = vec![0u32; 10_000];
+        for &(_, d) in &a {
+            indeg[d as usize] += 1;
+        }
+        indeg.sort_unstable_by(|x, y| y.cmp(x));
+        let top: u32 = indeg[..100].iter().sum();
+        assert!(
+            f64::from(top) / 100_000.0 > 0.3,
+            "top-1% nodes should attract a large share of edges"
+        );
+    }
+
+    #[test]
+    fn csr_roundtrips_the_edge_list() {
+        let edges = vec![(0u32, 1u32), (0, 2), (2, 0), (1, 2)];
+        let (offsets, targets) = to_csr(3, &edges);
+        assert_eq!(offsets, vec![0, 2, 3, 4]);
+        // Node 0's neighbours.
+        let n0: Vec<u32> = targets[offsets[0] as usize..offsets[1] as usize].to_vec();
+        assert_eq!(n0, vec![1, 2]);
+        assert_eq!(targets[offsets[2] as usize..offsets[3] as usize], [0]);
+        assert_eq!(targets.len(), edges.len());
+    }
+
+    #[test]
+    fn zipf_sampler_stays_in_bounds() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..10_000 {
+            assert!(zipf_sample(&mut rng, 37, 1.5) < 37);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! A file-serving workload — exercising tmem's **cleancache** mode.
+//!
+//! The paper's evaluation uses frontswap only (its CloudSuite workloads are
+//! anonymous-memory bound), but tmem's other half, cleancache (§II-B), is
+//! part of the interface and this workload drives it end-to-end: a static
+//! file server whose corpus exceeds its page-cache budget serves reads
+//! with Zipf-popular files; clean evictions flow into the VM's ephemeral
+//! tmem pool and misses try tmem before paying a disk read.
+//!
+//! The metric of interest is the cleancache hit fraction — how much of the
+//! miss traffic the pooled memory absorbed — which the hypervisor's target
+//! gating (Algorithm 1 applies to ephemeral puts too) controls exactly as
+//! it does frontswap traffic.
+
+use crate::traits::{Milestone, StepOutcome, Workload};
+use guest_os::cleancache::FileCache;
+use guest_os::kernel::GuestKernel;
+use guest_os::machine::Machine;
+use serde::{Deserialize, Serialize};
+use sim_core::rng::SplitMix64;
+use sim_core::time::SimDuration;
+use tmem::backend::PoolKind;
+
+/// Configuration for [`FileServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FileServerConfig {
+    /// Number of files in the corpus.
+    pub n_files: u64,
+    /// Pages per file.
+    pub pages_per_file: u32,
+    /// In-guest page-cache budget, pages.
+    pub cache_pages: usize,
+    /// Total page reads to serve.
+    pub requests: u64,
+    /// Zipf skew of file popularity.
+    pub skew: f64,
+    /// Compute per served request (request parsing, copy to socket).
+    pub compute_per_request: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FileServerConfig {
+    /// A small default corpus: 256 files × 32 pages = 32 MiB, cache 8 MiB.
+    pub fn small(seed: u64) -> Self {
+        FileServerConfig {
+            n_files: 256,
+            pages_per_file: 32,
+            cache_pages: 2048,
+            requests: 200_000,
+            skew: 1.1,
+            compute_per_request: SimDuration::from_micros(5),
+            seed,
+        }
+    }
+}
+
+/// The file-serving workload.
+pub struct FileServer {
+    config: FileServerConfig,
+    cache: Option<FileCache>,
+    rng: SplitMix64,
+    served: u64,
+    milestones: Vec<Milestone>,
+}
+
+impl FileServer {
+    /// A fresh server (the cleancache pool is registered lazily on the
+    /// first step, when the hypervisor is in reach).
+    pub fn new(config: FileServerConfig) -> Self {
+        assert!(config.n_files > 0 && config.pages_per_file > 0);
+        FileServer {
+            rng: SplitMix64::new(config.seed).derive("fileserver"),
+            config,
+            cache: None,
+            served: 0,
+            milestones: Vec::new(),
+        }
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Cleancache statistics (after the first step).
+    pub fn cache_stats(&self) -> Option<&guest_os::cleancache::CleancacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+}
+
+/// Zipf-popular file pick.
+fn zipf_file(rng: &mut SplitMix64, n: u64, s: f64) -> u64 {
+    let u = rng.next_f64().max(1e-12);
+    let x = ((n as f64).powf(1.0 - s) * u + (1.0 - u)).powf(1.0 / (1.0 - s));
+    (x as u64).min(n - 1)
+}
+
+impl Workload for FileServer {
+    fn name(&self) -> &str {
+        "fileserver"
+    }
+
+    fn step(&mut self, kernel: &mut GuestKernel, m: &mut Machine<'_>) -> StepOutcome {
+        if self.cache.is_none() {
+            // Register the ephemeral (cleancache) pool for this VM.
+            let vm = kernel.config().vm;
+            let pool = m
+                .hyp
+                .new_pool(vm, PoolKind::Ephemeral)
+                .expect("cleancache pool creation");
+            self.cache = Some(FileCache::new(pool, self.config.cache_pages));
+            self.milestones.push(Milestone("cache-up".into()));
+        }
+        let cache = self.cache.as_mut().expect("created above");
+        while self.served < self.config.requests {
+            if m.budget.exhausted() {
+                return StepOutcome::Runnable;
+            }
+            let file = zipf_file(&mut self.rng, self.config.n_files, self.config.skew);
+            let page = self.rng.next_below(u64::from(self.config.pages_per_file)) as u32;
+            cache.read(file, page, m);
+            m.budget.charge_compute(self.config.compute_per_request);
+            self.served += 1;
+        }
+        self.milestones.push(Milestone("served-all".into()));
+        StepOutcome::Done
+    }
+
+    fn drain_milestones(&mut self) -> Vec<Milestone> {
+        std::mem::take(&mut self.milestones)
+    }
+
+    fn abort(&mut self, _kernel: &mut GuestKernel, m: &mut Machine<'_>) {
+        // Drop the page cache and the ephemeral pool contents.
+        if let Some(cache) = &mut self.cache {
+            for f in 0..self.config.n_files {
+                cache.invalidate_file(f, m);
+            }
+        }
+        self.served = self.config.requests;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guest_os::budget::StepBudget;
+    use guest_os::disk::SharedDisk;
+    use guest_os::kernel::GuestConfig;
+    use sim_core::cost::CostModel;
+    use sim_core::time::SimTime;
+    use tmem::key::VmId;
+    use tmem::page::Fingerprint;
+    use xen_sim::hypervisor::Hypervisor;
+    use xen_sim::vm::VmConfig;
+
+    fn run(tmem_pages: u64, target: u64, requests: u64) -> FileServer {
+        let mut hyp: Hypervisor<Fingerprint> = Hypervisor::new(tmem_pages, target);
+        hyp.register_vm(VmConfig::new(VmId(1), "VM1", 4096 * 4096, 1));
+        let mut kernel = GuestKernel::new(GuestConfig {
+            vm: VmId(1),
+            ram_pages: 64,
+            os_reserved_pages: 2,
+            readahead_pages: 8,
+            frontswap_enabled: false, // pure cleancache guest
+        });
+        let mut disk = SharedDisk::default();
+        let cost = CostModel::hdd();
+        let mut w = FileServer::new(FileServerConfig {
+            n_files: 64,
+            pages_per_file: 8,
+            cache_pages: 64,
+            requests,
+            skew: 1.2,
+            compute_per_request: SimDuration::from_micros(5),
+            seed: 3,
+        });
+        for _ in 0..1_000_000 {
+            let mut b = StepBudget::new(SimDuration::from_millis(1));
+            let mut m = Machine {
+                hyp: &mut hyp,
+                disk: &mut disk,
+                cost: &cost,
+                now: SimTime::ZERO,
+                budget: &mut b,
+            };
+            if w.step(&mut kernel, &mut m) == StepOutcome::Done {
+                return w;
+            }
+        }
+        panic!("fileserver did not finish");
+    }
+
+    #[test]
+    fn cleancache_absorbs_capacity_misses() {
+        // Corpus 512 pages, guest cache 64: plenty of capacity misses.
+        // With a large ephemeral pool most of them hit cleancache.
+        let w = run(1024, 1024, 20_000);
+        let s = w.cache_stats().unwrap();
+        assert_eq!(w.served(), 20_000);
+        assert!(s.cleancache_hits > 0);
+        assert!(
+            s.cleancache_hits > s.disk_reads,
+            "pooled memory should absorb most misses: {s:?}"
+        );
+    }
+
+    #[test]
+    fn zero_target_disables_the_benefit() {
+        // Algorithm 1 gates ephemeral puts too: with target 0 every offer
+        // fails and all misses pay the disk.
+        let w = run(1024, 0, 5_000);
+        let s = w.cache_stats().unwrap();
+        assert_eq!(s.cleancache_hits, 0);
+        assert_eq!(s.failed_puts, s.puts);
+        assert!(s.disk_reads > 0);
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let a = run(256, 256, 10_000);
+        let b = run(256, 256, 10_000);
+        assert_eq!(a.cache_stats().unwrap(), b.cache_stats().unwrap());
+    }
+}

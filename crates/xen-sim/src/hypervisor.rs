@@ -1,0 +1,431 @@
+//! The hypervisor: Algorithm 1 enforcement over the tmem backend.
+//!
+//! The paper's Algorithm 1 (`hypervisor_op`) is implemented verbatim in
+//! [`Hypervisor::put`]:
+//!
+//! ```text
+//! if op == PUT:
+//!     if tmem_used >= mm_target:        return E_TMEM
+//!     else if node_info.free_tmem == 0: return E_TMEM
+//!     else: allocate; tmem_used += 1; puts_succ += 1; return S_TMEM
+//!     puts_total += 1                   (counted regardless of outcome)
+//! else if op == FLUSH:
+//!     deallocate; tmem_used -= 1;       return S_TMEM
+//! ```
+//!
+//! A VM *can* hold more tmem than its target (paper §III-B): targets are
+//! revised continuously and may drop below current use; the VM then simply
+//! cannot acquire more pages until it releases enough or its target rises.
+//! Exclusive gets and flushes release pages; additionally the hypervisor
+//! "can reclaim tmem pages from a VM very slowly" (§III-B) — implemented as
+//! [`Hypervisor::reclaim_over_target`], a per-interval trickle of a VM's
+//! oldest persistent pages to its swap device while it exceeds its target.
+
+use crate::vm::VmConfig;
+use std::collections::BTreeMap;
+use tmem::backend::{PoolKind, PutOutcome, TmemBackend};
+use tmem::error::{ReturnCode, TmemError};
+use tmem::key::{ObjectId, PageIndex, PoolId, VmId};
+use tmem::page::PagePayload;
+use tmem::stats::{MemStats, MmTarget, NodeInfo, VmDataHyp};
+use sim_core::time::SimTime;
+
+/// The simulated hypervisor: tmem backend + per-VM Table I state + target
+/// enforcement.
+#[derive(Debug)]
+pub struct Hypervisor<P> {
+    backend: TmemBackend<P>,
+    vm_data: BTreeMap<VmId, VmDataHyp>,
+    vms: BTreeMap<VmId, VmConfig>,
+    /// Initial target handed to newly registered VMs. Greedy runs use the
+    /// full node capacity ("VMs compete for tmem in a greedy way by
+    /// default"); managed runs start VMs at the policy's choice (usually 0)
+    /// until the first MM cycle installs real targets.
+    default_initial_target: u64,
+    set_target_calls: u64,
+}
+
+impl<P: PagePayload> Hypervisor<P> {
+    /// A hypervisor owning `tmem_pages` page frames of pooled idle/fallow
+    /// memory. `default_initial_target` is the target installed for a VM at
+    /// registration, before the MM has spoken.
+    pub fn new(tmem_pages: u64, default_initial_target: u64) -> Self {
+        Hypervisor {
+            backend: TmemBackend::new(tmem_pages),
+            vm_data: BTreeMap::new(),
+            vms: BTreeMap::new(),
+            default_initial_target,
+            set_target_calls: 0,
+        }
+    }
+
+    /// Register a VM (domain creation). Idempotent per id.
+    pub fn register_vm(&mut self, config: VmConfig) {
+        let id = config.id;
+        self.vms.insert(id, config);
+        self.vm_data
+            .entry(id)
+            .or_insert_with(|| VmDataHyp::new(id, self.default_initial_target));
+    }
+
+    /// Create a tmem pool owned by `vm` (guest TKM initialization).
+    pub fn new_pool(&mut self, vm: VmId, kind: PoolKind) -> Result<PoolId, TmemError> {
+        assert!(
+            self.vm_data.contains_key(&vm),
+            "pool created for unregistered {vm}"
+        );
+        self.backend.new_pool(vm, kind)
+    }
+
+    /// Algorithm 1, `op == PUT`.
+    ///
+    /// Returns `Ok(outcome)` on `S_TMEM`; `Err(ReturnCode::Failure)` is the
+    /// `E_TMEM` path (the guest falls back to its swap device).
+    pub fn put(
+        &mut self,
+        pool: PoolId,
+        object: ObjectId,
+        index: PageIndex,
+        payload: P,
+    ) -> Result<PutOutcome, ReturnCode> {
+        let (owner, _) = match self.backend.pool_info(pool) {
+            Some(info) => info,
+            None => return Err(ReturnCode::Failure),
+        };
+        let data = self
+            .vm_data
+            .get_mut(&owner)
+            .expect("pool owner must be registered");
+        // Line 15: puts_total incremented whether or not the put succeeds.
+        data.puts_total.incr();
+
+        // Line 5: target check against the VM's current use.
+        let tmem_used = self.backend.used_by(owner);
+        if tmem_used >= data.mm_target {
+            data.tmem_used = tmem_used;
+            return Err(ReturnCode::Failure);
+        }
+        // Line 7: node free-page check. Replacement puts and ephemeral
+        // recycling are resolved by the backend, so only translate a
+        // backend NoCapacity into E_TMEM here.
+        match self.backend.put(pool, object, index, payload) {
+            Ok(outcome) => {
+                // Lines 10-13.
+                data.puts_succ.incr();
+                data.tmem_used = self.backend.used_by(owner);
+                if let PutOutcome::StoredAfterEviction(victim) = outcome {
+                    // The evicted ephemeral page belonged to some VM whose
+                    // accounting must reflect the loss.
+                    if let Some((victim_owner, _)) = self.backend.pool_info(victim.pool) {
+                        if let Some(v) = self.vm_data.get_mut(&victim_owner) {
+                            v.tmem_used = self.backend.used_by(victim_owner);
+                        }
+                    }
+                }
+                Ok(outcome)
+            }
+            Err(TmemError::NoCapacity) => {
+                data.tmem_used = tmem_used;
+                Err(ReturnCode::Failure)
+            }
+            Err(e) => panic!("unexpected tmem backend error on put: {e}"),
+        }
+    }
+
+    /// `tmem_get`. Persistent (frontswap) hits free the frame.
+    pub fn get(&mut self, pool: PoolId, object: ObjectId, index: PageIndex) -> Option<P> {
+        let (owner, _) = self.backend.pool_info(pool)?;
+        let data = self
+            .vm_data
+            .get_mut(&owner)
+            .expect("pool owner must be registered");
+        data.gets_total.incr();
+        match self.backend.get(pool, object, index) {
+            Ok(p) => {
+                data.gets_succ.incr();
+                data.tmem_used = self.backend.used_by(owner);
+                Some(p)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Algorithm 1, `op == FLUSH` (single page).
+    pub fn flush_page(&mut self, pool: PoolId, object: ObjectId, index: PageIndex) -> ReturnCode {
+        let Some((owner, _)) = self.backend.pool_info(pool) else {
+            return ReturnCode::Failure;
+        };
+        let data = self
+            .vm_data
+            .get_mut(&owner)
+            .expect("pool owner must be registered");
+        data.flushes.incr();
+        match self.backend.flush_page(pool, object, index) {
+            Ok(_) => {
+                data.tmem_used = self.backend.used_by(owner);
+                ReturnCode::Success
+            }
+            Err(_) => ReturnCode::Failure,
+        }
+    }
+
+    /// `tmem_flush_object`: invalidate a whole object; returns pages freed.
+    pub fn flush_object(&mut self, pool: PoolId, object: ObjectId) -> u64 {
+        let Some((owner, _)) = self.backend.pool_info(pool) else {
+            return 0;
+        };
+        let data = self
+            .vm_data
+            .get_mut(&owner)
+            .expect("pool owner must be registered");
+        data.flushes.incr();
+        let freed = self.backend.flush_object(pool, object).unwrap_or(0);
+        data.tmem_used = self.backend.used_by(owner);
+        freed
+    }
+
+    /// `tmem_destroy_pool`: VM teardown / module unload; returns pages freed.
+    pub fn destroy_pool(&mut self, pool: PoolId) -> u64 {
+        let Some((owner, _)) = self.backend.pool_info(pool) else {
+            return 0;
+        };
+        let freed = self.backend.destroy_pool(pool).unwrap_or(0);
+        if let Some(data) = self.vm_data.get_mut(&owner) {
+            data.tmem_used = self.backend.used_by(owner);
+        }
+        freed
+    }
+
+    /// Slow reclaim (paper §III-B: "the hypervisor can reclaim tmem pages
+    /// from a VM very slowly"): if `vm` uses more tmem than its target,
+    /// remove up to `max_pages` of its **oldest** persistent pages and
+    /// return their keys. The caller (runner) writes them to the VM's swap
+    /// device and informs the guest kernel.
+    pub fn reclaim_over_target(
+        &mut self,
+        pool: PoolId,
+        max_pages: u64,
+    ) -> Vec<(ObjectId, PageIndex)> {
+        let Some((owner, kind)) = self.backend.pool_info(pool) else {
+            return Vec::new();
+        };
+        if kind != PoolKind::Persistent {
+            return Vec::new();
+        }
+        let data = self
+            .vm_data
+            .get_mut(&owner)
+            .expect("pool owner must be registered");
+        let used = self.backend.used_by(owner);
+        if used <= data.mm_target {
+            return Vec::new();
+        }
+        let excess = used - data.mm_target;
+        let reclaimed = self
+            .backend
+            .reclaim_oldest_persistent(pool, excess.min(max_pages));
+        data.tmem_used = self.backend.used_by(owner);
+        reclaimed
+    }
+
+    /// Install new targets from the MM (`SetTargets` hypercall). Stores them
+    /// "and keeps them until the MM modifies them" (Algorithm 1 line 3).
+    pub fn set_targets(&mut self, targets: &[MmTarget]) {
+        self.set_target_calls += 1;
+        for t in targets {
+            if let Some(data) = self.vm_data.get_mut(&t.vm_id) {
+                data.mm_target = t.mm_target;
+            }
+        }
+    }
+
+    /// Number of `SetTargets` hypercalls received — the paper's policies
+    /// suppress no-change transmissions, which tests assert through this.
+    pub fn set_target_calls(&self) -> u64 {
+        self.set_target_calls
+    }
+
+    /// Close the sampling interval and produce the `memstats` snapshot that
+    /// the VIRQ delivers to the privileged domain.
+    pub fn sample(&mut self, at: SimTime) -> MemStats {
+        let vms: Vec<_> = self
+            .vm_data
+            .values_mut()
+            .map(|d| d.close_interval())
+            .collect();
+        MemStats {
+            at,
+            node: self.node_info(),
+            vms,
+        }
+    }
+
+    /// Current `node_info`.
+    pub fn node_info(&self) -> NodeInfo {
+        NodeInfo {
+            total_tmem: self.backend.capacity(),
+            free_tmem: self.backend.free_pages(),
+            vm_count: self.vm_data.len() as u32,
+        }
+    }
+
+    /// Current target for a VM (tests and figure recorders).
+    pub fn target_of(&self, vm: VmId) -> Option<u64> {
+        self.vm_data.get(&vm).map(|d| d.mm_target)
+    }
+
+    /// Pages of tmem currently used by a VM (figure recorders).
+    pub fn tmem_used_by(&self, vm: VmId) -> u64 {
+        self.backend.used_by(vm)
+    }
+
+    /// Registered VM configurations.
+    pub fn vm_configs(&self) -> impl Iterator<Item = &VmConfig> {
+        self.vms.values()
+    }
+
+    /// Read-only access to the backend (tests, invariant checks).
+    pub fn backend(&self) -> &TmemBackend<P> {
+        &self.backend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmem::page::Fingerprint;
+
+    fn hv(cap: u64, target: u64) -> (Hypervisor<Fingerprint>, PoolId) {
+        let mut h = Hypervisor::new(cap, target);
+        h.register_vm(VmConfig::new(VmId(1), "VM1", 1 << 20, 1));
+        let pool = h.new_pool(VmId(1), PoolKind::Persistent).unwrap();
+        (h, pool)
+    }
+
+    fn fp(i: u64) -> Fingerprint {
+        Fingerprint::of(i, 0)
+    }
+
+    #[test]
+    fn put_respects_target_before_capacity() {
+        // Capacity 10 but target 3: the 4th put must fail with E_TMEM even
+        // though the node has free pages (Algorithm 1 line 5 precedes 7).
+        let (mut h, pool) = hv(10, 3);
+        for i in 0..3 {
+            h.put(pool, ObjectId(0), i, fp(i as u64)).unwrap();
+        }
+        assert!(h.put(pool, ObjectId(0), 3, fp(3)).is_err());
+        assert_eq!(h.node_info().free_tmem, 7, "free pages remain unused");
+    }
+
+    #[test]
+    fn put_fails_when_node_full_even_below_target() {
+        let (mut h, pool) = hv(2, 100);
+        h.put(pool, ObjectId(0), 0, fp(0)).unwrap();
+        h.put(pool, ObjectId(0), 1, fp(1)).unwrap();
+        assert!(h.put(pool, ObjectId(0), 2, fp(2)).is_err());
+    }
+
+    #[test]
+    fn puts_total_counts_failures_too() {
+        let (mut h, pool) = hv(10, 1);
+        h.put(pool, ObjectId(0), 0, fp(0)).unwrap();
+        let _ = h.put(pool, ObjectId(0), 1, fp(1));
+        let _ = h.put(pool, ObjectId(0), 2, fp(2));
+        let stats = h.sample(SimTime::from_secs(1));
+        let vm = &stats.vms[0];
+        assert_eq!(vm.puts_total, 3);
+        assert_eq!(vm.puts_succ, 1);
+        assert_eq!(vm.failed_puts(), 2);
+    }
+
+    #[test]
+    fn vm_may_exceed_lowered_target_but_cannot_grow() {
+        let (mut h, pool) = hv(10, 5);
+        for i in 0..5 {
+            h.put(pool, ObjectId(0), i, fp(i as u64)).unwrap();
+        }
+        // MM lowers the target below current use.
+        h.set_targets(&[MmTarget {
+            vm_id: VmId(1),
+            mm_target: 2,
+        }]);
+        assert_eq!(h.tmem_used_by(VmId(1)), 5, "existing pages are kept");
+        assert!(h.put(pool, ObjectId(0), 9, fp(9)).is_err(), "no growth");
+        // Exclusive gets release pages; once below target, puts work again.
+        for i in 0..4 {
+            h.get(pool, ObjectId(0), i).unwrap();
+        }
+        assert_eq!(h.tmem_used_by(VmId(1)), 1);
+        assert!(h.put(pool, ObjectId(0), 10, fp(10)).is_ok());
+    }
+
+    #[test]
+    fn get_releases_frames_and_counts() {
+        let (mut h, pool) = hv(4, 4);
+        h.put(pool, ObjectId(0), 0, fp(0)).unwrap();
+        assert_eq!(h.get(pool, ObjectId(0), 0), Some(fp(0)));
+        assert_eq!(h.get(pool, ObjectId(0), 0), None, "exclusive get");
+        let s = h.sample(SimTime::from_secs(1));
+        assert_eq!(s.vms[0].gets_total, 2);
+        assert_eq!(s.vms[0].gets_succ, 1);
+        assert_eq!(s.vms[0].tmem_used, 0);
+    }
+
+    #[test]
+    fn flush_decrements_usage() {
+        let (mut h, pool) = hv(4, 4);
+        h.put(pool, ObjectId(3), 0, fp(0)).unwrap();
+        h.put(pool, ObjectId(3), 1, fp(1)).unwrap();
+        assert_eq!(h.flush_page(pool, ObjectId(3), 0), ReturnCode::Success);
+        assert_eq!(h.tmem_used_by(VmId(1)), 1);
+        assert_eq!(h.flush_object(pool, ObjectId(3)), 1);
+        assert_eq!(h.tmem_used_by(VmId(1)), 0);
+    }
+
+    #[test]
+    fn sample_resets_interval_counters() {
+        let (mut h, pool) = hv(4, 4);
+        h.put(pool, ObjectId(0), 0, fp(0)).unwrap();
+        let s1 = h.sample(SimTime::from_secs(1));
+        assert_eq!(s1.vms[0].puts_total, 1);
+        let s2 = h.sample(SimTime::from_secs(2));
+        assert_eq!(s2.vms[0].puts_total, 0, "interval counters reset");
+        assert_eq!(s2.vms[0].tmem_used, 1, "gauges persist");
+    }
+
+    #[test]
+    fn cumulative_failed_puts_accumulate_across_intervals() {
+        let (mut h, pool) = hv(10, 0);
+        for i in 0..3 {
+            let _ = h.put(pool, ObjectId(0), i, fp(i as u64));
+        }
+        let s1 = h.sample(SimTime::from_secs(1));
+        assert_eq!(s1.vms[0].cumul_puts_failed, 3);
+        let _ = h.put(pool, ObjectId(0), 9, fp(9));
+        let s2 = h.sample(SimTime::from_secs(2));
+        assert_eq!(s2.vms[0].cumul_puts_failed, 4);
+    }
+
+    #[test]
+    fn set_targets_ignores_unknown_vms() {
+        let (mut h, _) = hv(4, 4);
+        h.set_targets(&[MmTarget {
+            vm_id: VmId(99),
+            mm_target: 1,
+        }]);
+        assert_eq!(h.target_of(VmId(99)), None);
+        assert_eq!(h.set_target_calls(), 1);
+    }
+
+    #[test]
+    fn destroy_pool_zeroes_usage() {
+        let (mut h, pool) = hv(8, 8);
+        for i in 0..6 {
+            h.put(pool, ObjectId(0), i, fp(i as u64)).unwrap();
+        }
+        assert_eq!(h.destroy_pool(pool), 6);
+        assert_eq!(h.tmem_used_by(VmId(1)), 0);
+        assert_eq!(h.node_info().free_tmem, 8);
+    }
+}

@@ -1,0 +1,129 @@
+//! Combining tmem with memory ballooning — the paper's future work, live.
+//!
+//! ```text
+//! cargo run --release --example ballooning
+//! ```
+//!
+//! Two guests share a node: VM1 runs a hot loop over a working set larger
+//! than its RAM; VM2 sits idle with plenty of spare frames. The fast layer
+//! (tmem, smart-alloc) absorbs VM1's overflow within seconds; the slow
+//! layer (the [`smartmem::policies::BalloonManager`]) then moves *owned*
+//! RAM from VM2 to VM1, after which VM1 stops needing tmem at all. Both
+//! mechanisms read the same Table I statistics stream.
+
+use smartmem::guest::budget::StepBudget;
+use smartmem::guest::disk::SharedDisk;
+use smartmem::guest::kernel::{GuestConfig, GuestKernel};
+use smartmem::guest::machine::Machine;
+use smartmem::guest::tkm::{Dom0Tkm, GuestTkm};
+use smartmem::policies::{
+    BalloonConfig, BalloonManager, MemoryManager, SmartAlloc, SmartAllocConfig,
+};
+use smartmem::sim::cost::CostModel;
+use smartmem::sim::time::{SimDuration, SimTime};
+use smartmem::tmem::backend::PoolKind;
+use smartmem::tmem::key::VmId;
+use smartmem::xen::hypervisor::Hypervisor;
+use smartmem::xen::vm::VmConfig;
+
+fn main() {
+    const TMEM_PAGES: u64 = 256;
+    let mut mm = MemoryManager::new(
+        Box::new(SmartAlloc::new(SmartAllocConfig::with_percent(4.0))),
+        32,
+    );
+    let mut balloon = BalloonManager::new(
+        BalloonConfig {
+            min_frames: 100,
+            step_frames: 200,
+            window: 4,
+        },
+        [(VmId(1), 400), (VmId(2), 1200)],
+    );
+
+    let mut hyp = Hypervisor::new(TMEM_PAGES, mm.initial_target(TMEM_PAGES));
+    let cost = CostModel::hdd();
+    let mut disk = SharedDisk::default();
+    let mut relay = Dom0Tkm::new();
+    let mut kernels = Vec::new();
+    for (id, frames) in [(1u32, 400u64), (2, 1200)] {
+        let vm = VmId(id);
+        hyp.register_vm(VmConfig::new(vm, format!("VM{id}"), (frames + 20) * 4096, 1));
+        let tkm = GuestTkm::init(&mut hyp, vm, PoolKind::Persistent).unwrap();
+        let mut k = GuestKernel::new(GuestConfig {
+            vm,
+            ram_pages: frames + 20,
+            os_reserved_pages: 20,
+            readahead_pages: 8,
+            frontswap_enabled: true,
+        });
+        k.attach_frontswap(tkm.pool());
+        kernels.push(k);
+    }
+    // VM1's working set: 900 pages against 400 frames.
+    let hot = kernels[0].alloc(900);
+
+    println!(
+        "{:>5} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "t[s]", "VM1 frames", "VM2 frames", "VM1 tmem", "failed puts", "balloon"
+    );
+    let mut now = SimTime::ZERO;
+    for second in 0..40u64 {
+        let mut budget = StepBudget::new(SimDuration::from_secs(3600));
+        {
+            let mut m = Machine {
+                hyp: &mut hyp,
+                disk: &mut disk,
+                cost: &cost,
+                now,
+                budget: &mut budget,
+            };
+            for t in 0..900u64 {
+                kernels[0].touch(hot.offset((second * 389 + t) % 900), t % 4 == 0, &mut m);
+            }
+        }
+        now += SimDuration::from_secs(1);
+        let snap = hyp.sample(now);
+        relay.deliver_stats(snap);
+        let snap = relay.take_stats().expect("delivered");
+        if let Some(targets) = mm.on_stats(&snap) {
+            relay.forward_targets(&mut hyp, &targets);
+        }
+        let mut moved = String::from("-");
+        if let Some(advice) = balloon.on_stats(&snap) {
+            // Apply the transfer to both guests.
+            let mut budget = StepBudget::new(SimDuration::from_secs(3600));
+            let mut m = Machine {
+                hyp: &mut hyp,
+                disk: &mut disk,
+                cost: &cost,
+                now,
+                budget: &mut budget,
+            };
+            let from = (advice.from.0 - 1) as usize;
+            let to = (advice.to.0 - 1) as usize;
+            let from_frames = kernels[from].current_frames() - advice.pages;
+            let to_frames = kernels[to].current_frames() + advice.pages;
+            kernels[from].balloon_resize(from_frames, &mut m);
+            kernels[to].balloon_resize(to_frames, &mut m);
+            moved = format!("{}→{} {}pg", advice.from, advice.to, advice.pages);
+        }
+        if second % 4 == 3 || moved != "-" {
+            println!(
+                "{:>5} {:>10} {:>10} {:>12} {:>12} {:>10}",
+                second + 1,
+                kernels[0].current_frames(),
+                kernels[1].current_frames(),
+                hyp.tmem_used_by(VmId(1)),
+                snap.vms[0].puts_total - snap.vms[0].puts_succ,
+                moved
+            );
+        }
+    }
+    println!(
+        "\nballoon decisions: {}; VM1 ends with {} frames (working set 900).",
+        balloon.decisions(),
+        kernels[0].current_frames()
+    );
+    println!("tmem bridged the gap during the seconds ballooning needed to react.");
+}

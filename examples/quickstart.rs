@@ -1,0 +1,46 @@
+//! Quickstart: run one of the paper's scenarios under two policies and
+//! compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the full simulated node (hypervisor + tmem pool + three guest
+//! kernels + the SmarTmem Memory Manager), runs Table II's Scenario 2 at
+//! 1/8 of the paper's memory sizes under `greedy` (stock Xen) and
+//! `smart-alloc(6%)` (the paper's best policy for this scenario), and
+//! prints per-VM running times plus the tmem traffic behind them.
+
+use smartmem::policies::PolicyKind;
+use smartmem::scenarios::{run_scenario, RunConfig, ScenarioKind};
+
+fn main() {
+    let cfg = RunConfig {
+        scale: 0.125, // 1/8 of the paper's memory sizes; try 1.0 for full
+        seed: 42,
+        ..RunConfig::default()
+    };
+
+    println!("SmarTmem quickstart — Scenario 2 (graph-analytics × 3, VM3 +30s)");
+    println!("scale {} → tmem {} MiB, VMs 512·scale MiB\n", cfg.scale, 1024.0 * cfg.scale);
+
+    for policy in [PolicyKind::Greedy, PolicyKind::SmartAlloc { p: 6.0 }] {
+        let r = run_scenario(ScenarioKind::Scenario2, policy, &cfg);
+        println!("policy {:<18} (MM sent {} target updates over {} cycles)",
+            r.policy, r.mm_transmissions, r.mm_cycles);
+        for vm in &r.vm_results {
+            let t = vm.completions()[0];
+            let s = &vm.kernel_stats;
+            println!(
+                "  {}: {:>9}  | tmem hits {:>7}  disk faults {:>6}  failed puts {:>6}",
+                vm.name, t.to_string(), s.tmem_faults, s.disk_faults, s.failed_puts
+            );
+        }
+        println!();
+    }
+
+    println!("Things to try:");
+    println!("  * PolicyKind::NoTmem — the everything-to-disk baseline");
+    println!("  * cfg.scale = 1.0    — the paper's full memory sizes");
+    println!("  * the CLI: cargo run --release -p smartmem-scenarios --bin smartmem-cli -- fig 5");
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # SmarTmem — facade crate
+//!
+//! A faithful reproduction of *"SmarTmem: Intelligent Management of
+//! Transcendent Memory in a Virtualized Server"* (Garrido, Nishtala,
+//! Carpenter, 2019) as a pure-Rust simulated system.
+//!
+//! This crate re-exports the whole workspace under one roof:
+//!
+//! * [`sim`] — deterministic discrete-event engine, cost model, metrics,
+//! * [`tmem`] — the transcendent-memory key–value page store substrate,
+//! * [`xen`] — the simulated hypervisor with Algorithm 1 target enforcement,
+//! * [`guest`] — guest kernel model: paged memory, PFRA, swap, frontswap/TKM,
+//! * [`policies`] — the Memory Manager and the paper's policies
+//!   (greedy, static-alloc, reconf-static, smart-alloc, no-tmem),
+//! * [`workloads`] — usemem plus CloudSuite-equivalent synthetic workloads,
+//! * [`scenarios`] — Table II scenarios and per-figure experiment harnesses.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use smartmem::scenarios::{run_scenario, RunConfig, ScenarioKind};
+//! use smartmem::policies::PolicyKind;
+//!
+//! // A fast, small-scale run of the paper's Scenario 1 under smart-alloc.
+//! let cfg = RunConfig {
+//!     scale: 0.05,
+//!     seed: 7,
+//!     ..RunConfig::default()
+//! };
+//! let result = run_scenario(ScenarioKind::Scenario1, PolicyKind::SmartAlloc { p: 0.75 }, &cfg);
+//! assert_eq!(result.vm_results.len(), 3);
+//! for vm in &result.vm_results {
+//!     assert!(vm.completions().first().is_some(), "every VM finishes its run");
+//! }
+//! ```
+
+pub use sim_core as sim;
+pub use smartmem_core as policies;
+
+pub use guest_os as guest;
+pub use scenarios;
+pub use tmem;
+pub use workloads;
+pub use xen_sim as xen;

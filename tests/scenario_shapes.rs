@@ -1,0 +1,231 @@
+//! End-to-end shape tests: the qualitative results of the paper's
+//! evaluation must hold at small scale.
+//!
+//! These run whole scenarios, so they use a small memory scale; the shapes
+//! they assert are scale-invariant by design (the sampling interval scales
+//! with memory — see `scenarios::RunConfig`).
+
+use smartmem::policies::PolicyKind;
+use smartmem::scenarios::{run_scenario, RunConfig, ScenarioKind};
+
+fn cfg(seed: u64) -> RunConfig {
+    RunConfig {
+        scale: 0.03,
+        seed,
+        record_series: true,
+        ..RunConfig::default()
+    }
+}
+
+fn mean_completion(r: &smartmem::scenarios::RunResult) -> f64 {
+    let all: Vec<f64> = r
+        .vm_results
+        .iter()
+        .flat_map(|v| v.completions())
+        .map(|d| d.as_secs_f64())
+        .collect();
+    assert!(!all.is_empty());
+    all.iter().sum::<f64>() / all.len() as f64
+}
+
+#[test]
+fn no_tmem_is_the_worst_policy_in_every_scenario() {
+    for kind in [
+        ScenarioKind::Scenario1,
+        ScenarioKind::Scenario2,
+        ScenarioKind::Scenario3,
+    ] {
+        let no_tmem = mean_completion(&run_scenario(kind, PolicyKind::NoTmem, &cfg(1)));
+        for policy in [
+            PolicyKind::Greedy,
+            PolicyKind::StaticAlloc,
+            PolicyKind::SmartAlloc { p: 2.0 },
+        ] {
+            let t = mean_completion(&run_scenario(kind, policy, &cfg(1)));
+            assert!(
+                t < no_tmem,
+                "{kind:?}: {policy} ({t:.1}s) must beat no-tmem ({no_tmem:.1}s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn greedy_starves_the_late_vm_in_scenario3() {
+    // Paper Fig. 10(a): under greedy, VM1/VM2 take the pool and VM3
+    // (starting 30 s later) cannot obtain a fair share.
+    let r = run_scenario(ScenarioKind::Scenario3, PolicyKind::Greedy, &cfg(2));
+    let vm3 = &r.vm_results[2];
+    let vm1 = &r.vm_results[0];
+    assert!(
+        vm3.kernel_stats.failed_puts > 10 * vm1.kernel_stats.failed_puts.max(1),
+        "VM3 must fail puts massively under greedy (vm3={}, vm1={})",
+        vm3.kernel_stats.failed_puts,
+        vm1.kernel_stats.failed_puts
+    );
+    // And the occupancy series shows VM3 never reaching a fair share.
+    let series = r.series.as_ref().unwrap();
+    let vm3_peak = series.used[2].max().unwrap();
+    let vm1_peak = series.used[0].max().unwrap();
+    assert!(
+        vm3_peak < vm1_peak / 2.0,
+        "VM3 peak {vm3_peak} vs VM1 peak {vm1_peak}"
+    );
+}
+
+#[test]
+fn managed_policies_give_the_late_vm_a_fair_share_in_scenario3() {
+    // Paper Fig. 10(b)/(d): static-alloc and smart-alloc let VM3 obtain
+    // capacity that greedy denies it.
+    let greedy = run_scenario(ScenarioKind::Scenario3, PolicyKind::Greedy, &cfg(3));
+    let greedy_vm3_peak = greedy.series.as_ref().unwrap().used[2].max().unwrap();
+    for policy in [PolicyKind::StaticAlloc, PolicyKind::SmartAlloc { p: 4.0 }] {
+        let r = run_scenario(ScenarioKind::Scenario3, policy, &cfg(3));
+        let vm3_peak = r.series.as_ref().unwrap().used[2].max().unwrap();
+        assert!(
+            vm3_peak > 2.0 * greedy_vm3_peak.max(1.0),
+            "{policy}: VM3 peak {vm3_peak} should dwarf greedy's {greedy_vm3_peak}"
+        );
+    }
+}
+
+#[test]
+fn smart_alloc_keeps_scenario2_fair_and_adaptive() {
+    // Paper §V-B: "despite the fact that the first two VMs initially take
+    // up a large amount of tmem capacity really fast, the third VM is able
+    // to eventually obtain a fair amount" — and VM3's runtime improves.
+    let greedy = run_scenario(ScenarioKind::Scenario2, PolicyKind::Greedy, &cfg(4));
+    let smart = run_scenario(
+        ScenarioKind::Scenario2,
+        PolicyKind::SmartAlloc { p: 6.0 },
+        &cfg(4),
+    );
+    let g_vm3 = greedy.vm_results[2].completions()[0].as_secs_f64();
+    let s_vm3 = smart.vm_results[2].completions()[0].as_secs_f64();
+    assert!(
+        s_vm3 < g_vm3,
+        "smart-alloc must improve the starved VM3 ({s_vm3:.1}s vs {g_vm3:.1}s)"
+    );
+    // Fairness: smart-alloc's per-VM times are far closer together.
+    let spread = |r: &smartmem::scenarios::RunResult| {
+        let t: Vec<f64> = r
+            .vm_results
+            .iter()
+            .map(|v| v.completions()[0].as_secs_f64())
+            .collect();
+        let max = t.iter().cloned().fold(f64::MIN, f64::max);
+        let min = t.iter().cloned().fold(f64::MAX, f64::min);
+        max - min
+    };
+    assert!(spread(&smart) < spread(&greedy));
+}
+
+#[test]
+fn usemem_scenario_fairness_policies_rescue_vm3() {
+    // Paper §V-C: "static-alloc and reconf-static perform worse than greedy
+    // for VM1 and VM2, but perform better for the third VM across all
+    // memory allocations." We assert the VM3 side (the headline) and that
+    // the managed policies do not lose overall.
+    // Usemem needs a slightly larger scale: its 128 MB blocks must stay
+    // meaningfully larger than the guest RAM floor.
+    let ucfg = RunConfig {
+        scale: 0.08,
+        ..cfg(5)
+    };
+    // VM3's ability to use tmem: fraction of its evictions that tmem
+    // absorbed (greedy starves it — paper Fig. 8(a) vs 8(b)).
+    let vm3_tmem_share = |r: &smartmem::scenarios::RunResult| {
+        let s = &r.vm_results[2].kernel_stats;
+        s.evictions_to_tmem as f64 / (s.evictions_to_tmem + s.evictions_to_disk).max(1) as f64
+    };
+    let greedy = run_scenario(ScenarioKind::UsememScenario, PolicyKind::Greedy, &ucfg);
+    // static-alloc's whole scenario (gated by every VM's progress)
+    // completes markedly sooner than greedy's.
+    let st = run_scenario(ScenarioKind::UsememScenario, PolicyKind::StaticAlloc, &ucfg);
+    assert!(
+        st.end_time < greedy.end_time,
+        "static: scenario end {} should beat greedy {}",
+        st.end_time,
+        greedy.end_time
+    );
+    // reconf-static trades some overall progress for VM3's share (the
+    // paper reports it losing for VM1/VM2); it must not collapse.
+    let rc = run_scenario(ScenarioKind::UsememScenario, PolicyKind::ReconfStatic, &ucfg);
+    assert!(
+        rc.end_time.as_nanos() < greedy.end_time.as_nanos() * 115 / 100,
+        "reconf: scenario end {} should stay close to greedy {}",
+        rc.end_time,
+        greedy.end_time
+    );
+    for (name, r) in [("static", &st), ("reconf", &rc)] {
+        assert!(
+            vm3_tmem_share(r) > vm3_tmem_share(&greedy),
+            "{name}: VM3 should get a larger tmem share than under greedy"
+        );
+    }
+}
+
+#[test]
+fn too_small_p_hurts_smart_alloc() {
+    // Paper §V-A: "smart-alloc with P = 0.25% performed poorly for almost
+    // every case... the allocation targets increase at a slower pace,
+    // causing the VMs to swap more."
+    let slow = mean_completion(&run_scenario(
+        ScenarioKind::Scenario1,
+        PolicyKind::SmartAlloc { p: 0.25 },
+        &cfg(6),
+    ));
+    let good = mean_completion(&run_scenario(
+        ScenarioKind::Scenario1,
+        PolicyKind::SmartAlloc { p: 0.75 },
+        &cfg(6),
+    ));
+    assert!(
+        good < slow,
+        "P=0.75 ({good:.1}s) must beat P=0.25 ({slow:.1}s)"
+    );
+}
+
+#[test]
+fn reconf_static_activates_only_swapping_vms() {
+    // Paper Fig. 8(b): reconf-static divides capacity among VMs that have
+    // actually used tmem. With series recorded, targets step as VMs join.
+    let r = run_scenario(
+        ScenarioKind::UsememScenario,
+        PolicyKind::ReconfStatic,
+        &RunConfig {
+            scale: 0.08,
+            ..cfg(7)
+        },
+    );
+    let series = r.series.as_ref().unwrap();
+    // Every VM ends with the same (equal-share) target, and the share
+    // shrank over time as more VMs became active (reconfiguration steps).
+    let finals: Vec<f64> = series
+        .target
+        .iter()
+        .map(|t| t.points().last().unwrap().1)
+        .collect();
+    assert!(finals[0] > 0.0);
+    assert!(finals.iter().all(|&f| f == finals[0]), "equal shares: {finals:?}");
+    let vm1_targets = &series.target[0];
+    assert!(
+        vm1_targets.max().unwrap() > finals[0],
+        "VM1's share must have shrunk as more VMs activated"
+    );
+}
+
+#[test]
+fn run_results_are_reproducible_across_policies() {
+    for policy in [
+        PolicyKind::Greedy,
+        PolicyKind::ReconfStatic,
+        PolicyKind::SmartAlloc { p: 2.0 },
+        PolicyKind::NoTmem,
+    ] {
+        let a = run_scenario(ScenarioKind::Scenario2, policy, &cfg(8));
+        let b = run_scenario(ScenarioKind::Scenario2, policy, &cfg(8));
+        assert_eq!(a.events, b.events, "{policy}");
+        assert_eq!(a.end_time, b.end_time, "{policy}");
+    }
+}
