@@ -1,0 +1,276 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of criterion's API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`criterion_group!`] /
+//! [`criterion_main!`] and [`black_box`] — with a simple but honest
+//! measurement loop: warm-up, then timed batches until a target measurement
+//! time, reporting the median per-iteration latency and its spread.
+//!
+//! Environment knobs:
+//! * `CRITERION_MEASURE_MS` — measurement time per benchmark (default 500),
+//! * `CRITERION_WARMUP_MS` — warm-up time (default 200).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How setup cost relates to routine cost in [`Bencher::iter_batched`].
+/// The stand-in runs one setup per timed invocation regardless, so the
+/// variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: setup per iteration is fine.
+    SmallInput,
+    /// Large input: setup dominates; fewer iterations are used.
+    LargeInput,
+    /// Setup produces one input per batch.
+    PerIteration,
+}
+
+/// One benchmark's summarized measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/name` or bare name).
+    pub id: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Fastest observed batch mean.
+    pub min: Duration,
+    /// Slowest observed batch mean.
+    pub max: Duration,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measure: Duration,
+    warmup: Duration,
+    results: Vec<Measurement>,
+}
+
+fn env_ms(name: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: env_ms("CRITERION_MEASURE_MS", 500),
+            warmup: env_ms("CRITERION_WARMUP_MS", 200),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse CLI args (accepted and ignored — bench filters are not
+    /// supported by the stand-in).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let m = run_bench(id, self.warmup, self.measure, &mut f);
+        report(&m);
+        self.results.push(m);
+        self
+    }
+
+    /// Open a named group; benches in it are prefixed `group/`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// All measurements recorded so far (stand-in extension, used by the
+    /// repo's perf-record tooling).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let m = run_bench(&full, self.criterion.warmup, self.criterion.measure, &mut f);
+        report(&m);
+        self.criterion.results.push(m);
+        self
+    }
+
+    /// Finish the group (no-op; RAII parity with criterion).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; runs the measurement loop.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    batch_means: Vec<Duration>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit ~10ms?
+        let mut n: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            if dt >= Duration::from_millis(10) || n >= 1 << 20 {
+                break;
+            }
+            n *= 2;
+        }
+        // Warm-up.
+        let t = Instant::now();
+        while t.elapsed() < self.warmup {
+            black_box(routine());
+        }
+        // Timed batches.
+        let start = Instant::now();
+        while start.elapsed() < self.measure {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            self.batch_means
+                .push(dt / u32::try_from(n).unwrap_or(u32::MAX));
+            self.iterations += n;
+        }
+    }
+
+    /// Measure `routine` on fresh inputs produced by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up.
+        let t = Instant::now();
+        while t.elapsed() < self.warmup {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let start = Instant::now();
+        while start.elapsed() < self.measure {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            let dt = t.elapsed();
+            black_box(out);
+            self.batch_means.push(dt);
+            self.iterations += 1;
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    warmup: Duration,
+    measure: Duration,
+    f: &mut F,
+) -> Measurement {
+    let mut b = Bencher {
+        warmup,
+        measure,
+        batch_means: Vec::new(),
+        iterations: 0,
+    };
+    f(&mut b);
+    let mut means = b.batch_means;
+    if means.is_empty() {
+        means.push(Duration::ZERO);
+    }
+    means.sort();
+    Measurement {
+        id: id.to_string(),
+        median: means[means.len() / 2],
+        min: means[0],
+        max: *means.last().expect("non-empty"),
+        iterations: b.iterations,
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(m: &Measurement) {
+    println!(
+        "{:40} time: [{} .. {} .. {}]  ({} iters)",
+        m.id,
+        fmt_dur(m.min),
+        fmt_dur(m.median),
+        fmt_dur(m.max),
+        m.iterations
+    );
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("CRITERION_MEASURE_MS", "20");
+        std::env::set_var("CRITERION_WARMUP_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].iterations > 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Tiny string-pattern generator.
+//!
+//! Real proptest treats `&str` strategies as full regexes. This workspace
+//! only uses simple character-class patterns like `"[a-z]{1,12}"`, so the
+//! stand-in supports exactly: a sequence of atoms, where an atom is a
+//! literal character or a `[x-y...]` class, optionally followed by `{n}`,
+//! `{m,n}`, `+` (1..=8) or `*` (0..=8). Anything unparsable falls back to
+//! emitting the pattern literally.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Option<Vec<Atom>> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..].iter().position(|&c| c == ']')? + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        for c in lo..=hi {
+                            set.push(char::from_u32(c)?);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            c if c == '{' || c == '}' || c == '+' || c == '*' => return None,
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        if choices.is_empty() {
+            return None;
+        }
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}')? + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+                None => {
+                    let n: usize = body.trim().parse().ok()?;
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && chars[i] == '+' {
+            i += 1;
+            (1, 8)
+        } else if i < chars.len() && chars[i] == '*' {
+            i += 1;
+            (0, 8)
+        } else {
+            (1, 1)
+        };
+        if min > max {
+            return None;
+        }
+        atoms.push(Atom { choices, min, max });
+    }
+    Some(atoms)
+}
+
+/// Generate a string matching the (tiny) pattern language above.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let Some(atoms) = parse(pattern) else {
+        return pattern.to_string();
+    };
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = atom.min + rng.next_below((atom.max - atom.min + 1) as u64) as usize;
+        for _ in 0..n {
+            let pick = rng.next_below(atom.choices.len() as u64) as usize;
+            out.push(atom.choices[pick]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::for_test("pattern");
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::for_test("lit");
+        assert_eq!(generate_from_pattern("vm", &mut rng), "vm");
+    }
+}

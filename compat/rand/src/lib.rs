@@ -1,0 +1,114 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *exact trait surface* it consumes from `rand` 0.8: the
+//! [`RngCore`] and [`SeedableRng`] traits plus the [`Error`] wrapper. The
+//! simulator's own generators (`sim_core::rng::SplitMix64`) implement these
+//! traits; nothing here produces entropy of its own.
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (`try_fill_bytes`).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// An error carrying a static description.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: raw integer output plus byte
+/// filling, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Next 32 bits of the stream.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed, mirroring
+/// `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Seed material.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build a generator from a seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build a generator from a `u64`, splatting it across the seed bytes.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for (chunk, b) in seed
+            .as_mut()
+            .iter_mut()
+            .zip(state.to_le_bytes().iter().cycle())
+        {
+            *chunk = *b;
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_round_trips() {
+        let mut r = Counter::seed_from_u64(7);
+        assert_eq!(
+            r.next_u64(),
+            u64::from_le_bytes([7, 0, 0, 0, 0, 0, 0, 0]) + 1
+        );
+    }
+
+    #[test]
+    fn try_fill_defaults_to_fill() {
+        let mut r = Counter(0);
+        let mut buf = [0u8; 5];
+        r.try_fill_bytes(&mut buf).unwrap();
+        assert_ne!(buf, [0u8; 5]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates many plain-data types with
+//! `#[derive(Serialize, Deserialize)]` but never serializes through a
+//! backend in-tree (reports are hand-rendered text/CSV/JSON). To keep those
+//! annotations compiling without network access to crates.io, this crate
+//! provides:
+//!
+//! * [`Serialize`] / [`Deserialize`] as *marker traits* with blanket
+//!   implementations — every type trivially satisfies them, so generic
+//!   bounds like `T: Serialize` keep working;
+//! * no-op derive macros (from the sibling `serde_derive` stub) that accept
+//!   and discard `#[serde(...)]` attributes.
+//!
+//! If a future PR needs real serialization, replace these two crates with
+//! the genuine ones; no call-site changes are required.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// `serde::de` namespace subset.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` namespace subset.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,23 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! The companion `serde` stub defines `Serialize`/`Deserialize` as marker
+//! traits with blanket impls, so the derives here have nothing to emit:
+//! they only need to *exist* (so `#[derive(Serialize)]` resolves) and to
+//! declare the `serde` helper attribute (so `#[serde(...)]` field/container
+//! attributes are accepted and discarded).
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing — the blanket impl in
+/// the `serde` stub already covers the type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing — the blanket impl in
+/// the `serde` stub already covers the type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -9,7 +9,10 @@ use smartmem_core::PolicyKind;
 
 fn main() {
     let base = smartmem_bench::bench_config();
-    smartmem_bench::banner("ablation-disk", "swap-device latency sensitivity (Scenario 2)");
+    smartmem_bench::banner(
+        "ablation-disk",
+        "swap-device latency sensitivity (Scenario 2)",
+    );
     println!(
         "{:<6} {:>12} {:>14} {:>14} {:>10}",
         "store", "no-tmem", "greedy", "smart(6%)", "benefit"

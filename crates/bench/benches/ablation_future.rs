@@ -21,9 +21,7 @@ fn main() {
         (ScenarioKind::UsememScenario, 2.0),
         (ScenarioKind::Scenario3, 4.0),
     ] {
-        let t = |policy| {
-            run_scenario(kind, policy, &cfg).end_time.as_secs_f64()
-        };
+        let t = |policy| run_scenario(kind, policy, &cfg).end_time.as_secs_f64();
         println!(
             "{:<10} {:>11.1}s {:>13.1}s {:>11.1}s",
             kind.name(),

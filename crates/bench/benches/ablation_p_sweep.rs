@@ -13,8 +13,7 @@ fn main() {
     let ps = [0.25, 0.5, 0.75, 1.0, 2.0, 4.0, 6.0, 10.0];
     for kind in [ScenarioKind::Scenario1, ScenarioKind::Scenario2] {
         println!("--- {} ---", kind.name());
-        let policies: Vec<PolicyKind> =
-            ps.iter().map(|&p| PolicyKind::SmartAlloc { p }).collect();
+        let policies: Vec<PolicyKind> = ps.iter().map(|&p| PolicyKind::SmartAlloc { p }).collect();
         let groups = running_time_groups(kind, &policies, &cfg, reps);
         for g in &groups {
             let mean: f64 =

@@ -13,17 +13,16 @@ fn main() {
         "ablation-reclaim",
         "slow-reclaim rate sweep (usemem scenario, reconf-static)",
     );
-    println!("{:>16} {:>12} {:>12}", "reclaim %/intvl", "makespan", "disk writes");
+    println!(
+        "{:>16} {:>12} {:>12}",
+        "reclaim %/intvl", "makespan", "disk writes"
+    );
     for frac in [0.0, 0.0025, 0.005, 0.01, 0.02, 0.05, 0.1] {
         let cfg = RunConfig {
             reclaim_frac_per_interval: frac,
             ..base.clone()
         };
-        let r = run_scenario(
-            ScenarioKind::UsememScenario,
-            PolicyKind::ReconfStatic,
-            &cfg,
-        );
+        let r = run_scenario(ScenarioKind::UsememScenario, PolicyKind::ReconfStatic, &cfg);
         println!(
             "{:>15.2}% {:>11.2}s {:>12}",
             frac * 100.0,

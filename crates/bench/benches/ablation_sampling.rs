@@ -13,13 +13,20 @@ fn main() {
         "ablation-sampling",
         "MM sampling interval sweep (Scenario 2, smart-alloc 6%)",
     );
-    println!("{:>18} {:>12} {:>10}", "interval (rel 1s)", "makespan", "mm msgs");
+    println!(
+        "{:>18} {:>12} {:>10}",
+        "interval (rel 1s)", "makespan", "mm msgs"
+    );
     for mult in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
         let cfg = RunConfig {
             time_scale: Some(base.scale * mult),
             ..base.clone()
         };
-        let r = run_scenario(ScenarioKind::Scenario2, PolicyKind::SmartAlloc { p: 6.0 }, &cfg);
+        let r = run_scenario(
+            ScenarioKind::Scenario2,
+            PolicyKind::SmartAlloc { p: 6.0 },
+            &cfg,
+        );
         println!(
             "{mult:>17.2}x {:>11.2}s {:>10}",
             r.end_time.as_secs_f64(),

@@ -41,7 +41,7 @@ pub struct BalloonConfig {
 impl Default for BalloonConfig {
     fn default() -> Self {
         BalloonConfig {
-            min_frames: 1024, // 4 MiB
+            min_frames: 1024,  // 4 MiB
             step_frames: 2048, // 8 MiB per decision
             window: 5,
         }
@@ -63,7 +63,10 @@ pub struct BalloonManager {
 
 impl BalloonManager {
     /// A manager for VMs whose initial frame counts are given.
-    pub fn new(config: BalloonConfig, initial_frames: impl IntoIterator<Item = (VmId, u64)>) -> Self {
+    pub fn new(
+        config: BalloonConfig,
+        initial_frames: impl IntoIterator<Item = (VmId, u64)>,
+    ) -> Self {
         BalloonManager {
             config,
             pressure: HashMap::new(),

@@ -31,9 +31,9 @@ pub mod policy;
 
 pub use balloon::{BalloonAdvice, BalloonConfig, BalloonManager};
 pub use mm::MemoryManager;
-pub use policy::{Policy, PolicyKind};
 pub use policy::greedy::Greedy;
 pub use policy::predictive::{Predictive, PredictiveConfig};
 pub use policy::reconf_static::ReconfStatic;
 pub use policy::smart_alloc::{SmartAlloc, SmartAllocConfig};
 pub use policy::static_alloc::StaticAlloc;
+pub use policy::{Policy, PolicyKind};

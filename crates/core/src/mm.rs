@@ -94,8 +94,8 @@ impl std::fmt::Debug for MemoryManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::static_alloc::StaticAlloc;
     use crate::policy::smart_alloc::{SmartAlloc, SmartAllocConfig};
+    use crate::policy::static_alloc::StaticAlloc;
     use sim_core::time::SimTime;
     use tmem::key::VmId;
     use tmem::stats::{NodeInfo, VmStat};
@@ -153,7 +153,10 @@ mod tests {
         // targets; static zero here just means policy output repeats after
         // the first, exercising suppression.)
         assert!(mm.on_stats(&stats(2, 5)).is_some());
-        assert!(mm.on_stats(&stats(2, 5)).is_none(), "same inputs, same output");
+        assert!(
+            mm.on_stats(&stats(2, 5)).is_none(),
+            "same inputs, same output"
+        );
     }
 
     #[test]

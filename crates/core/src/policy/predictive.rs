@@ -86,8 +86,7 @@ impl Policy for Predictive {
         for vm in &stats.vms {
             let e = self.ewma.entry(vm.vm_id).or_insert(0.0);
             *e = *e * self.config.decay + vm.failed_puts() as f64;
-            let need =
-                vm.tmem_used as f64 + self.config.headroom_per_failure * *e;
+            let need = vm.tmem_used as f64 + self.config.headroom_per_failure * *e;
             needs.push(need.max(floor));
         }
         // Proportional rescale of the above-floor portions into the node
@@ -150,10 +149,7 @@ mod tests {
         let mut p = Predictive::default();
         // VM1 swaps hard, VM2 holds little and swaps nothing.
         let out = p.compute(&snapshot(&[(500, 400), (0, 50)], 1000));
-        assert!(
-            out[0].mm_target > 3 * out[1].mm_target,
-            "got {out:?}"
-        );
+        assert!(out[0].mm_target > 3 * out[1].mm_target, "got {out:?}");
         let sum: u64 = out.iter().map(|t| t.mm_target).sum();
         assert!(sum <= 1000);
     }

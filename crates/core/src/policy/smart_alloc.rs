@@ -197,7 +197,7 @@ mod tests {
     #[test]
     fn overcommit_rescales_proportionally_eq2() {
         let mut p = smart(50.0); // huge increments force over-commit
-        // Both VMs swapped: each target grows by 5000 → sum 11000 > 10000.
+                                 // Both VMs swapped: each target grows by 5000 → sum 11000 > 10000.
         let out = p.compute(&stats(&[(1, 0, 1000), (1, 0, 5000)], 10_000));
         let sum: u64 = out.iter().map(|t| t.mm_target).sum();
         assert!(sum <= 10_000, "Equation 1 invariant, got {sum}");
@@ -222,8 +222,8 @@ mod tests {
             }
         }
         // Symmetric demand converges to near-equal shares.
-        let spread = targets.iter().map(|t| t.2).max().unwrap()
-            - targets.iter().map(|t| t.2).min().unwrap();
+        let spread =
+            targets.iter().map(|t| t.2).max().unwrap() - targets.iter().map(|t| t.2).min().unwrap();
         assert!(spread <= 20, "near-fair split, spread={spread}");
     }
 

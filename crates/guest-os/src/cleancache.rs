@@ -13,7 +13,7 @@
 
 use crate::machine::Machine;
 use std::collections::VecDeque;
-use std::collections::HashMap;
+use tmem::fastmap::FxHashSet;
 use tmem::key::{ObjectId, PageIndex, PoolId};
 use tmem::page::Fingerprint;
 
@@ -43,7 +43,9 @@ pub struct FileCache {
     capacity_pages: usize,
     /// (file object, page index) of cached pages, eviction order.
     fifo: VecDeque<(u64, u32)>,
-    cached: HashMap<(u64, u32), ()>,
+    /// Residency set mirroring the backend's flat keying — one Fx probe per
+    /// read, same hash the hypervisor side uses.
+    cached: FxHashSet<(u64, u32)>,
     stats: CleancacheStats,
 }
 
@@ -56,14 +58,14 @@ impl FileCache {
             pool,
             capacity_pages,
             fifo: VecDeque::new(),
-            cached: HashMap::new(),
+            cached: FxHashSet::default(),
             stats: CleancacheStats::default(),
         }
     }
 
     /// Read page `index` of file `file`: page cache → cleancache → disk.
     pub fn read(&mut self, file: u64, index: u32, m: &mut Machine<'_>) {
-        if self.cached.contains_key(&(file, index)) {
+        if self.cached.contains(&(file, index)) {
             self.stats.cache_hits += 1;
             m.budget.charge_compute(m.cost.ram_page_touch);
             return;
@@ -94,7 +96,7 @@ impl FileCache {
     /// Drop a file's pages from both tiers (e.g. file deletion →
     /// `cleancache_invalidate_inode`, a flush-object on the pool).
     pub fn invalidate_file(&mut self, file: u64, m: &mut Machine<'_>) {
-        self.cached.retain(|&(f, _), _| f != file);
+        self.cached.retain(|&(f, _)| f != file);
         self.fifo.retain(|&(f, _)| f != file);
         m.budget.charge_compute(m.cost.tmem_hypercall_nocopy);
         m.hyp.flush_object(self.pool, ObjectId(file));
@@ -117,16 +119,21 @@ impl FileCache {
 
     fn insert(&mut self, file: u64, index: u32, m: &mut Machine<'_>) {
         while self.cached.len() >= self.capacity_pages {
-            let (vf, vi) = self.fifo.pop_front().expect("cache full implies fifo nonempty");
-            if self.cached.remove(&(vf, vi)).is_none() {
+            let (vf, vi) = self
+                .fifo
+                .pop_front()
+                .expect("cache full implies fifo nonempty");
+            if !self.cached.remove(&(vf, vi)) {
                 continue; // stale entry from invalidate_file
             }
             // Clean victim: offer to cleancache (ephemeral put).
             self.stats.puts += 1;
-            match m
-                .hyp
-                .put(self.pool, ObjectId(vf), vi as PageIndex, Self::content_of(vf, vi))
-            {
+            match m.hyp.put(
+                self.pool,
+                ObjectId(vf),
+                vi as PageIndex,
+                Self::content_of(vf, vi),
+            ) {
                 Ok(_) => m.budget.charge_compute(m.cost.tmem_hypercall),
                 Err(_) => {
                     m.budget.charge_compute(m.cost.tmem_hypercall_nocopy);
@@ -134,7 +141,7 @@ impl FileCache {
                 }
             }
         }
-        self.cached.insert((file, index), ());
+        self.cached.insert((file, index));
         self.fifo.push_back((file, index));
     }
 }

@@ -221,13 +221,14 @@ impl GuestKernel {
     /// returns the base page; nothing is faulted in yet.
     pub fn alloc(&mut self, len: u64) -> VirtPage {
         let base = self.pages.len() as u64;
-        self.pages.extend(
-            std::iter::repeat_n(PageMeta {
+        self.pages.extend(std::iter::repeat_n(
+            PageMeta {
                 loc: PageLoc::Untouched,
                 version: 0,
                 slot: NO_SLOT,
-            }, usize::try_from(len).expect("allocation fits usize")),
-        );
+            },
+            usize::try_from(len).expect("allocation fits usize"),
+        ));
         VirtPage(base)
     }
 
@@ -251,7 +252,8 @@ impl GuestKernel {
                 }
             }
             PageLoc::Untouched => {
-                m.budget.charge_compute(m.cost.page_fault_overhead + m.cost.zero_fill);
+                m.budget
+                    .charge_compute(m.cost.page_fault_overhead + m.cost.zero_fill);
                 m.budget.faults += 1;
                 self.stats.minor_faults += 1;
                 let f = self.obtain_frame(m);
@@ -261,7 +263,8 @@ impl GuestKernel {
                 }
             }
             PageLoc::InTmem => {
-                m.budget.charge_compute(m.cost.page_fault_overhead + m.cost.tmem_hypercall);
+                m.budget
+                    .charge_compute(m.cost.page_fault_overhead + m.cost.tmem_hypercall);
                 m.budget.faults += 1;
                 self.stats.tmem_faults += 1;
                 let pool = self.pool.expect("page in tmem without a pool");
@@ -309,8 +312,7 @@ impl GuestKernel {
                 if (batch.len() as u64) < window {
                     let room = window - batch.len() as u64;
                     for (&s, &bvp) in self.slot_to_page.range(slot + 1..slot + room) {
-                        if self.pages[bvp as usize].loc == PageLoc::OnDisk
-                            && !batch.contains(&bvp)
+                        if self.pages[bvp as usize].loc == PageLoc::OnDisk && !batch.contains(&bvp)
                         {
                             batch.push(bvp);
                             last_slot = s;
@@ -319,13 +321,12 @@ impl GuestKernel {
                 }
                 // Stream detection: the request continues either the
                 // virtual or the physical stream → sequential positioning.
-                let sequential =
-                    slot == self.next_seq_slot || vp as u64 == self.next_seq_vpage;
+                let sequential = slot == self.next_seq_slot || vp as u64 == self.next_seq_vpage;
                 self.next_seq_slot = last_slot + 1;
                 self.next_seq_vpage = next;
-                let wait =
-                    m.disk
-                        .read(m.approx_now(), batch.len() as u64, sequential, m.cost);
+                let wait = m
+                    .disk
+                    .read(m.approx_now(), batch.len() as u64, sequential, m.cost);
                 m.budget.charge_io(wait);
                 self.stats.readahead_pages += batch.len() as u64 - 1;
                 for (i, &bvp) in batch.iter().enumerate() {
@@ -628,7 +629,11 @@ mod tests {
         // Touch an evicted page: tmem fault, exclusive get frees the frame.
         k.touch(base, true, &mut rig.step(&mut b));
         assert_eq!(k.stats().tmem_faults, 1);
-        assert_eq!(rig.hyp.tmem_used_by(VmId(1)), 4, "get freed one, evict stored one");
+        assert_eq!(
+            rig.hyp.tmem_used_by(VmId(1)),
+            4,
+            "get freed one, evict stored one"
+        );
     }
 
     #[test]

@@ -66,7 +66,8 @@ impl<T: Clone + Default> PagedVec<T> {
 
     /// First guest page of element `i`.
     pub fn page_of(&self, i: usize) -> VirtPage {
-        self.base.offset((i * self.stride) as u64 / PAGE_SIZE as u64)
+        self.base
+            .offset((i * self.stride) as u64 / PAGE_SIZE as u64)
     }
 
     /// Read element `i`, touching its page(s).

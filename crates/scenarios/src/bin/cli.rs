@@ -2,13 +2,18 @@
 //!
 //! ```text
 //! smartmem-cli table2 [--scale S]
-//! smartmem-cli fig <3|4|5|6|7|8|9|10> [--scale S] [--reps N] [--seed S] [--out DIR]
-//! smartmem-cli all [--scale S] [--reps N] [--out DIR]
+//! smartmem-cli fig <3|4|5|6|7|8|9|10> [--scale S] [--reps N] [--seed S] [--out DIR] [--jobs N]
+//! smartmem-cli all [--scale S] [--reps N] [--out DIR] [--jobs N]
 //! smartmem-cli run <scenario1|scenario2|usemem|scenario3> <policy> [--scale S] [--seed S]
+//! smartmem-cli bench-parallel [--scale S] [--reps N] [--seed S] [--out DIR] [--jobs N]
 //! ```
 //!
 //! Policies: `no-tmem`, `greedy`, `static-alloc`, `reconf-static`,
 //! `smart-alloc:<P>` (e.g. `smart-alloc:0.75`), `predictive`.
+//!
+//! `--jobs N` sets the number of worker threads the experiment grids fan
+//! out over (default: all available cores). Output is byte-identical at
+//! any job count; `--jobs 1` forces the serial engine.
 
 use scenarios::config::RunConfig;
 use scenarios::figures;
@@ -19,11 +24,13 @@ use smartmem_core::PolicyKind;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Debug)]
 struct Args {
     scale: f64,
     reps: u64,
     seed: u64,
     out: Option<PathBuf>,
+    jobs: usize,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Args, String> {
@@ -32,6 +39,7 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         reps: 3,
         seed: 42,
         out: None,
+        jobs: scenarios::par::default_jobs(),
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -45,6 +53,13 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
             "--reps" => args.reps = value()?.parse().map_err(|e| format!("--reps: {e}"))?,
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--out" => args.out = Some(PathBuf::from(value()?)),
+            "--jobs" => {
+                let n: usize = value()?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1 (use --jobs 1 for a serial run)".into());
+                }
+                args.jobs = n;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -55,6 +70,7 @@ fn run_config(a: &Args) -> RunConfig {
     RunConfig {
         scale: a.scale,
         seed: a.seed,
+        jobs: a.jobs,
         ..RunConfig::default()
     }
 }
@@ -127,7 +143,10 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = match argv.split_first() {
         Some((cmd, rest)) => dispatch(cmd, rest),
-        None => Err("usage: smartmem-cli <table2|fig N|all|run SCENARIO POLICY> [flags]".into()),
+        None => Err(
+            "usage: smartmem-cli <table2|fig N|all|run SCENARIO POLICY|bench-parallel> [flags]"
+                .into(),
+        ),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -136,6 +155,123 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Compute (and discard) every figure of `all` — the timed body of the
+/// `bench-parallel` end-to-end comparison. No printing, no CSV: only the
+/// simulation work itself is measured.
+fn compute_all(cfg: &RunConfig, reps: u64) {
+    std::hint::black_box(figures::fig3(cfg, reps));
+    std::hint::black_box(figures::fig4(cfg));
+    std::hint::black_box(figures::fig5(cfg, reps));
+    std::hint::black_box(figures::fig6(cfg));
+    std::hint::black_box(figures::fig7(cfg, reps));
+    std::hint::black_box(figures::fig8(cfg));
+    std::hint::black_box(figures::fig9(cfg, reps));
+    std::hint::black_box(figures::fig10(cfg));
+}
+
+/// Measure put/get throughput (operations per second) of one backend via
+/// repeated fill+drain rounds until `min_time` has elapsed.
+fn micro_ops_per_s(mut round: impl FnMut() -> u64, min_time: std::time::Duration) -> f64 {
+    // Warm-up round (page-cache, allocator, branch predictors).
+    round();
+    let start = std::time::Instant::now();
+    let mut ops = 0u64;
+    while start.elapsed() < min_time {
+        ops += round();
+    }
+    ops as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_parallel(a: &Args) -> Result<(), String> {
+    use tmem::backend::{PoolKind, TmemBackend};
+    use tmem::key::{ObjectId, VmId};
+    use tmem::page::Fingerprint;
+    use tmem::reference::ReferenceBackend;
+
+    const OBJECTS: u64 = 8;
+    const PAGES: u32 = 512;
+    let min_time = std::time::Duration::from_millis(400);
+
+    println!("== bench-parallel — datapath + engine perf record ==");
+
+    // --- Micro: backend put/get, fast path vs seed BTreeMap reference ---
+    let fast_ops = micro_ops_per_s(
+        || {
+            let mut b: TmemBackend<Fingerprint> = TmemBackend::new(8192);
+            let pool = b.new_pool(VmId(1), PoolKind::Persistent).unwrap();
+            for o in 0..OBJECTS {
+                for i in 0..PAGES {
+                    b.put(pool, ObjectId(o), i, Fingerprint(o ^ u64::from(i)))
+                        .unwrap();
+                }
+            }
+            for o in 0..OBJECTS {
+                for i in 0..PAGES {
+                    std::hint::black_box(b.get(pool, ObjectId(o), i).unwrap());
+                }
+            }
+            2 * OBJECTS * u64::from(PAGES)
+        },
+        min_time,
+    );
+    let ref_ops = micro_ops_per_s(
+        || {
+            let mut b: ReferenceBackend<Fingerprint> = ReferenceBackend::new(8192);
+            let pool = b.new_pool(VmId(1), PoolKind::Persistent).unwrap();
+            for o in 0..OBJECTS {
+                for i in 0..PAGES {
+                    b.put(pool, ObjectId(o), i, Fingerprint(o ^ u64::from(i)))
+                        .unwrap();
+                }
+            }
+            for o in 0..OBJECTS {
+                for i in 0..PAGES {
+                    std::hint::black_box(b.get(pool, ObjectId(o), i).unwrap());
+                }
+            }
+            2 * OBJECTS * u64::from(PAGES)
+        },
+        min_time,
+    );
+    let micro_speedup = fast_ops / ref_ops;
+    println!(
+        "micro put/get: fast {:.2} Mops/s vs reference {:.2} Mops/s — {micro_speedup:.2}x",
+        fast_ops / 1e6,
+        ref_ops / 1e6
+    );
+
+    // --- End-to-end: the full `all` figure set, serial vs --jobs ---
+    let mut serial_cfg = run_config(a);
+    serial_cfg.jobs = 1;
+    let parallel_cfg = run_config(a);
+
+    let t = std::time::Instant::now();
+    compute_all(&serial_cfg, a.reps);
+    let serial_s = t.elapsed().as_secs_f64();
+    println!("e2e all (jobs=1):      {serial_s:.2} s");
+
+    let t = std::time::Instant::now();
+    compute_all(&parallel_cfg, a.reps);
+    let parallel_s = t.elapsed().as_secs_f64();
+    let e2e_speedup = serial_s / parallel_s;
+    println!(
+        "e2e all (jobs={}):     {parallel_s:.2} s — {e2e_speedup:.2}x",
+        a.jobs
+    );
+
+    let cores = scenarios::par::default_jobs();
+    let json = format!(
+        "{{\n  \"host\": {{ \"available_cores\": {cores} }},\n  \"config\": {{ \"scale\": {}, \"reps\": {}, \"seed\": {}, \"jobs\": {} }},\n  \"micro_put_get\": {{\n    \"workload\": \"persistent fill+exclusive-drain, {OBJECTS} objects x {PAGES} pages\",\n    \"fast_ops_per_s\": {fast_ops:.0},\n    \"reference_ops_per_s\": {ref_ops:.0},\n    \"speedup\": {micro_speedup:.3}\n  }},\n  \"e2e_all\": {{\n    \"serial_s\": {serial_s:.3},\n    \"parallel_s\": {parallel_s:.3},\n    \"jobs\": {},\n    \"speedup\": {e2e_speedup:.3}\n  }}\n}}\n",
+        a.scale, a.reps, a.seed, a.jobs, a.jobs
+    );
+    let dir = a.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = dir.join("BENCH_parallel.json");
+    std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("perf record: {}", path.display());
+    Ok(())
 }
 
 fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
@@ -153,9 +289,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             Ok(())
         }
         "fig" => {
-            let (n, rest) = rest
-                .split_first()
-                .ok_or("fig needs a number (3-10)")?;
+            let (n, rest) = rest.split_first().ok_or("fig needs a number (3-10)")?;
             let n: u32 = n.parse().map_err(|e| format!("figure number: {e}"))?;
             let a = parse_flags(rest)?;
             figure(n, &a)
@@ -167,6 +301,10 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
                 println!();
             }
             Ok(())
+        }
+        "bench-parallel" => {
+            let a = parse_flags(rest)?;
+            bench_parallel(&a)
         }
         "run" => {
             let (scenario, rest) = rest.split_first().ok_or("run needs a scenario")?;
@@ -237,24 +375,33 @@ mod tests {
         assert_eq!(a.reps, 3);
         assert_eq!(a.seed, 42);
         assert!(a.out.is_none());
+        assert_eq!(a.jobs, scenarios::par::default_jobs());
     }
 
     #[test]
     fn flags_parse_all_values() {
         let a = parse_flags(&args(&[
-            "--scale", "0.5", "--reps", "5", "--seed", "7", "--out", "/tmp/x",
+            "--scale", "0.5", "--reps", "5", "--seed", "7", "--out", "/tmp/x", "--jobs", "3",
         ]))
         .unwrap();
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.reps, 5);
         assert_eq!(a.seed, 7);
         assert_eq!(a.out.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(a.jobs, 3);
     }
 
     #[test]
     fn unknown_flag_is_an_error() {
         assert!(parse_flags(&args(&["--bogus"])).is_err());
         assert!(parse_flags(&args(&["--scale"])).is_err(), "missing value");
+    }
+
+    #[test]
+    fn zero_jobs_is_rejected_with_guidance() {
+        let err = parse_flags(&args(&["--jobs", "0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "unhelpful message: {err}");
+        assert!(parse_flags(&args(&["--jobs", "x"])).is_err());
     }
 
     #[test]
@@ -272,8 +419,14 @@ mod tests {
 
     #[test]
     fn scenarios_parse() {
-        assert_eq!(parse_scenario("usemem").unwrap(), ScenarioKind::UsememScenario);
-        assert_eq!(parse_scenario("scenario3").unwrap(), ScenarioKind::Scenario3);
+        assert_eq!(
+            parse_scenario("usemem").unwrap(),
+            ScenarioKind::UsememScenario
+        );
+        assert_eq!(
+            parse_scenario("scenario3").unwrap(),
+            ScenarioKind::Scenario3
+        );
         assert!(parse_scenario("scenario9").is_err());
     }
 

@@ -35,6 +35,12 @@ pub struct RunConfig {
     pub record_series: bool,
     /// Hard safety cutoff on simulated time; a run hitting it is a bug.
     pub max_sim_time: SimDuration,
+    /// Worker threads for experiment grids (scenario × policy × rep).
+    /// Engine-only knob: it can change wall-clock time, never a result —
+    /// grids are collected in deterministic order (see [`crate::par`]).
+    /// Library default is 1 (serial); the CLI defaults it to the available
+    /// cores.
+    pub jobs: usize,
 }
 
 impl RunConfig {
@@ -76,6 +82,7 @@ impl Default for RunConfig {
             reclaim_frac_per_interval: 0.02,
             record_series: false,
             max_sim_time: SimDuration::from_secs(20_000),
+            jobs: 1,
         }
     }
 }

@@ -6,8 +6,15 @@
 //! usemem figure (7) reports per-allocation spans; occupancy figures (4, 6,
 //! 8, 10) record per-interval tmem usage and target series for the paper's
 //! chosen policies.
+//!
+//! All (policy × rep) grids run through [`crate::par::run_indexed`] with
+//! `RunConfig::jobs` workers: each cell is an independent simulation with a
+//! per-cell derived seed, results come back in grid order, and the folding
+//! below consumes them in exactly the order the old serial loops did — so
+//! output is byte-identical at any job count.
 
 use crate::config::RunConfig;
+use crate::par::run_indexed;
 use crate::runner::{run_scenario, RunResult, SeriesBundle};
 use crate::spec::{build_scenario, usemem_alloc_label, ProgramStep, ScenarioKind, WorkloadSpec};
 use sim_core::metrics::Summary;
@@ -86,8 +93,30 @@ pub struct SeriesFigure {
 
 fn rep_config(cfg: &RunConfig, rep: u64) -> RunConfig {
     let mut c = cfg.clone();
-    c.seed = SplitMix64::new(cfg.seed).derive(&format!("rep{rep}")).next();
+    c.seed = SplitMix64::new(cfg.seed)
+        .derive(&format!("rep{rep}"))
+        .next();
     c
+}
+
+/// Run every (policy, rep) cell of a scenario's grid — in parallel when
+/// `cfg.jobs > 1` — returning results policy-major, rep-minor: the exact
+/// order the serial nested loops visited them.
+fn run_grid(
+    kind: ScenarioKind,
+    policies: &[PolicyKind],
+    cfg: &RunConfig,
+    reps: u64,
+) -> Vec<RunResult> {
+    let grid: Vec<(PolicyKind, u64)> = policies
+        .iter()
+        .flat_map(|&policy| (0..reps).map(move |rep| (policy, rep)))
+        .collect();
+    run_indexed(grid, cfg.jobs, |_, (policy, rep)| {
+        let r = run_scenario(kind, policy, &rep_config(cfg, rep));
+        assert!(!r.truncated, "{kind:?}/{policy} hit the safety cutoff");
+        r
+    })
 }
 
 /// Run `scenario × policy` `reps` times and fold per-(VM, run) durations.
@@ -98,15 +127,15 @@ pub fn running_time_groups(
     reps: u64,
 ) -> Vec<BarGroup> {
     assert!(reps > 0);
+    let results = run_grid(kind, policies, cfg, reps);
     policies
         .iter()
-        .map(|&policy| {
+        .zip(results.chunks(reps as usize))
+        .map(|(&policy, runs)| {
             // label -> summary, insertion-ordered via Vec.
             let mut labels: Vec<String> = Vec::new();
             let mut sums: Vec<Summary> = Vec::new();
-            for rep in 0..reps {
-                let r = run_scenario(kind, policy, &rep_config(cfg, rep));
-                assert!(!r.truncated, "{kind:?}/{policy} hit the safety cutoff");
+            for r in runs {
                 for vm in &r.vm_results {
                     for (run_idx, d) in vm.completions().iter().enumerate() {
                         let label = format!("{}/run{}", vm.name, run_idx + 1);
@@ -145,7 +174,12 @@ pub fn fig3(cfg: &RunConfig, reps: u64) -> FigureData {
     FigureData {
         id: "fig3".into(),
         title: "Running times for Scenario 1 (3×1GB VMs, in-memory-analytics ×2)".into(),
-        groups: running_time_groups(kind, &PolicyKind::paper_set(kind.paper_smart_ps()), cfg, reps),
+        groups: running_time_groups(
+            kind,
+            &PolicyKind::paper_set(kind.paper_smart_ps()),
+            cfg,
+            reps,
+        ),
     }
 }
 
@@ -155,7 +189,12 @@ pub fn fig5(cfg: &RunConfig, reps: u64) -> FigureData {
     FigureData {
         id: "fig5".into(),
         title: "Running times for Scenario 2 (3×512MB VMs, graph-analytics, VM3 +30s)".into(),
-        groups: running_time_groups(kind, &PolicyKind::paper_set(kind.paper_smart_ps()), cfg, reps),
+        groups: running_time_groups(
+            kind,
+            &PolicyKind::paper_set(kind.paper_smart_ps()),
+            cfg,
+            reps,
+        ),
     }
 }
 
@@ -165,7 +204,12 @@ pub fn fig9(cfg: &RunConfig, reps: u64) -> FigureData {
     FigureData {
         id: "fig9".into(),
         title: "Running times for Scenario 3 (graph-analytics ×2 + in-memory-analytics)".into(),
-        groups: running_time_groups(kind, &PolicyKind::paper_set(kind.paper_smart_ps()), cfg, reps),
+        groups: running_time_groups(
+            kind,
+            &PolicyKind::paper_set(kind.paper_smart_ps()),
+            cfg,
+            reps,
+        ),
     }
 }
 
@@ -185,19 +229,18 @@ pub fn fig7(cfg: &RunConfig, reps: u64) -> FigureData {
         })
         .collect();
 
+    let results = run_grid(kind, &policies, cfg, reps);
     let groups = policies
         .iter()
-        .map(|&policy| {
+        .zip(results.chunks(reps as usize))
+        .map(|(&policy, runs)| {
             let mut labels: Vec<String> = Vec::new();
             let mut sums: Vec<Summary> = Vec::new();
-            for rep in 0..reps {
-                let r = run_scenario(kind, policy, &rep_config(cfg, rep));
-                assert!(!r.truncated);
+            for r in runs {
                 for vm in &r.vm_results {
                     for (alloc, block) in &blocks {
                         if let Some(span) = vm.span_between(alloc, block) {
-                            let label =
-                                format!("{}@{}", vm.name, alloc.replacen("alloc:", "", 1));
+                            let label = format!("{}@{}", vm.name, alloc.replacen("alloc:", "", 1));
                             let i = match labels.iter().position(|l| *l == label) {
                                 Some(i) => i,
                                 None => {
@@ -238,19 +281,16 @@ fn series_for(
     policies: &[PolicyKind],
     cfg: &RunConfig,
 ) -> Vec<(String, SeriesBundle)> {
-    policies
-        .iter()
-        .map(|&policy| {
-            let mut c = cfg.clone();
-            c.record_series = true;
-            let r: RunResult = run_scenario(kind, policy, &c);
-            assert!(!r.truncated);
-            (
-                policy.to_string(),
-                r.series.expect("series recording requested"),
-            )
-        })
-        .collect()
+    let mut c = cfg.clone();
+    c.record_series = true;
+    run_indexed(policies.to_vec(), cfg.jobs, |_, policy| {
+        let r: RunResult = run_scenario(kind, policy, &c);
+        assert!(!r.truncated);
+        (
+            policy.to_string(),
+            r.series.expect("series recording requested"),
+        )
+    })
 }
 
 fn vm_names(kind: ScenarioKind, cfg: &RunConfig) -> Vec<String> {
@@ -299,8 +339,7 @@ pub fn fig8(cfg: &RunConfig) -> SeriesFigure {
     let kind = ScenarioKind::UsememScenario;
     SeriesFigure {
         id: "fig8".into(),
-        title: "Tmem use per VM, usemem: (a) greedy (b) reconf-static (c) smart-alloc P=2%"
-            .into(),
+        title: "Tmem use per VM, usemem: (a) greedy (b) reconf-static (c) smart-alloc P=2%".into(),
         panels: series_for(
             kind,
             &[
@@ -354,10 +393,9 @@ pub fn table2_rows(cfg: &RunConfig) -> Vec<(String, Vec<String>)> {
                         .iter()
                         .map(|p| match p {
                             ProgramStep::Run(WorkloadSpec::Usemem(_)) => "usemem".to_string(),
-                            ProgramStep::Run(WorkloadSpec::InMem(c)) => format!(
-                                "in-memory-analytics ({} MiB)",
-                                c.footprint_bytes() >> 20
-                            ),
+                            ProgramStep::Run(WorkloadSpec::InMem(c)) => {
+                                format!("in-memory-analytics ({} MiB)", c.footprint_bytes() >> 20)
+                            }
                             ProgramStep::Run(WorkloadSpec::Graph(c)) => {
                                 format!("graph-analytics ({} MiB)", c.footprint_bytes() >> 20)
                             }
@@ -374,11 +412,7 @@ pub fn table2_rows(cfg: &RunConfig) -> Vec<(String, Vec<String>)> {
                 })
                 .collect();
             (
-                format!(
-                    "{} (tmem {} MiB)",
-                    spec.kind.name(),
-                    spec.tmem_bytes >> 20
-                ),
+                format!("{} (tmem {} MiB)", spec.kind.name(), spec.tmem_bytes >> 20),
                 rows,
             )
         })
@@ -436,12 +470,8 @@ mod tests {
 
     #[test]
     fn figure_helpers_locate_cells() {
-        let groups = running_time_groups(
-            ScenarioKind::Scenario2,
-            &[PolicyKind::Greedy],
-            &tiny(),
-            1,
-        );
+        let groups =
+            running_time_groups(ScenarioKind::Scenario2, &[PolicyKind::Greedy], &tiny(), 1);
         let fig = FigureData {
             id: "t".into(),
             title: "t".into(),

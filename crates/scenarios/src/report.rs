@@ -211,7 +211,10 @@ mod tests {
             interval_s: 1.0,
         };
         let s = render_series(&f, 10);
-        let rows = s.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count();
+        let rows = s
+            .lines()
+            .filter(|l| l.trim_start().starts_with(char::is_numeric))
+            .count();
         assert!(rows <= 12, "downsampled, got {rows} rows:\n{s}");
         assert!(s.contains("tgt-VM1"));
     }

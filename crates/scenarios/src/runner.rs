@@ -27,8 +27,8 @@ use sim_core::metrics::TimeSeries;
 use sim_core::rng::SplitMix64;
 use sim_core::time::{SimDuration, SimTime};
 use smartmem_core::{MemoryManager, PolicyKind};
-use std::collections::HashSet;
 use tmem::backend::PoolKind;
+use tmem::fastmap::FxHashSet;
 use tmem::key::VmId;
 use tmem::page::Fingerprint;
 use workloads::traits::{StepOutcome, Workload};
@@ -181,7 +181,7 @@ struct Runner {
     cpu: CpuModel,
     vms: Vec<VmRuntime>,
     queue: EventQueue<Event>,
-    observed: HashSet<(usize, String)>,
+    observed: FxHashSet<(usize, String)>,
     pending_starts: Vec<(usize, Vec<(usize, String)>)>,
     stop_all_on: Option<(usize, String)>,
     series: Option<SeriesBundle>,
@@ -265,7 +265,7 @@ pub fn run_spec(spec: crate::spec::ScenarioSpec, policy: PolicyKind, cfg: &RunCo
         cpu: CpuModel::new(cfg.cores),
         vms,
         queue: EventQueue::new(),
-        observed: HashSet::new(),
+        observed: FxHashSet::default(),
         pending_starts: Vec::new(),
         stop_all_on: spec.stop_all_on.clone(),
         truncated: false,
@@ -349,10 +349,7 @@ impl Runner {
         rt.prog_idx += 1;
         match step {
             ProgramStep::Run(ws) => {
-                let label = format!(
-                    "{scenario}/{policy}/vm{i}/run{}",
-                    rt.run_counter
-                );
+                let label = format!("{scenario}/{policy}/vm{i}/run{}", rt.run_counter);
                 rt.run_counter += 1;
                 let seed = self.seed_root.derive(&label).next();
                 let workload = ws.build(seed);
@@ -494,24 +491,21 @@ impl Runner {
         let stats = self.hyp.sample(now);
         self.dom0.deliver_stats(stats);
         if let Some(mm) = &mut self.mm {
-            let snap = self
-                .dom0
-                .take_stats()
-                .expect("snapshot just delivered");
+            let snap = self.dom0.take_stats().expect("snapshot just delivered");
             if let Some(targets) = mm.on_stats(&snap) {
                 self.dom0.forward_targets(&mut self.hyp, &targets);
             }
             // Slow reclaim: trickle over-target VMs' oldest pages to their
             // swap devices (hypervisor-driven async write-back).
-            let max = ((self.hyp.node_info().total_tmem as f64
-                * self.cfg.reclaim_frac_per_interval) as u64)
-                .max(1);
+            let max =
+                ((self.hyp.node_info().total_tmem as f64 * self.cfg.reclaim_frac_per_interval)
+                    as u64)
+                    .max(1);
             for rt in &mut self.vms {
                 let Some(tkm) = &rt._tkm else { continue };
                 let reclaimed = self.hyp.reclaim_over_target(tkm.pool(), max);
                 if !reclaimed.is_empty() {
-                    let keys: Vec<(u64, u32)> =
-                        reclaimed.iter().map(|&(o, i)| (o.0, i)).collect();
+                    let keys: Vec<(u64, u32)> = reclaimed.iter().map(|&(o, i)| (o.0, i)).collect();
                     rt.kernel.tmem_reclaimed(&keys);
                     for _ in &keys {
                         self.disk.write_page(now, &self.cfg.cost);
@@ -583,7 +577,10 @@ mod tests {
         assert_eq!(r.vm_results.len(), 3);
         for vm in &r.vm_results {
             assert_eq!(vm.completions().len(), 2, "two analytics runs per VM");
-            assert!(vm.kernel_stats.evictions_to_tmem > 0, "pressure reached tmem");
+            assert!(
+                vm.kernel_stats.evictions_to_tmem > 0,
+                "pressure reached tmem"
+            );
         }
     }
 
@@ -627,9 +624,16 @@ mod tests {
         assert!(!r.truncated);
         // VM3 must have started (trigger) and everything stops on its 6th
         // allocation attempt.
-        assert!(r.vm_results[2].milestones.iter().any(|(l, _)| l.starts_with("alloc")));
+        assert!(r.vm_results[2]
+            .milestones
+            .iter()
+            .any(|(l, _)| l.starts_with("alloc")));
         for vm in &r.vm_results {
-            assert!(vm.stopped_early, "{} must be stopped by the trigger", vm.name);
+            assert!(
+                vm.stopped_early,
+                "{} must be stopped by the trigger",
+                vm.name
+            );
         }
         // VM3 started strictly after VM1/VM2.
         let vm3_first = r.vm_results[2].milestones.first().unwrap().1;
@@ -649,7 +653,10 @@ mod tests {
         assert!(series.used[0].len() > 2, "multiple samples");
         // Static policy: targets equal across VMs once set.
         let t_end = series.target[0].points().last().unwrap().1;
-        assert!(series.target.iter().all(|s| s.points().last().unwrap().1 == t_end));
+        assert!(series
+            .target
+            .iter()
+            .all(|s| s.points().last().unwrap().1 == t_end));
     }
 
     #[test]

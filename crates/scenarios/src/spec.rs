@@ -211,11 +211,7 @@ pub fn build_scenario(kind: ScenarioKind, cfg: &RunConfig) -> ScenarioSpec {
                     program: vec![ProgramStep::Run(WorkloadSpec::Graph(
                         GraphAnalyticsConfig::with_footprint(footprint, 0),
                     ))],
-                    start: StartRule::At(if i < 2 {
-                        SimDuration::ZERO
-                    } else {
-                        stagger
-                    }),
+                    start: StartRule::At(if i < 2 { SimDuration::ZERO } else { stagger }),
                 })
                 .collect();
             ScenarioSpec {
@@ -322,7 +318,9 @@ mod tests {
             assert_eq!(vm.config.ram_bytes, 1 << 30);
             assert_eq!(vm.config.vcpus, 1);
             assert_eq!(vm.program.len(), 3, "run, sleep, run");
-            assert!(matches!(vm.program[1], ProgramStep::Sleep(d) if d == SimDuration::from_secs(5)));
+            assert!(
+                matches!(vm.program[1], ProgramStep::Sleep(d) if d == SimDuration::from_secs(5))
+            );
         }
     }
 
@@ -330,9 +328,7 @@ mod tests {
     fn scenario2_staggers_vm3_by_30s() {
         let spec = build_scenario(ScenarioKind::Scenario2, &cfg());
         assert!(matches!(spec.vms[0].start, StartRule::At(d) if d == SimDuration::ZERO));
-        assert!(
-            matches!(spec.vms[2].start, StartRule::At(d) if d == SimDuration::from_secs(30))
-        );
+        assert!(matches!(spec.vms[2].start, StartRule::At(d) if d == SimDuration::from_secs(30)));
         assert_eq!(spec.vms[0].config.ram_bytes, 512 << 20);
     }
 

@@ -1,0 +1,103 @@
+//! Regression tests: parallelism is an engine knob, never a result knob.
+//!
+//! The acceptance bar for the parallel experiment engine is byte-identical
+//! output — the rendered report text and the CSV bodies of a figure run at
+//! `--jobs 1` and at `--jobs N` must match exactly, not merely "be close".
+//! These tests run the real fig3/table2 paths at a tiny scale under both
+//! engines and compare bytes.
+
+use scenarios::config::RunConfig;
+use scenarios::figures;
+use scenarios::report;
+use std::fs;
+
+fn cfg(jobs: usize) -> RunConfig {
+    RunConfig {
+        scale: 0.01,
+        seed: 20260806,
+        jobs,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn parallel_fig3_is_byte_identical_to_serial() {
+    let reps = 2;
+    let serial = figures::fig3(&cfg(1), reps);
+    let parallel = figures::fig3(&cfg(4), reps);
+
+    // Report text.
+    assert_eq!(
+        report::render_bars(&serial),
+        report::render_bars(&parallel),
+        "fig3 report text differs between --jobs 1 and --jobs 4"
+    );
+
+    // CSV bytes.
+    let base = std::env::temp_dir().join("smartmem-determinism-fig3");
+    let dir_s = base.join("serial");
+    let dir_p = base.join("parallel");
+    let path_s = report::write_bars_csv(&serial, &dir_s).unwrap();
+    let path_p = report::write_bars_csv(&parallel, &dir_p).unwrap();
+    let bytes_s = fs::read(path_s).unwrap();
+    let bytes_p = fs::read(path_p).unwrap();
+    assert!(
+        bytes_s == bytes_p,
+        "fig3 CSV differs between --jobs 1 and --jobs 4"
+    );
+    let _ = fs::remove_dir_all(base);
+}
+
+#[test]
+fn parallel_series_figure_is_byte_identical_to_serial() {
+    let serial = figures::fig4(&cfg(1));
+    let parallel = figures::fig4(&cfg(3));
+    assert_eq!(
+        report::render_series(&serial, 24),
+        report::render_series(&parallel, 24),
+        "fig4 series report differs between job counts"
+    );
+
+    let base = std::env::temp_dir().join("smartmem-determinism-fig4");
+    let path_s = report::write_series_csv(&serial, &base.join("serial")).unwrap();
+    let path_p = report::write_series_csv(&parallel, &base.join("parallel")).unwrap();
+    assert!(
+        fs::read(path_s).unwrap() == fs::read(path_p).unwrap(),
+        "fig4 CSV differs between job counts"
+    );
+    let _ = fs::remove_dir_all(base);
+}
+
+#[test]
+fn table2_is_independent_of_job_count() {
+    assert_eq!(figures::table2_rows(&cfg(1)), figures::table2_rows(&cfg(8)));
+}
+
+#[test]
+fn oversubscribed_jobs_change_nothing() {
+    // More workers than grid cells: every worker beyond the cell count
+    // must idle out without disturbing collection order.
+    let groups_serial = figures::running_time_groups(
+        scenarios::ScenarioKind::Scenario2,
+        &[scenarios::PolicyKind::Greedy, scenarios::PolicyKind::NoTmem],
+        &cfg(1),
+        2,
+    );
+    let groups_wide = figures::running_time_groups(
+        scenarios::ScenarioKind::Scenario2,
+        &[scenarios::PolicyKind::Greedy, scenarios::PolicyKind::NoTmem],
+        &cfg(64),
+        2,
+    );
+    assert_eq!(groups_serial.len(), groups_wide.len());
+    for (a, b) in groups_serial.iter().zip(&groups_wide) {
+        assert_eq!(a.policy, b.policy);
+        assert_eq!(a.bars.len(), b.bars.len());
+        for (x, y) in a.bars.iter().zip(&b.bars) {
+            assert_eq!(x.label, y.label);
+            assert!(x.mean_s.to_bits() == y.mean_s.to_bits(), "bit-exact means");
+            assert!(x.std_s.to_bits() == y.std_s.to_bits(), "bit-exact stddevs");
+            assert_eq!(x.n, y.n);
+        }
+    }
+}

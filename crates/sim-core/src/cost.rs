@@ -110,7 +110,10 @@ mod tests {
     fn hdd_preserves_the_tmem_vs_disk_gap() {
         let c = CostModel::hdd();
         let gap = c.disk_request(1).as_nanos() as f64 / c.tmem_hypercall.as_nanos() as f64;
-        assert!(gap > 100.0, "tmem must be orders of magnitude faster, gap={gap}");
+        assert!(
+            gap > 100.0,
+            "tmem must be orders of magnitude faster, gap={gap}"
+        );
     }
 
     #[test]

@@ -211,7 +211,9 @@ mod tests {
 
     #[test]
     fn summary_matches_hand_computation() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean() - 5.0).abs() < 1e-12);
         // Sample stddev of that classic dataset is ~2.138.
         assert!((s.stddev() - 2.1380899352993947).abs() < 1e-12);

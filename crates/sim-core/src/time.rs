@@ -11,11 +11,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// An instant on the simulated clock, in nanoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -188,9 +192,6 @@ mod tests {
     #[test]
     fn from_constructors_agree() {
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
-        assert_eq!(
-            SimDuration::from_micros(1000),
-            SimDuration::from_millis(1)
-        );
+        assert_eq!(SimDuration::from_micros(1000), SimDuration::from_millis(1));
     }
 }

@@ -17,11 +17,33 @@
 //!
 //! The backend also maintains the node-level accounting the paper's
 //! Table I calls `node_info.free_tmem` and per-VM `tmem_used`.
+//!
+//! # Datapath layout
+//!
+//! Every hot operation (`put`, `get`, `flush_page`, `contains`) is a single
+//! probe of a flat `(ObjectId, PageIndex)` → payload Fx-hashed map per pool
+//! — O(1) instead of the two ordered-map descents of the original nested
+//! `BTreeMap<ObjectId, BTreeMap<PageIndex, _>>` layout (kept as
+//! [`crate::reference::ReferenceBackend`] for differential testing and as
+//! the bench baseline). The eviction/reclaim candidate queues hold
+//! tombstones for pages that were flushed or consumed after being queued;
+//! they are validated lazily on pop and compacted whenever tombstones
+//! outnumber live entries, so queue memory stays proportional to live pages
+//! and each queue entry is popped at most once — O(1) amortized. The cold
+//! paths that lost `BTreeMap`'s ordering (`flush_object`) drain in sorted
+//! key order so the backend stays observably deterministic.
 
 use crate::error::TmemError;
+use crate::fastmap::FxHashMap;
 use crate::key::{ObjectId, PageIndex, PoolId, TmemKey, VmId};
 use crate::page::PagePayload;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::VecDeque;
+
+/// Compaction slack: a candidate queue is rebuilt once it holds more than
+/// `2 × live + TOMBSTONE_SLACK` entries. The factor-of-two growth bound
+/// makes compaction cost amortized O(1) per queued entry; the additive
+/// slack keeps tiny pools from compacting on every other operation.
+const TOMBSTONE_SLACK: usize = 16;
 
 /// Whether a pool's contents must survive until flushed (frontswap) or may
 /// be dropped under pressure (cleancache).
@@ -50,11 +72,12 @@ pub enum PutOutcome {
 struct Pool<P> {
     owner: VmId,
     kind: PoolKind,
-    // BTreeMap keeps flush_object and pool teardown deterministic.
-    objects: BTreeMap<ObjectId, BTreeMap<PageIndex, P>>,
-    page_count: u64,
-    /// Persistent pages in put order (oldest first), validated lazily —
-    /// the candidate stream for the hypervisor's slow reclaim.
+    /// Flat page store: one hash probe per lookup on the hot path.
+    pages: FxHashMap<(ObjectId, PageIndex), P>,
+    /// Persistent pages in put order (oldest first) — the candidate stream
+    /// for the hypervisor's slow reclaim. Entries whose page has since been
+    /// consumed or flushed are tombstones, skipped on pop and swept out by
+    /// [`Pool::maybe_compact`].
     put_order: VecDeque<(ObjectId, PageIndex)>,
 }
 
@@ -63,9 +86,21 @@ impl<P> Pool<P> {
         Pool {
             owner,
             kind,
-            objects: BTreeMap::new(),
-            page_count: 0,
+            pages: FxHashMap::default(),
             put_order: VecDeque::new(),
+        }
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Sweep tombstones once they dominate the reclaim queue. Every live
+    /// persistent page is in `put_order`, so `pages.len()` is the live count.
+    fn maybe_compact(&mut self) {
+        if self.put_order.len() > 2 * self.pages.len() + TOMBSTONE_SLACK {
+            let pages = &self.pages;
+            self.put_order.retain(|k| pages.contains_key(k));
         }
     }
 }
@@ -76,12 +111,16 @@ impl<P> Pool<P> {
 pub struct TmemBackend<P> {
     capacity: u64,
     used: u64,
-    pools: HashMap<PoolId, Pool<P>>,
+    pools: FxHashMap<PoolId, Pool<P>>,
     next_pool_id: u32,
-    per_vm_used: HashMap<VmId, u64>,
+    per_vm_used: FxHashMap<VmId, u64>,
     /// Insertion-ordered queue of ephemeral pages, oldest first. Entries are
-    /// validated lazily on pop (flushed pages simply get skipped).
+    /// validated lazily on pop (flushed pages simply get skipped) and
+    /// tombstones are compacted once they dominate.
     ephemeral_fifo: VecDeque<TmemKey>,
+    /// Live ephemeral pages across all pools — the denominator for FIFO
+    /// tombstone compaction.
+    ephemeral_pages: u64,
     evictions: u64,
 }
 
@@ -92,10 +131,11 @@ impl<P: PagePayload> TmemBackend<P> {
         TmemBackend {
             capacity,
             used: 0,
-            pools: HashMap::new(),
+            pools: FxHashMap::default(),
             next_pool_id: 0,
-            per_vm_used: HashMap::new(),
+            per_vm_used: FxHashMap::default(),
             ephemeral_fifo: VecDeque::new(),
+            ephemeral_pages: 0,
             evictions: 0,
         }
     }
@@ -139,7 +179,10 @@ impl<P: PagePayload> TmemBackend<P> {
     /// registering with tmem at initialization.
     pub fn new_pool(&mut self, owner: VmId, kind: PoolKind) -> Result<PoolId, TmemError> {
         let id = PoolId(self.next_pool_id);
-        self.next_pool_id = self.next_pool_id.checked_add(1).ok_or(TmemError::PoolLimit)?;
+        self.next_pool_id = self
+            .next_pool_id
+            .checked_add(1)
+            .ok_or(TmemError::PoolLimit)?;
         self.pools.insert(id, Pool::new(owner, kind));
         Ok(id)
     }
@@ -157,21 +200,13 @@ impl<P: PagePayload> TmemBackend<P> {
         index: PageIndex,
         payload: P,
     ) -> Result<PutOutcome, TmemError> {
-        let pool = self.pools.get(&pool_id).ok_or(TmemError::NoSuchPool)?;
+        let pool = self.pools.get_mut(&pool_id).ok_or(TmemError::NoSuchPool)?;
         let kind = pool.kind;
         let owner = pool.owner;
 
         // Replacement in place: no allocation needed.
-        let exists = pool
-            .objects
-            .get(&object)
-            .is_some_and(|o| o.contains_key(&index));
-        if exists {
-            let pool = self.pools.get_mut(&pool_id).expect("pool checked above");
-            pool.objects
-                .get_mut(&object)
-                .expect("object checked above")
-                .insert(index, payload);
+        if let Some(slot) = pool.pages.get_mut(&(object, index)) {
+            *slot = payload;
             return Ok(PutOutcome::Replaced);
         }
 
@@ -186,16 +221,18 @@ impl<P: PagePayload> TmemBackend<P> {
         }
 
         let pool = self.pools.get_mut(&pool_id).expect("pool checked above");
-        pool.objects.entry(object).or_default().insert(index, payload);
-        pool.page_count += 1;
+        pool.pages.insert((object, index), payload);
         self.used += 1;
         *self.per_vm_used.entry(owner).or_insert(0) += 1;
         match kind {
-            PoolKind::Ephemeral => self
-                .ephemeral_fifo
-                .push_back(TmemKey::new(pool_id, object, index)),
+            PoolKind::Ephemeral => {
+                self.ephemeral_pages += 1;
+                self.maybe_compact_fifo();
+                self.ephemeral_fifo
+                    .push_back(TmemKey::new(pool_id, object, index));
+            }
             PoolKind::Persistent => {
-                let pool = self.pools.get_mut(&pool_id).expect("pool checked above");
+                pool.maybe_compact();
                 pool.put_order.push_back((object, index));
             }
         }
@@ -219,19 +256,16 @@ impl<P: PagePayload> TmemBackend<P> {
         let pool = self.pools.get_mut(&pool_id).ok_or(TmemError::NoSuchPool)?;
         match pool.kind {
             PoolKind::Ephemeral => pool
-                .objects
-                .get(&object)
-                .and_then(|o| o.get(&index))
+                .pages
+                .get(&(object, index))
                 .cloned()
                 .ok_or(TmemError::NoSuchPage),
             PoolKind::Persistent => {
                 let owner = pool.owner;
-                let obj = pool.objects.get_mut(&object).ok_or(TmemError::NoSuchPage)?;
-                let payload = obj.remove(&index).ok_or(TmemError::NoSuchPage)?;
-                if obj.is_empty() {
-                    pool.objects.remove(&object);
-                }
-                pool.page_count -= 1;
+                let payload = pool
+                    .pages
+                    .remove(&(object, index))
+                    .ok_or(TmemError::NoSuchPage)?;
                 self.used -= 1;
                 self.debit(owner, 1);
                 Ok(payload)
@@ -248,16 +282,12 @@ impl<P: PagePayload> TmemBackend<P> {
     ) -> Result<bool, TmemError> {
         let pool = self.pools.get_mut(&pool_id).ok_or(TmemError::NoSuchPool)?;
         let owner = pool.owner;
-        let Some(obj) = pool.objects.get_mut(&object) else {
-            return Ok(false);
-        };
-        if obj.remove(&index).is_none() {
+        if pool.pages.remove(&(object, index)).is_none() {
             return Ok(false);
         }
-        if obj.is_empty() {
-            pool.objects.remove(&object);
+        if pool.kind == PoolKind::Ephemeral {
+            self.ephemeral_pages -= 1;
         }
-        pool.page_count -= 1;
         self.used -= 1;
         self.debit(owner, 1);
         Ok(true)
@@ -265,14 +295,27 @@ impl<P: PagePayload> TmemBackend<P> {
 
     /// Invalidate every page of an object. Returns the number of pages
     /// removed.
+    ///
+    /// Cold path: the flat map has no per-object index, so this scans the
+    /// pool once, then drains the matches in sorted page order to keep the
+    /// operation deterministic.
     pub fn flush_object(&mut self, pool_id: PoolId, object: ObjectId) -> Result<u64, TmemError> {
         let pool = self.pools.get_mut(&pool_id).ok_or(TmemError::NoSuchPool)?;
         let owner = pool.owner;
-        let Some(obj) = pool.objects.remove(&object) else {
-            return Ok(0);
-        };
-        let n = obj.len() as u64;
-        pool.page_count -= n;
+        let mut indices: Vec<PageIndex> = pool
+            .pages
+            .keys()
+            .filter(|(obj, _)| *obj == object)
+            .map(|&(_, idx)| idx)
+            .collect();
+        indices.sort_unstable();
+        for idx in &indices {
+            pool.pages.remove(&(object, *idx));
+        }
+        let n = indices.len() as u64;
+        if pool.kind == PoolKind::Ephemeral {
+            self.ephemeral_pages -= n;
+        }
         self.used -= n;
         self.debit(owner, n);
         Ok(n)
@@ -282,22 +325,25 @@ impl<P: PagePayload> TmemBackend<P> {
     /// freed.
     pub fn destroy_pool(&mut self, pool_id: PoolId) -> Result<u64, TmemError> {
         let pool = self.pools.remove(&pool_id).ok_or(TmemError::NoSuchPool)?;
-        self.used -= pool.page_count;
-        self.debit(pool.owner, pool.page_count);
-        Ok(pool.page_count)
+        let n = pool.page_count();
+        if pool.kind == PoolKind::Ephemeral {
+            self.ephemeral_pages -= n;
+        }
+        self.used -= n;
+        self.debit(pool.owner, n);
+        Ok(n)
     }
 
     /// True if the key currently holds a page.
     pub fn contains(&self, pool_id: PoolId, object: ObjectId, index: PageIndex) -> bool {
         self.pools
             .get(&pool_id)
-            .and_then(|p| p.objects.get(&object))
-            .is_some_and(|o| o.contains_key(&index))
+            .is_some_and(|p| p.pages.contains_key(&(object, index)))
     }
 
     /// Number of pages held by one pool.
     pub fn pool_page_count(&self, pool_id: PoolId) -> Option<u64> {
-        self.pools.get(&pool_id).map(|p| p.page_count)
+        self.pools.get(&pool_id).map(|p| p.page_count())
     }
 
     fn debit(&mut self, owner: VmId, n: u64) {
@@ -331,7 +377,7 @@ impl<P: PagePayload> TmemBackend<P> {
                 break;
             };
             // Lazy validation: the entry may have been consumed by an
-            // exclusive get or flush already.
+            // exclusive get or flush already (a tombstone).
             if self.contains(pool_id, obj, idx) {
                 self.flush_page(pool_id, obj, idx)
                     .expect("pool existed a moment ago");
@@ -345,7 +391,7 @@ impl<P: PagePayload> TmemBackend<P> {
     fn evict_one_ephemeral(&mut self) -> Option<TmemKey> {
         while let Some(key) = self.ephemeral_fifo.pop_front() {
             // Lazy validation: the entry may refer to a page that has since
-            // been flushed or whose pool was destroyed.
+            // been flushed or whose pool was destroyed (a tombstone).
             let still_there = self.contains(key.pool, key.object, key.index);
             if still_there {
                 self.flush_page(key.pool, key.object, key.index)
@@ -356,20 +402,35 @@ impl<P: PagePayload> TmemBackend<P> {
         }
         None
     }
+
+    /// Sweep FIFO tombstones once they dominate. Pool ids are never reused,
+    /// so membership in the owning pool's page map is the liveness test.
+    fn maybe_compact_fifo(&mut self) {
+        if self.ephemeral_fifo.len() > 2 * self.ephemeral_pages as usize + TOMBSTONE_SLACK {
+            let pools = &self.pools;
+            self.ephemeral_fifo.retain(|k| {
+                pools
+                    .get(&k.pool)
+                    .is_some_and(|p| p.pages.contains_key(&(k.object, k.index)))
+            });
+        }
+    }
 }
 
 /// Invariant check used by tests and debug assertions: global `used` equals
-/// the sum of pool page counts and the sum of per-VM accounting.
+/// the sum of pool page counts and the sum of per-VM accounting, and the
+/// ephemeral live counter matches the ephemeral pools' contents.
 #[doc(hidden)]
 pub fn accounting_consistent<P: PagePayload>(b: &TmemBackend<P>) -> bool {
-    let by_pool: u64 = b.pools.values().map(|p| p.page_count).sum();
+    let by_pool: u64 = b.pools.values().map(|p| p.page_count()).sum();
     let by_vm: u64 = b.per_vm_used.values().sum();
-    let by_content: u64 = b
+    let ephemeral: u64 = b
         .pools
         .values()
-        .map(|p| p.objects.values().map(|o| o.len() as u64).sum::<u64>())
+        .filter(|p| p.kind == PoolKind::Ephemeral)
+        .map(|p| p.page_count())
         .sum();
-    by_pool == b.used && by_vm == b.used && by_content == b.used && b.used <= b.capacity
+    by_pool == b.used && by_vm == b.used && ephemeral == b.ephemeral_pages && b.used <= b.capacity
 }
 
 #[cfg(test)]
@@ -469,20 +530,39 @@ mod tests {
     fn flush_page_and_object() {
         let (mut b, pool) = persistent_pool(8);
         for i in 0..4 {
-            b.put(pool, ObjectId(7), i, PageBuf::filled(i as u8)).unwrap();
+            b.put(pool, ObjectId(7), i, PageBuf::filled(i as u8))
+                .unwrap();
         }
         assert!(b.flush_page(pool, ObjectId(7), 2).unwrap());
-        assert!(!b.flush_page(pool, ObjectId(7), 2).unwrap(), "double flush is a no-op");
+        assert!(
+            !b.flush_page(pool, ObjectId(7), 2).unwrap(),
+            "double flush is a no-op"
+        );
         assert_eq!(b.flush_object(pool, ObjectId(7)).unwrap(), 3);
         assert_eq!(b.used(), 0);
         assert_eq!(b.flush_object(pool, ObjectId(7)).unwrap(), 0);
     }
 
     #[test]
+    fn flush_object_spares_other_objects() {
+        let (mut b, pool) = persistent_pool(8);
+        for i in 0..3 {
+            b.put(pool, ObjectId(7), i, PageBuf::filled(i as u8))
+                .unwrap();
+        }
+        b.put(pool, ObjectId(8), 0, PageBuf::filled(9)).unwrap();
+        assert_eq!(b.flush_object(pool, ObjectId(7)).unwrap(), 3);
+        assert!(b.contains(pool, ObjectId(8), 0));
+        assert_eq!(b.used(), 1);
+        assert!(accounting_consistent(&b));
+    }
+
+    #[test]
     fn destroy_pool_frees_everything_and_invalidates_id() {
         let (mut b, pool) = persistent_pool(8);
         for i in 0..5 {
-            b.put(pool, ObjectId(1), i, PageBuf::filled(i as u8)).unwrap();
+            b.put(pool, ObjectId(1), i, PageBuf::filled(i as u8))
+                .unwrap();
         }
         assert_eq!(b.destroy_pool(pool).unwrap(), 5);
         assert_eq!(b.used(), 0);
@@ -499,10 +579,12 @@ mod tests {
         let p1 = b.new_pool(VmId(1), PoolKind::Persistent).unwrap();
         let p2 = b.new_pool(VmId(2), PoolKind::Persistent).unwrap();
         for i in 0..3 {
-            b.put(p1, ObjectId(0), i, Fingerprint::of(i as u64, 0)).unwrap();
+            b.put(p1, ObjectId(0), i, Fingerprint::of(i as u64, 0))
+                .unwrap();
         }
         for i in 0..2 {
-            b.put(p2, ObjectId(0), i, Fingerprint::of(i as u64, 0)).unwrap();
+            b.put(p2, ObjectId(0), i, Fingerprint::of(i as u64, 0))
+                .unwrap();
         }
         assert_eq!(b.used_by(VmId(1)), 3);
         assert_eq!(b.used_by(VmId(2)), 2);
@@ -541,5 +623,64 @@ mod tests {
             b.flush_page(PoolId(42), ObjectId(0), 0),
             Err(TmemError::NoSuchPool)
         );
+    }
+
+    #[test]
+    fn reclaim_queue_compaction_preserves_victim_order() {
+        // Churn a persistent pool hard enough to force several compactions,
+        // then check the reclaim stream still yields oldest-first victims.
+        let (mut b, pool) = persistent_pool(1024);
+        for round in 0u64..8 {
+            for i in 0..200u32 {
+                b.put(pool, ObjectId(round), i, PageBuf::filled(i as u8))
+                    .unwrap();
+            }
+            // Consume most of them via exclusive gets → tombstones.
+            for i in 0..190u32 {
+                b.get(pool, ObjectId(round), i).unwrap();
+            }
+        }
+        // The queue must have been compacted below the raw 1600 insertions.
+        let queued = {
+            let p = b.pools.get(&pool).unwrap();
+            p.put_order.len()
+        };
+        assert!(
+            queued <= 2 * 80 + TOMBSTONE_SLACK + 200,
+            "queue not compacted: {queued} entries for 80 live pages"
+        );
+        let victims = b.reclaim_oldest_persistent(pool, 3);
+        assert_eq!(
+            victims,
+            vec![(ObjectId(0), 190), (ObjectId(0), 191), (ObjectId(0), 192)]
+        );
+        assert!(accounting_consistent(&b));
+    }
+
+    #[test]
+    fn ephemeral_fifo_compaction_preserves_eviction_order() {
+        let mut b: TmemBackend<PageBuf> = TmemBackend::new(1024);
+        let pool = b.new_pool(VmId(1), PoolKind::Ephemeral).unwrap();
+        for i in 0..400u32 {
+            b.put(pool, ObjectId(0), i, PageBuf::filled(i as u8))
+                .unwrap();
+        }
+        // Flush all but the last 10 → 390 tombstones, forcing compaction on
+        // subsequent puts.
+        for i in 0..390u32 {
+            b.flush_page(pool, ObjectId(0), i).unwrap();
+        }
+        for i in 400..500u32 {
+            b.put(pool, ObjectId(0), i, PageBuf::filled(i as u8))
+                .unwrap();
+        }
+        assert!(
+            b.ephemeral_fifo.len() <= 2 * 110 + TOMBSTONE_SLACK + 100,
+            "fifo not compacted: {} entries for 110 live pages",
+            b.ephemeral_fifo.len()
+        );
+        let evicted = b.evict_one_ephemeral().unwrap();
+        assert_eq!(evicted, TmemKey::new(pool, ObjectId(0), 390));
+        assert!(accounting_consistent(&b));
     }
 }

@@ -52,7 +52,11 @@ pub struct TmemKey {
 impl TmemKey {
     /// Build a key from its three components.
     pub fn new(pool: PoolId, object: ObjectId, index: PageIndex) -> Self {
-        TmemKey { pool, object, index }
+        TmemKey {
+            pool,
+            object,
+            index,
+        }
     }
 }
 

@@ -27,11 +27,14 @@
 
 pub mod backend;
 pub mod error;
+pub mod fastmap;
 pub mod key;
 pub mod page;
+pub mod reference;
 pub mod stats;
 
 pub use backend::{PoolKind, PutOutcome, TmemBackend};
 pub use error::{ReturnCode, TmemError};
+pub use fastmap::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use key::{ObjectId, PageIndex, PoolId, TmemKey, VmId};
 pub use page::{Fingerprint, PageBuf, PAGE_SIZE};

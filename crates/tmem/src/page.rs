@@ -42,7 +42,11 @@ impl PageBuf {
     /// Panics if `data` is not exactly one page long — a short "page" would
     /// silently corrupt a guest, so this is a programming error.
     pub fn from_bytes(data: Bytes) -> Self {
-        assert_eq!(data.len(), PAGE_SIZE, "page payload must be {PAGE_SIZE} bytes");
+        assert_eq!(
+            data.len(),
+            PAGE_SIZE,
+            "page payload must be {PAGE_SIZE} bytes"
+        );
         PageBuf(data)
     }
 
@@ -115,8 +119,14 @@ mod tests {
 
     #[test]
     fn fingerprint_distinguishes_contents() {
-        assert_ne!(PageBuf::filled(1).fingerprint(), PageBuf::filled(2).fingerprint());
-        assert_eq!(PageBuf::filled(7).fingerprint(), PageBuf::filled(7).fingerprint());
+        assert_ne!(
+            PageBuf::filled(1).fingerprint(),
+            PageBuf::filled(2).fingerprint()
+        );
+        assert_eq!(
+            PageBuf::filled(7).fingerprint(),
+            PageBuf::filled(7).fingerprint()
+        );
     }
 
     #[test]

@@ -13,16 +13,36 @@ use tmem::page::Fingerprint;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Put { pool: u8, obj: u8, idx: u8, val: u64 },
-    Get { pool: u8, obj: u8, idx: u8 },
-    FlushPage { pool: u8, obj: u8, idx: u8 },
-    FlushObject { pool: u8, obj: u8 },
+    Put {
+        pool: u8,
+        obj: u8,
+        idx: u8,
+        val: u64,
+    },
+    Get {
+        pool: u8,
+        obj: u8,
+        idx: u8,
+    },
+    FlushPage {
+        pool: u8,
+        obj: u8,
+        idx: u8,
+    },
+    FlushObject {
+        pool: u8,
+        obj: u8,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..2u8, 0..3u8, 0..16u8, any::<u64>())
-            .prop_map(|(pool, obj, idx, val)| Op::Put { pool, obj, idx, val }),
+        (0..2u8, 0..3u8, 0..16u8, any::<u64>()).prop_map(|(pool, obj, idx, val)| Op::Put {
+            pool,
+            obj,
+            idx,
+            val
+        }),
         (0..2u8, 0..3u8, 0..16u8).prop_map(|(pool, obj, idx)| Op::Get { pool, obj, idx }),
         (0..2u8, 0..3u8, 0..16u8).prop_map(|(pool, obj, idx)| Op::FlushPage { pool, obj, idx }),
         (0..2u8, 0..3u8).prop_map(|(pool, obj)| Op::FlushObject { pool, obj }),

@@ -1,0 +1,165 @@
+//! Differential property test: the flat-map fast-path backend must be
+//! observably indistinguishable from the original nested-`BTreeMap`
+//! implementation ([`tmem::reference::ReferenceBackend`]).
+//!
+//! Random operation sequences — puts, gets, flushes, object flushes,
+//! persistent reclaim and pool teardown, over a mix of persistent and
+//! ephemeral pools at tight capacities that force evictions — are driven
+//! through both stores in lockstep. Every return value must agree,
+//! including the *identity* of evicted ephemeral pages
+//! (`PutOutcome::StoredAfterEviction`) and the exact persistent reclaim
+//! victim stream, since figure output depends on those orders.
+
+use proptest::prelude::*;
+use tmem::backend::{accounting_consistent, PoolKind, TmemBackend};
+use tmem::key::{ObjectId, PageIndex, PoolId, VmId};
+use tmem::page::Fingerprint;
+use tmem::reference::ReferenceBackend;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put {
+        pool: u8,
+        obj: u8,
+        idx: u8,
+        val: u64,
+    },
+    Get {
+        pool: u8,
+        obj: u8,
+        idx: u8,
+    },
+    FlushPage {
+        pool: u8,
+        obj: u8,
+        idx: u8,
+    },
+    FlushObject {
+        pool: u8,
+        obj: u8,
+    },
+    Reclaim {
+        pool: u8,
+        max: u8,
+    },
+    DestroyPool {
+        pool: u8,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0..4u8, 0..3u8, 0..16u8, any::<u64>())
+            .prop_map(|(pool, obj, idx, val)| Op::Put { pool, obj, idx, val }),
+        4 => (0..4u8, 0..3u8, 0..16u8).prop_map(|(pool, obj, idx)| Op::Get { pool, obj, idx }),
+        3 => (0..4u8, 0..3u8, 0..16u8)
+            .prop_map(|(pool, obj, idx)| Op::FlushPage { pool, obj, idx }),
+        2 => (0..4u8, 0..3u8).prop_map(|(pool, obj)| Op::FlushObject { pool, obj }),
+        2 => (0..2u8, 1..6u8).prop_map(|(pool, max)| Op::Reclaim { pool, max }),
+        1 => (0..4u8).prop_map(|pool| Op::DestroyPool { pool }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pools 0–1 persistent (VM1/VM2), pools 2–3 ephemeral (VM1/VM2).
+    /// `Reclaim` only targets persistent pools, matching the hypervisor's
+    /// use; everything else hits all four.
+    #[test]
+    fn fast_backend_matches_reference_semantics(
+        ops in proptest::collection::vec(op_strategy(), 1..160),
+        capacity in 1u64..24,
+    ) {
+        let mut fast: TmemBackend<Fingerprint> = TmemBackend::new(capacity);
+        let mut refr: ReferenceBackend<Fingerprint> = ReferenceBackend::new(capacity);
+        let kinds = [
+            (VmId(1), PoolKind::Persistent),
+            (VmId(2), PoolKind::Persistent),
+            (VmId(1), PoolKind::Ephemeral),
+            (VmId(2), PoolKind::Ephemeral),
+        ];
+        let mut pools: Vec<PoolId> = Vec::new();
+        for (vm, kind) in kinds {
+            let a = fast.new_pool(vm, kind).unwrap();
+            let b = refr.new_pool(vm, kind).unwrap();
+            prop_assert_eq!(a, b, "pool id allocation must agree");
+            pools.push(a);
+        }
+        let mut destroyed = [false; 4];
+
+        for op in ops {
+            match op {
+                Op::Put { pool, obj, idx, val } => {
+                    let p = pools[pool as usize];
+                    let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
+                    let payload = Fingerprint::of(val, 0);
+                    prop_assert_eq!(
+                        fast.put(p, o, i, payload),
+                        refr.put(p, o, i, payload),
+                        "put({:?},{:?},{})", p, o, i
+                    );
+                }
+                Op::Get { pool, obj, idx } => {
+                    let p = pools[pool as usize];
+                    let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
+                    prop_assert_eq!(
+                        fast.get(p, o, i),
+                        refr.get(p, o, i),
+                        "get({:?},{:?},{})", p, o, i
+                    );
+                }
+                Op::FlushPage { pool, obj, idx } => {
+                    let p = pools[pool as usize];
+                    let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
+                    prop_assert_eq!(fast.flush_page(p, o, i), refr.flush_page(p, o, i));
+                }
+                Op::FlushObject { pool, obj } => {
+                    let p = pools[pool as usize];
+                    let o = ObjectId(obj as u64);
+                    prop_assert_eq!(fast.flush_object(p, o), refr.flush_object(p, o));
+                }
+                Op::Reclaim { pool, max } => {
+                    let p = pools[pool as usize];
+                    if destroyed[pool as usize] {
+                        continue; // reference reclaim asserts pool kind
+                    }
+                    prop_assert_eq!(
+                        fast.reclaim_oldest_persistent(p, max as u64),
+                        refr.reclaim_oldest_persistent(p, max as u64),
+                        "reclaim victim streams diverged"
+                    );
+                }
+                Op::DestroyPool { pool } => {
+                    let p = pools[pool as usize];
+                    prop_assert_eq!(fast.destroy_pool(p), refr.destroy_pool(p));
+                    destroyed[pool as usize] = true;
+                }
+            }
+            // Node-level observables after every step.
+            prop_assert_eq!(fast.used(), refr.used());
+            prop_assert_eq!(fast.free_pages(), refr.free_pages());
+            prop_assert_eq!(fast.evictions(), refr.evictions());
+            prop_assert_eq!(fast.used_by(VmId(1)), refr.used_by(VmId(1)));
+            prop_assert_eq!(fast.used_by(VmId(2)), refr.used_by(VmId(2)));
+            prop_assert!(accounting_consistent(&fast));
+        }
+
+        // Final sweep: page-level agreement over the whole key space.
+        for (pi, &p) in pools.iter().enumerate() {
+            prop_assert_eq!(fast.pool_page_count(p), refr.pool_page_count(p));
+            if destroyed[pi] {
+                continue;
+            }
+            for obj in 0..3u64 {
+                for idx in 0..16u32 {
+                    prop_assert_eq!(
+                        fast.contains(p, ObjectId(obj), idx),
+                        refr.contains(p, ObjectId(obj), idx),
+                        "contains({:?},{},{})", p, obj, idx
+                    );
+                }
+            }
+        }
+    }
+}

@@ -115,7 +115,11 @@ mod tests {
     use xen_sim::hypervisor::Hypervisor;
 
     fn rig() -> (Hypervisor<Fingerprint>, SharedDisk, CostModel) {
-        (Hypervisor::new(16, 16), SharedDisk::default(), CostModel::hdd())
+        (
+            Hypervisor::new(16, 16),
+            SharedDisk::default(),
+            CostModel::hdd(),
+        )
     }
 
     #[test]

@@ -37,12 +37,7 @@ fn zipf_sample(rng: &mut SplitMix64, n: u32, skew: f64) -> u32 {
 }
 
 /// Generate `n_ratings` MovieLens-shaped ratings.
-pub fn movielens_ratings(
-    seed: u64,
-    n_users: u32,
-    n_items: u32,
-    n_ratings: usize,
-) -> Vec<Rating> {
+pub fn movielens_ratings(seed: u64, n_users: u32, n_items: u32, n_ratings: usize) -> Vec<Rating> {
     assert!(n_users > 0 && n_items > 0);
     let mut rng = SplitMix64::new(seed).derive("movielens");
     let mut out = Vec::with_capacity(n_ratings);

@@ -87,7 +87,6 @@ impl FileServer {
     pub fn cache_stats(&self) -> Option<&guest_os::cleancache::CleancacheStats> {
         self.cache.as_ref().map(|c| c.stats())
     }
-
 }
 
 /// Zipf-popular file pick.

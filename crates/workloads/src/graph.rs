@@ -18,12 +18,12 @@
 use crate::appmodel::{InputReader, Pause};
 use crate::datasets::{powerlaw_edges, to_csr};
 use crate::traits::{Milestone, StepOutcome, Workload};
-use sim_core::time::SimDuration;
 use guest_os::kernel::GuestKernel;
 use guest_os::machine::Machine;
 use guest_os::paged::PagedVec;
 use serde::{Deserialize, Serialize};
 use sim_core::rng::SplitMix64;
+use sim_core::time::SimDuration;
 
 /// Edge budget per partition (~2 MiB of edge heap at the default stride).
 pub const PARTITION_EDGE_BYTES: u64 = 2 << 20;
@@ -97,11 +97,19 @@ impl GraphAnalyticsConfig {
 
 #[derive(Debug)]
 enum Phase {
-    LoadOffsets { pos: usize },
-    LoadTargets { pos: usize },
+    LoadOffsets {
+        pos: usize,
+    },
+    LoadTargets {
+        pos: usize,
+    },
     /// Write the cold staging region (never read again).
-    LoadCold { pos: usize },
-    InitRanks { pos: usize },
+    LoadCold {
+        pos: usize,
+    },
+    InitRanks {
+        pos: usize,
+    },
     /// Scatter pass of one iteration: partitions visited in shuffled order
     /// (GraphX task scheduling), vertices sequential within a partition.
     Scatter {
@@ -114,7 +122,10 @@ enum Phase {
         e: usize,
     },
     /// Damping/apply pass of one iteration.
-    Apply { iter: u32, pos: usize },
+    Apply {
+        iter: u32,
+        pos: usize,
+    },
     Finished,
 }
 
@@ -156,15 +167,13 @@ impl GraphAnalytics {
         let edges = powerlaw_edges(config.seed, config.n_nodes, config.n_edges);
         let (host_offsets, host_targets) = to_csr(config.n_nodes, &edges);
         // Carve vertex ranges whose edge spans are ~one partition each.
-        let edges_per_part =
-            (PARTITION_EDGE_BYTES / config.edge_stride as u64).max(1) as u32;
+        let edges_per_part = (PARTITION_EDGE_BYTES / config.edge_stride as u64).max(1) as u32;
         let mut partitions = Vec::new();
         let mut start = 0u32;
         while (start as usize) < host_offsets.len() - 1 {
             let limit = host_offsets[start as usize].saturating_add(edges_per_part);
             let mut end = start + 1;
-            while (end as usize) < host_offsets.len() - 1 && host_offsets[end as usize] < limit
-            {
+            while (end as usize) < host_offsets.len() - 1 && host_offsets[end as usize] < limit {
                 end += 1;
             }
             partitions.push((start, end));
@@ -205,16 +214,19 @@ impl GraphAnalytics {
     }
 
     fn free_all(&mut self, kernel: &mut GuestKernel, m: &mut Machine<'_>) {
-        for v in [
-            self.offsets.take(),
-            self.targets.take(),
-        ].into_iter().flatten() {
+        for v in [self.offsets.take(), self.targets.take()]
+            .into_iter()
+            .flatten()
+        {
             v.free(kernel, m);
         }
         if let Some(c) = self.cold.take() {
             c.free(kernel, m);
         }
-        for v in [self.ranks.take(), self.new_ranks.take()].into_iter().flatten() {
+        for v in [self.ranks.take(), self.new_ranks.take()]
+            .into_iter()
+            .flatten()
+        {
             v.free(kernel, m);
         }
     }
@@ -356,10 +368,7 @@ impl Workload for GraphAnalytics {
                         return StepOutcome::Runnable;
                     }
                 }
-                Phase::Apply {
-                    iter,
-                    ref mut pos,
-                } => {
+                Phase::Apply { iter, ref mut pos } => {
                     let base = ((1.0 - self.config.damping) / n as f64) as f32;
                     let d = self.config.damping as f32;
                     let ranks = self.ranks.as_mut().expect("live during iteration");

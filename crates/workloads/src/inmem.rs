@@ -18,15 +18,15 @@
 //! `factor_stride` (default 128), which is how a ~24 MB MovieLens export
 //! becomes a guest footprint exceeding a 1 GB VM.
 
+use crate::appmodel::{InputReader, Pause};
 use crate::datasets::{movielens_ratings, Rating};
 use crate::traits::{Milestone, StepOutcome, Workload};
-use crate::appmodel::{InputReader, Pause};
 use guest_os::kernel::GuestKernel;
 use guest_os::machine::Machine;
-use sim_core::time::SimDuration;
 use guest_os::paged::PagedVec;
 use serde::{Deserialize, Serialize};
 use sim_core::rng::SplitMix64;
+use sim_core::time::SimDuration;
 
 /// Latent factor rank (fixed: CloudSuite's ALS default neighbourhood).
 pub const RANK: usize = 8;
@@ -109,7 +109,9 @@ impl InMemoryAnalyticsConfig {
         let n_items = (factor_rows - u64::from(n_users / 10) * 6).max(2) as u32;
         InMemoryAnalyticsConfig {
             n_users,
-            n_items: n_items.min(factor_rows as u32 - n_users.min(factor_rows as u32 - 1)).max(2),
+            n_items: n_items
+                .min(factor_rows as u32 - n_users.min(factor_rows as u32 - 1))
+                .max(2),
             n_ratings,
             rating_stride,
             factor_stride,
@@ -134,11 +136,19 @@ impl InMemoryAnalyticsConfig {
 
 #[derive(Debug)]
 enum Phase {
-    Load { pos: usize },
+    Load {
+        pos: usize,
+    },
     /// Write the cold staging region (never read again).
-    LoadCold { pos: usize },
-    InitUsers { pos: usize },
-    InitItems { pos: usize },
+    LoadCold {
+        pos: usize,
+    },
+    InitUsers {
+        pos: usize,
+    },
+    InitItems {
+        pos: usize,
+    },
     Train {
         epoch: u32,
         /// Shuffled partition visit order for this epoch.
@@ -148,7 +158,10 @@ enum Phase {
         /// Offset within the current partition.
         in_part: usize,
     },
-    Evaluate { pos: usize, sse: f64 },
+    Evaluate {
+        pos: usize,
+        sse: f64,
+    },
     Finished,
 }
 
@@ -205,7 +218,6 @@ impl InMemoryAnalytics {
     pub fn config(&self) -> &InMemoryAnalyticsConfig {
         &self.config
     }
-
 
     fn free_all(&mut self, kernel: &mut GuestKernel, m: &mut Machine<'_>) {
         if let Some(r) = self.ratings.take() {

@@ -56,11 +56,18 @@ enum Phase {
     /// About to allocate a block of the given size.
     StartBlock(u64),
     /// Linear write pass over the current block.
-    Write { pos: usize },
+    Write {
+        pos: usize,
+    },
     /// Linear read pass over the current block.
-    Read { pos: usize },
+    Read {
+        pos: usize,
+    },
     /// At max size: keep traversing until stopped.
-    Steady { pos: usize, writing: bool },
+    Steady {
+        pos: usize,
+        writing: bool,
+    },
     Finished,
 }
 
@@ -153,9 +160,7 @@ impl Workload for Usemem {
                         if m.budget.exhausted() {
                             return StepOutcome::Runnable;
                         }
-                        self.checksum = self
-                            .checksum
-                            .wrapping_add(block.get(*pos, kernel, m));
+                        self.checksum = self.checksum.wrapping_add(block.get(*pos, kernel, m));
                         m.budget.charge_compute(self.config.compute_per_page);
                         *pos += 1;
                     }
@@ -167,8 +172,8 @@ impl Workload for Usemem {
                             writing: true,
                         };
                     } else {
-                        let next = (self.block_bytes + self.config.step_bytes)
-                            .min(self.config.max_bytes);
+                        let next =
+                            (self.block_bytes + self.config.step_bytes).min(self.config.max_bytes);
                         self.phase = Phase::StartBlock(next);
                     }
                 }
@@ -184,9 +189,7 @@ impl Workload for Usemem {
                         if *writing {
                             block.set(*pos, (*pos as u64).rotate_left(7), kernel, m);
                         } else {
-                            self.checksum = self
-                                .checksum
-                                .wrapping_add(block.get(*pos, kernel, m));
+                            self.checksum = self.checksum.wrapping_add(block.get(*pos, kernel, m));
                         }
                         m.budget.charge_compute(self.config.compute_per_page);
                         *pos += 1;

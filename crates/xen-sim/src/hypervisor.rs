@@ -22,13 +22,13 @@
 //! oldest persistent pages to its swap device while it exceeds its target.
 
 use crate::vm::VmConfig;
+use sim_core::time::SimTime;
 use std::collections::BTreeMap;
 use tmem::backend::{PoolKind, PutOutcome, TmemBackend};
 use tmem::error::{ReturnCode, TmemError};
 use tmem::key::{ObjectId, PageIndex, PoolId, VmId};
 use tmem::page::PagePayload;
 use tmem::stats::{MemStats, MmTarget, NodeInfo, VmDataHyp};
-use sim_core::time::SimTime;
 
 /// The simulated hypervisor: tmem backend + per-VM Table I state + target
 /// enforcement.

@@ -21,7 +21,10 @@ pub struct SamplingVirq {
 impl SamplingVirq {
     /// A VIRQ firing every `period`, first at `period` after time zero.
     pub fn new(period: SimDuration) -> Self {
-        assert!(period > SimDuration::ZERO, "sampling period must be positive");
+        assert!(
+            period > SimDuration::ZERO,
+            "sampling period must be positive"
+        );
         SamplingVirq {
             period,
             next_due: SimTime::ZERO + period,

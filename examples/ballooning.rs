@@ -48,7 +48,12 @@ fn main() {
     let mut kernels = Vec::new();
     for (id, frames) in [(1u32, 400u64), (2, 1200)] {
         let vm = VmId(id);
-        hyp.register_vm(VmConfig::new(vm, format!("VM{id}"), (frames + 20) * 4096, 1));
+        hyp.register_vm(VmConfig::new(
+            vm,
+            format!("VM{id}"),
+            (frames + 20) * 4096,
+            1,
+        ));
         let tkm = GuestTkm::init(&mut hyp, vm, PoolKind::Persistent).unwrap();
         let mut k = GuestKernel::new(GuestConfig {
             vm,

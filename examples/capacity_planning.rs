@@ -17,7 +17,10 @@ use smartmem::scenarios::{run_scenario, RunConfig};
 fn main() {
     let policy = PolicyKind::SmartAlloc { p: 2.0 };
     println!("tmem capacity sweep — Scenario 1 under {policy}\n");
-    println!("{:>12}  {:>12}  {:>10}  {:>12}", "tmem factor", "mean run", "disk reads", "failed puts");
+    println!(
+        "{:>12}  {:>12}  {:>10}  {:>12}",
+        "tmem factor", "mean run", "disk reads", "failed puts"
+    );
 
     // The scenario fixes tmem at 1 GB (scaled); emulate different node
     // provisioning by scaling the whole experiment and the tmem knob via
@@ -42,7 +45,11 @@ fn main() {
                 .collect();
             all.iter().sum::<f64>() / all.len() as f64
         };
-        let failed: u64 = r.vm_results.iter().map(|v| v.kernel_stats.failed_puts).sum();
+        let failed: u64 = r
+            .vm_results
+            .iter()
+            .map(|v| v.kernel_stats.failed_puts)
+            .sum();
         println!(
             "{factor:>12.2}  {mean:>11.2}s  {:>10}  {failed:>12}",
             r.disk_reads

@@ -21,8 +21,8 @@ use smartmem::policies::policy::Policy;
 use smartmem::policies::{MemoryManager, SmartAlloc, SmartAllocConfig};
 use smartmem::sim::cost::CostModel;
 use smartmem::sim::time::{SimDuration, SimTime};
-use smartmem::tmem::key::VmId;
 use smartmem::tmem::backend::PoolKind;
+use smartmem::tmem::key::VmId;
 use smartmem::tmem::stats::{MemStats, MmTarget};
 use smartmem::xen::hypervisor::Hypervisor;
 use smartmem::xen::vm::VmConfig;

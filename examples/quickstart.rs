@@ -22,18 +22,28 @@ fn main() {
     };
 
     println!("SmarTmem quickstart — Scenario 2 (graph-analytics × 3, VM3 +30s)");
-    println!("scale {} → tmem {} MiB, VMs 512·scale MiB\n", cfg.scale, 1024.0 * cfg.scale);
+    println!(
+        "scale {} → tmem {} MiB, VMs 512·scale MiB\n",
+        cfg.scale,
+        1024.0 * cfg.scale
+    );
 
     for policy in [PolicyKind::Greedy, PolicyKind::SmartAlloc { p: 6.0 }] {
         let r = run_scenario(ScenarioKind::Scenario2, policy, &cfg);
-        println!("policy {:<18} (MM sent {} target updates over {} cycles)",
-            r.policy, r.mm_transmissions, r.mm_cycles);
+        println!(
+            "policy {:<18} (MM sent {} target updates over {} cycles)",
+            r.policy, r.mm_transmissions, r.mm_cycles
+        );
         for vm in &r.vm_results {
             let t = vm.completions()[0];
             let s = &vm.kernel_stats;
             println!(
                 "  {}: {:>9}  | tmem hits {:>7}  disk faults {:>6}  failed puts {:>6}",
-                vm.name, t.to_string(), s.tmem_faults, s.disk_faults, s.failed_puts
+                vm.name,
+                t.to_string(),
+                s.tmem_faults,
+                s.disk_faults,
+                s.failed_puts
             );
         }
         println!();

@@ -118,17 +118,21 @@ fn targets_installed_through_the_tkm_rebalance_the_pool() {
     relay.forward_targets(
         &mut n.hyp,
         &[
-            MmTarget { vm_id: VmId(1), mm_target: 4 },
-            MmTarget { vm_id: VmId(2), mm_target: 4 },
+            MmTarget {
+                vm_id: VmId(1),
+                mm_target: 4,
+            },
+            MmTarget {
+                vm_id: VmId(2),
+                mm_target: 4,
+            },
         ],
     );
     // Slow reclaim trickles VM1's oldest pages to its swap device.
     let t1_pool = smartmem::tmem::key::PoolId(0);
     let reclaimed = n.hyp.reclaim_over_target(t1_pool, 2);
     assert_eq!(reclaimed.len(), 2);
-    k1.tmem_reclaimed(
-        &reclaimed.iter().map(|&(o, i)| (o.0, i)).collect::<Vec<_>>(),
-    );
+    k1.tmem_reclaimed(&reclaimed.iter().map(|&(o, i)| (o.0, i)).collect::<Vec<_>>());
     assert_eq!(n.hyp.tmem_used_by(VmId(1)), 6);
 
     // VM2 can now acquire the freed frames (its target allows 4).

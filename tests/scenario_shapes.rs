@@ -150,7 +150,11 @@ fn usemem_scenario_fairness_policies_rescue_vm3() {
     );
     // reconf-static trades some overall progress for VM3's share (the
     // paper reports it losing for VM1/VM2); it must not collapse.
-    let rc = run_scenario(ScenarioKind::UsememScenario, PolicyKind::ReconfStatic, &ucfg);
+    let rc = run_scenario(
+        ScenarioKind::UsememScenario,
+        PolicyKind::ReconfStatic,
+        &ucfg,
+    );
     assert!(
         rc.end_time.as_nanos() < greedy.end_time.as_nanos() * 115 / 100,
         "reconf: scenario end {} should stay close to greedy {}",
@@ -207,7 +211,10 @@ fn reconf_static_activates_only_swapping_vms() {
         .map(|t| t.points().last().unwrap().1)
         .collect();
     assert!(finals[0] > 0.0);
-    assert!(finals.iter().all(|&f| f == finals[0]), "equal shares: {finals:?}");
+    assert!(
+        finals.iter().all(|&f| f == finals[0]),
+        "equal shares: {finals:?}"
+    );
     let vm1_targets = &series.target[0];
     assert!(
         vm1_targets.max().unwrap() > finals[0],
