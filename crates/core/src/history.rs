@@ -11,11 +11,28 @@ use std::collections::VecDeque;
 use tmem::key::VmId;
 use tmem::stats::MemStats;
 
+/// Classification of an incoming snapshot's sequence number against the
+/// history's high-water mark. See [`StatsHistory::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqObservation {
+    /// A new snapshot, possibly after a gap — safe to process.
+    Fresh,
+    /// Same sequence as the last processed snapshot (duplicated in the
+    /// relay) — discard idempotently.
+    Duplicate,
+    /// Older than the last processed snapshot (reordered in the relay) —
+    /// discard; newer data already informed the policy.
+    Stale,
+}
+
 /// A FIFO-bounded window of statistics snapshots.
 #[derive(Debug, Default)]
 pub struct StatsHistory {
     window: VecDeque<MemStats>,
     limit: usize,
+    last_seq: Option<u64>,
+    gaps: u64,
+    missed: u64,
 }
 
 impl StatsHistory {
@@ -24,7 +41,49 @@ impl StatsHistory {
         StatsHistory {
             window: VecDeque::with_capacity(limit.min(4096)),
             limit,
+            last_seq: None,
+            gaps: 0,
+            missed: 0,
         }
+    }
+
+    /// Classify snapshot sequence `seq` against the last one processed,
+    /// advancing the high-water mark and the gap statistics when it is
+    /// fresh. The relay path may drop, delay or duplicate samples; the MM
+    /// calls this before ingesting so duplicates and stale reorders are
+    /// discarded idempotently and loss is visible as gap counts.
+    pub fn observe(&mut self, seq: u64) -> SeqObservation {
+        match self.last_seq {
+            Some(last) if seq == last => SeqObservation::Duplicate,
+            Some(last) if seq < last => SeqObservation::Stale,
+            Some(last) => {
+                if seq > last + 1 {
+                    self.gaps += 1;
+                    self.missed += seq - last - 1;
+                }
+                self.last_seq = Some(seq);
+                SeqObservation::Fresh
+            }
+            None => {
+                self.last_seq = Some(seq);
+                SeqObservation::Fresh
+            }
+        }
+    }
+
+    /// Highest snapshot sequence processed so far.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.last_seq
+    }
+
+    /// Number of sequence gaps detected (each may span several samples).
+    pub fn gaps(&self) -> u64 {
+        self.gaps
+    }
+
+    /// Total samples known missing across all gaps.
+    pub fn missed(&self) -> u64 {
+        self.missed
     }
 
     /// Append a snapshot, evicting the oldest beyond the limit.
@@ -118,6 +177,21 @@ mod tests {
         h.push(snap(0, 0));
         assert!(h.is_empty());
         assert!(h.latest().is_none());
+    }
+
+    #[test]
+    fn observe_classifies_and_counts_gaps() {
+        let mut h = StatsHistory::new(4);
+        assert_eq!(h.observe(1), SeqObservation::Fresh);
+        assert_eq!(h.observe(2), SeqObservation::Fresh);
+        assert_eq!(h.observe(2), SeqObservation::Duplicate);
+        assert_eq!(h.observe(1), SeqObservation::Stale);
+        assert_eq!(h.gaps(), 0);
+        // Samples 3 and 4 lost: one gap, two missed.
+        assert_eq!(h.observe(5), SeqObservation::Fresh);
+        assert_eq!(h.gaps(), 1);
+        assert_eq!(h.missed(), 2);
+        assert_eq!(h.last_seq(), Some(5));
     }
 
     #[test]

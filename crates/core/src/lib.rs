@@ -30,7 +30,8 @@ pub mod mm;
 pub mod policy;
 
 pub use balloon::{BalloonAdvice, BalloonConfig, BalloonManager};
-pub use mm::MemoryManager;
+pub use history::{SeqObservation, StatsHistory};
+pub use mm::{MemoryManager, REBUILD_WINDOW};
 pub use policy::greedy::Greedy;
 pub use policy::predictive::{Predictive, PredictiveConfig};
 pub use policy::reconf_static::ReconfStatic;

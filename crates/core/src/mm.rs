@@ -10,18 +10,35 @@
 //! the paper's policies: "If no changes are detected, then no transmission
 //! takes place, avoiding unnecessary communication overhead."
 
-use crate::history::StatsHistory;
-use crate::policy::Policy;
-use tmem::stats::{MemStats, MmTarget};
+use crate::history::{SeqObservation, StatsHistory};
+use crate::policy::{Policy, PolicyKind};
+use tmem::stats::{MmTarget, StatsMsg};
+
+/// Sampling cycles a restarted MM observes before computing targets again.
+/// A crash loses the policy's accumulated state (history, reconf-static's
+/// active set, smart-alloc's previous targets read back via `mm_target`);
+/// the rebuild window lets the snapshot stream re-seed that state before
+/// the policy's output is trusted.
+pub const REBUILD_WINDOW: u64 = 2;
 
 /// The user-space Memory Manager: a policy plus history plus transmission
-/// suppression.
+/// suppression, with crash-and-restart support.
 pub struct MemoryManager {
     policy: Box<dyn Policy>,
+    kind: Option<PolicyKind>,
     history: StatsHistory,
+    history_limit: usize,
     last_sent: Option<Vec<MmTarget>>,
     cycles: u64,
     transmissions: u64,
+    push_seq: u64,
+    crashes: u64,
+    warmup_remaining: u64,
+    // Harness observability, not process state: these survive crashes so
+    // chaos reports can show run-wide totals.
+    discarded: u64,
+    gaps_before_crashes: u64,
+    missed_before_crashes: u64,
 }
 
 impl MemoryManager {
@@ -29,11 +46,29 @@ impl MemoryManager {
     pub fn new(policy: Box<dyn Policy>, history_limit: usize) -> Self {
         MemoryManager {
             policy,
+            kind: None,
             history: StatsHistory::new(history_limit),
+            history_limit,
             last_sent: None,
             cycles: 0,
             transmissions: 0,
+            push_seq: 0,
+            crashes: 0,
+            warmup_remaining: 0,
+            discarded: 0,
+            gaps_before_crashes: 0,
+            missed_before_crashes: 0,
         }
+    }
+
+    /// Build from a [`PolicyKind`] (the value-level selector), remembering
+    /// the kind so [`MemoryManager::crash`] can rebuild the policy from
+    /// scratch. Returns `None` for [`PolicyKind::NoTmem`], which runs no MM.
+    pub fn from_kind(kind: PolicyKind, history_limit: usize) -> Option<Self> {
+        let policy = kind.build()?;
+        let mut mm = MemoryManager::new(policy, history_limit);
+        mm.kind = Some(kind);
+        Some(mm)
     }
 
     /// The wrapped policy's report name.
@@ -47,13 +82,31 @@ impl MemoryManager {
         self.policy.initial_target(total_tmem)
     }
 
-    /// One MM cycle: ingest a statistics snapshot and return the target
-    /// vector to transmit — or `None` when it is unchanged since the last
-    /// transmission (`send_to_hypervisor` suppression).
-    pub fn on_stats(&mut self, stats: &MemStats) -> Option<Vec<MmTarget>> {
+    /// One MM cycle: ingest a sequence-stamped statistics snapshot and
+    /// return `(push_seq, targets)` to transmit — or `None` when the
+    /// vector is unchanged since the last transmission
+    /// (`send_to_hypervisor` suppression), the snapshot is a duplicate or
+    /// stale reorder (discarded idempotently, no cycle consumed), or the
+    /// MM is still rebuilding state after a restart.
+    pub fn on_stats(&mut self, msg: &StatsMsg) -> Option<(u64, Vec<MmTarget>)> {
+        match self.history.observe(msg.seq) {
+            SeqObservation::Fresh => {}
+            SeqObservation::Duplicate | SeqObservation::Stale => {
+                self.discarded += 1;
+                return None;
+            }
+        }
         self.cycles += 1;
-        self.history.push(stats.clone());
-        let mut targets = self.policy.compute(stats);
+        self.history.push(msg.stats.clone());
+        if self.warmup_remaining > 0 {
+            // Rebuild window after a restart: let the policy see the
+            // snapshot (its internal state re-seeds) but do not trust —
+            // or transmit — its output yet.
+            self.policy.compute(&msg.stats);
+            self.warmup_remaining -= 1;
+            return None;
+        }
+        let mut targets = self.policy.compute(&msg.stats);
         // Canonical order so comparison is population-change aware but
         // order-insensitive.
         targets.sort_by_key(|t| t.vm_id);
@@ -62,7 +115,29 @@ impl MemoryManager {
         }
         self.last_sent = Some(targets.clone());
         self.transmissions += 1;
-        Some(targets)
+        self.push_seq += 1;
+        Some((self.push_seq, targets))
+    }
+
+    /// Simulate an MM process crash: all in-memory state — history, the
+    /// policy's accumulated state, transmission suppression memory — is
+    /// lost. The policy is rebuilt from its kind (when known) and the next
+    /// [`REBUILD_WINDOW`] snapshots re-seed state before targets flow
+    /// again. The push sequence survives conceptually (the hypervisor's
+    /// idempotence guard keys on it), so it is monotonic across crashes —
+    /// modeling the restart reading the last sequence from the relay.
+    pub fn crash(&mut self) {
+        if let Some(kind) = self.kind {
+            if let Some(policy) = kind.build() {
+                self.policy = policy;
+            }
+        }
+        self.gaps_before_crashes += self.history.gaps();
+        self.missed_before_crashes += self.history.missed();
+        self.history = StatsHistory::new(self.history_limit);
+        self.last_sent = None;
+        self.crashes += 1;
+        self.warmup_remaining = REBUILD_WINDOW;
     }
 
     /// Snapshots retained so far.
@@ -70,7 +145,7 @@ impl MemoryManager {
         &self.history
     }
 
-    /// MM cycles run (one per VIRQ).
+    /// MM cycles run (one per fresh snapshot processed).
     pub fn cycles(&self) -> u64 {
         self.cycles
     }
@@ -78,6 +153,32 @@ impl MemoryManager {
     /// Target transmissions actually sent (≤ cycles thanks to suppression).
     pub fn transmissions(&self) -> u64 {
         self.transmissions
+    }
+
+    /// Crash episodes this MM has been through.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Whether the MM is inside its post-restart rebuild window.
+    pub fn warming_up(&self) -> bool {
+        self.warmup_remaining > 0
+    }
+
+    /// Duplicate/stale snapshots discarded idempotently, run-wide (survives
+    /// crashes).
+    pub fn snapshots_discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Sequence gaps detected, run-wide (survives crashes).
+    pub fn seq_gaps(&self) -> u64 {
+        self.gaps_before_crashes + self.history.gaps()
+    }
+
+    /// Samples known missing across all gaps, run-wide (survives crashes).
+    pub fn samples_missed(&self) -> u64 {
+        self.missed_before_crashes + self.history.missed()
     }
 }
 
@@ -98,39 +199,47 @@ mod tests {
     use crate::policy::static_alloc::StaticAlloc;
     use sim_core::time::SimTime;
     use tmem::key::VmId;
-    use tmem::stats::{NodeInfo, VmStat};
+    use tmem::stats::{MemStats, NodeInfo, VmStat};
 
-    fn stats(n: usize, failed: u64) -> MemStats {
-        MemStats {
-            at: SimTime::from_secs(1),
-            node: NodeInfo {
-                total_tmem: 900,
-                free_tmem: 900,
-                vm_count: n as u32,
+    fn stats(seq: u64, n: usize, failed: u64) -> StatsMsg {
+        StatsMsg {
+            seq,
+            stats: MemStats {
+                at: SimTime::from_secs(seq),
+                node: NodeInfo {
+                    total_tmem: 900,
+                    free_tmem: 900,
+                    vm_count: n as u32,
+                },
+                vms: (0..n)
+                    .map(|i| VmStat {
+                        vm_id: VmId(i as u32 + 1),
+                        puts_total: failed,
+                        puts_succ: 0,
+                        gets_total: 0,
+                        gets_succ: 0,
+                        flushes: 0,
+                        tmem_used: 0,
+                        mm_target: 0,
+                        cumul_puts_failed: failed,
+                    })
+                    .collect(),
             },
-            vms: (0..n)
-                .map(|i| VmStat {
-                    vm_id: VmId(i as u32 + 1),
-                    puts_total: failed,
-                    puts_succ: 0,
-                    gets_total: 0,
-                    gets_succ: 0,
-                    flushes: 0,
-                    tmem_used: 0,
-                    mm_target: 0,
-                    cumul_puts_failed: failed,
-                })
-                .collect(),
         }
     }
 
     #[test]
     fn unchanged_targets_are_suppressed() {
         let mut mm = MemoryManager::new(Box::new(StaticAlloc), 16);
-        let s = stats(3, 0);
-        assert!(mm.on_stats(&s).is_some(), "first cycle transmits");
-        assert!(mm.on_stats(&s).is_none(), "identical result suppressed");
-        assert!(mm.on_stats(&s).is_none());
+        assert!(
+            mm.on_stats(&stats(1, 3, 0)).is_some(),
+            "first cycle transmits"
+        );
+        assert!(
+            mm.on_stats(&stats(2, 3, 0)).is_none(),
+            "identical result suppressed"
+        );
+        assert!(mm.on_stats(&stats(3, 3, 0)).is_none());
         assert_eq!(mm.cycles(), 3);
         assert_eq!(mm.transmissions(), 1);
     }
@@ -138,8 +247,9 @@ mod tests {
     #[test]
     fn population_change_triggers_retransmission() {
         let mut mm = MemoryManager::new(Box::new(StaticAlloc), 16);
-        assert!(mm.on_stats(&stats(2, 0)).is_some());
-        let t3 = mm.on_stats(&stats(3, 0)).expect("new VM changes shares");
+        assert!(mm.on_stats(&stats(1, 2, 0)).is_some());
+        let (seq, t3) = mm.on_stats(&stats(2, 3, 0)).expect("new VM changes shares");
+        assert_eq!(seq, 2, "second transmission");
         assert_eq!(t3.len(), 3);
         assert!(t3.iter().all(|t| t.mm_target == 300));
     }
@@ -152,9 +262,9 @@ mod tests {
         // (The snapshot's mm_target field would normally reflect previous
         // targets; static zero here just means policy output repeats after
         // the first, exercising suppression.)
-        assert!(mm.on_stats(&stats(2, 5)).is_some());
+        assert!(mm.on_stats(&stats(1, 2, 5)).is_some());
         assert!(
-            mm.on_stats(&stats(2, 5)).is_none(),
+            mm.on_stats(&stats(2, 2, 5)).is_none(),
             "same inputs, same output"
         );
     }
@@ -162,9 +272,50 @@ mod tests {
     #[test]
     fn history_is_retained_and_bounded() {
         let mut mm = MemoryManager::new(Box::new(StaticAlloc), 2);
-        for _ in 0..5 {
-            mm.on_stats(&stats(1, 0));
+        for seq in 1..=5 {
+            mm.on_stats(&stats(seq, 1, 0));
         }
         assert_eq!(mm.history().len(), 2, "bounded by limit");
+    }
+
+    #[test]
+    fn duplicates_and_stale_snapshots_are_discarded() {
+        let mut mm = MemoryManager::new(Box::new(StaticAlloc), 16);
+        assert!(mm.on_stats(&stats(2, 3, 0)).is_some());
+        assert!(mm.on_stats(&stats(2, 3, 0)).is_none(), "duplicate");
+        assert!(mm.on_stats(&stats(1, 3, 0)).is_none(), "stale reorder");
+        assert_eq!(mm.cycles(), 1, "discards consume no cycle");
+        assert_eq!(mm.history().len(), 1);
+        // A gap (3, 4 lost) is fresh and counted.
+        assert!(mm.on_stats(&stats(5, 3, 0)).is_none(), "same targets");
+        assert_eq!(mm.history().gaps(), 1);
+        assert_eq!(mm.history().missed(), 2);
+    }
+
+    #[test]
+    fn crash_loses_state_and_warms_up_before_transmitting() {
+        let mut mm =
+            MemoryManager::from_kind(PolicyKind::StaticAlloc, 16).expect("policy-backed MM");
+        assert!(mm.on_stats(&stats(1, 3, 0)).is_some());
+        assert!(mm.on_stats(&stats(2, 3, 0)).is_none(), "suppressed");
+
+        mm.crash();
+        assert_eq!(mm.crashes(), 1);
+        assert!(mm.warming_up());
+        assert!(mm.history().is_empty(), "history lost");
+        // REBUILD_WINDOW snapshots re-seed state without transmission...
+        assert!(mm.on_stats(&stats(3, 3, 0)).is_none());
+        assert!(mm.on_stats(&stats(4, 3, 0)).is_none());
+        assert!(!mm.warming_up());
+        // ...then targets flow again, with a push seq above the pre-crash
+        // one so the hypervisor's idempotence guard accepts it.
+        let (seq, t) = mm.on_stats(&stats(5, 3, 0)).expect("resumes after warmup");
+        assert_eq!(seq, 2);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn from_kind_no_tmem_has_no_mm() {
+        assert!(MemoryManager::from_kind(PolicyKind::NoTmem, 16).is_none());
     }
 }

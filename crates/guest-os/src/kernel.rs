@@ -785,7 +785,10 @@ mod tests {
         assert_eq!(k.stats().evictions_to_disk, 8);
         assert_eq!(hyp.tmem_used_by(VmId(2)), 0);
         let s = hyp.sample(SimTime::from_secs(1));
-        assert_eq!(s.vms[0].puts_total, 0, "no hypercalls without frontswap");
+        assert_eq!(
+            s.stats.vms[0].puts_total, 0,
+            "no hypercalls without frontswap"
+        );
     }
 
     #[test]

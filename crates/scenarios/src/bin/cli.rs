@@ -5,6 +5,7 @@
 //! smartmem-cli fig <3|4|5|6|7|8|9|10> [--scale S] [--reps N] [--seed S] [--out DIR] [--jobs N]
 //! smartmem-cli all [--scale S] [--reps N] [--out DIR] [--jobs N]
 //! smartmem-cli run <scenario1|scenario2|usemem|scenario3> <policy> [--scale S] [--seed S]
+//! smartmem-cli chaos [--scale S] [--seed S] [--out DIR] [--jobs N] [--bound X]
 //! smartmem-cli bench-parallel [--scale S] [--reps N] [--seed S] [--out DIR] [--jobs N]
 //! ```
 //!
@@ -14,7 +15,14 @@
 //! `--jobs N` sets the number of worker threads the experiment grids fan
 //! out over (default: all available cores). Output is byte-identical at
 //! any job count; `--jobs 1` forces the serial engine.
+//!
+//! `chaos` runs every (scenario × managed-policy) cell fault-free and
+//! under each shipped fault profile, prints the degradation report, and
+//! exits non-zero when any per-VM slowdown exceeds the bound (default
+//! [`scenarios::chaos::DEGRADATION_BOUND`]) or a tmem accounting
+//! invariant was ever violated.
 
+use scenarios::chaos;
 use scenarios::config::RunConfig;
 use scenarios::figures;
 use scenarios::report;
@@ -31,6 +39,7 @@ struct Args {
     seed: u64,
     out: Option<PathBuf>,
     jobs: usize,
+    bound: f64,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Args, String> {
@@ -40,6 +49,7 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         seed: 42,
         out: None,
         jobs: scenarios::par::default_jobs(),
+        bound: chaos::DEGRADATION_BOUND,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -49,8 +59,20 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
                 .ok_or_else(|| format!("flag {flag} needs a value"))
         };
         match flag.as_str() {
-            "--scale" => args.scale = value()?.parse().map_err(|e| format!("--scale: {e}"))?,
-            "--reps" => args.reps = value()?.parse().map_err(|e| format!("--reps: {e}"))?,
+            "--scale" => {
+                let s: f64 = value()?.parse().map_err(|e| format!("--scale: {e}"))?;
+                if !(s.is_finite() && s > 0.0) {
+                    return Err(format!("--scale must be a positive finite number, got {s}"));
+                }
+                args.scale = s;
+            }
+            "--reps" => {
+                let r: u64 = value()?.parse().map_err(|e| format!("--reps: {e}"))?;
+                if r == 0 {
+                    return Err("--reps must be at least 1 (0 repetitions produce no data)".into());
+                }
+                args.reps = r;
+            }
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--out" => args.out = Some(PathBuf::from(value()?)),
             "--jobs" => {
@@ -60,19 +82,30 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
                 }
                 args.jobs = n;
             }
+            "--bound" => {
+                let b: f64 = value()?.parse().map_err(|e| format!("--bound: {e}"))?;
+                if !(b.is_finite() && b >= 1.0) {
+                    return Err(format!(
+                        "--bound must be a finite ratio >= 1.0 (a slowdown multiplier), got {b}"
+                    ));
+                }
+                args.bound = b;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(args)
 }
 
-fn run_config(a: &Args) -> RunConfig {
-    RunConfig {
+fn run_config(a: &Args) -> Result<RunConfig, String> {
+    let cfg = RunConfig {
         scale: a.scale,
         seed: a.seed,
         jobs: a.jobs,
         ..RunConfig::default()
-    }
+    };
+    cfg.validate()?;
+    Ok(cfg)
 }
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
@@ -103,28 +136,28 @@ fn parse_scenario(s: &str) -> Result<ScenarioKind, String> {
     }
 }
 
-fn emit_bars(fig: figures::FigureData, out: &Option<PathBuf>) {
+fn emit_bars(fig: figures::FigureData, out: &Option<PathBuf>) -> Result<(), String> {
     print!("{}", report::render_bars(&fig));
     if let Some(dir) = out {
-        match report::write_bars_csv(&fig, dir) {
-            Ok(p) => println!("csv: {}", p.display()),
-            Err(e) => eprintln!("csv write failed: {e}"),
-        }
+        let p = report::write_bars_csv(&fig, dir)
+            .map_err(|e| format!("writing {} CSV under {}: {e}", fig.id, dir.display()))?;
+        println!("csv: {}", p.display());
     }
+    Ok(())
 }
 
-fn emit_series(fig: figures::SeriesFigure, out: &Option<PathBuf>) {
+fn emit_series(fig: figures::SeriesFigure, out: &Option<PathBuf>) -> Result<(), String> {
     print!("{}", report::render_series(&fig, 24));
     if let Some(dir) = out {
-        match report::write_series_csv(&fig, dir) {
-            Ok(p) => println!("csv: {}", p.display()),
-            Err(e) => eprintln!("csv write failed: {e}"),
-        }
+        let p = report::write_series_csv(&fig, dir)
+            .map_err(|e| format!("writing {} CSV under {}: {e}", fig.id, dir.display()))?;
+        println!("csv: {}", p.display());
     }
+    Ok(())
 }
 
 fn figure(n: u32, a: &Args) -> Result<(), String> {
-    let cfg = run_config(a);
+    let cfg = run_config(a)?;
     match n {
         3 => emit_bars(figures::fig3(&cfg, a.reps), &a.out),
         4 => emit_series(figures::fig4(&cfg), &a.out),
@@ -134,9 +167,8 @@ fn figure(n: u32, a: &Args) -> Result<(), String> {
         8 => emit_series(figures::fig8(&cfg), &a.out),
         9 => emit_bars(figures::fig9(&cfg, a.reps), &a.out),
         10 => emit_series(figures::fig10(&cfg), &a.out),
-        other => return Err(format!("no figure {other} in the paper's evaluation")),
+        other => Err(format!("no figure {other} in the paper's evaluation")),
     }
-    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -144,7 +176,7 @@ fn main() -> ExitCode {
     let result = match argv.split_first() {
         Some((cmd, rest)) => dispatch(cmd, rest),
         None => Err(
-            "usage: smartmem-cli <table2|fig N|all|run SCENARIO POLICY|bench-parallel> [flags]"
+            "usage: smartmem-cli <table2|fig N|all|run SCENARIO POLICY|chaos|bench-parallel> [flags]"
                 .into(),
         ),
     };
@@ -243,9 +275,9 @@ fn bench_parallel(a: &Args) -> Result<(), String> {
     );
 
     // --- End-to-end: the full `all` figure set, serial vs --jobs ---
-    let mut serial_cfg = run_config(a);
+    let mut serial_cfg = run_config(a)?;
     serial_cfg.jobs = 1;
-    let parallel_cfg = run_config(a);
+    let parallel_cfg = run_config(a)?;
 
     let t = std::time::Instant::now();
     compute_all(&serial_cfg, a.reps);
@@ -278,7 +310,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
     match cmd {
         "table2" => {
             let a = parse_flags(rest)?;
-            let cfg = run_config(&a);
+            let cfg = run_config(&a)?;
             println!("== Table II — scenarios (scale {}) ==", a.scale);
             for (name, rows) in figures::table2_rows(&cfg) {
                 println!("{name}");
@@ -306,13 +338,43 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             let a = parse_flags(rest)?;
             bench_parallel(&a)
         }
+        "chaos" => {
+            let a = parse_flags(rest)?;
+            let cfg = run_config(&a)?;
+            let report = chaos::run_chaos(
+                &cfg,
+                &[ScenarioKind::Scenario1, ScenarioKind::Scenario2],
+                &chaos::chaos_policies(),
+                &chaos::shipped_profiles(),
+                a.bound,
+            );
+            print!("{}", report.render());
+            if let Some(dir) = &a.out {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+                let path = dir.join("chaos_ledger.csv");
+                std::fs::write(&path, report.to_csv())
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                println!("csv: {}", path.display());
+            }
+            if !report.passed() {
+                return Err(format!(
+                    "chaos verdict FAIL: {} cell(s) exceeded the {:.1}x degradation \
+                     bound, {} invariant violation(s)",
+                    report.bound_violations().len(),
+                    a.bound,
+                    report.invariant_violations(),
+                ));
+            }
+            Ok(())
+        }
         "run" => {
             let (scenario, rest) = rest.split_first().ok_or("run needs a scenario")?;
             let (policy, rest) = rest.split_first().ok_or("run needs a policy")?;
             let kind = parse_scenario(scenario)?;
             let policy = parse_policy(policy)?;
             let a = parse_flags(rest)?;
-            let cfg = run_config(&a);
+            let cfg = run_config(&a)?;
             let r = run_scenario(kind, policy, &cfg);
             println!(
                 "{} / {}: end={} events={} disk_reads={} read_wait={} throttle={} mm_tx={}/{}",
@@ -402,6 +464,28 @@ mod tests {
         let err = parse_flags(&args(&["--jobs", "0"])).unwrap_err();
         assert!(err.contains("at least 1"), "unhelpful message: {err}");
         assert!(parse_flags(&args(&["--jobs", "x"])).is_err());
+    }
+
+    #[test]
+    fn degenerate_scale_reps_and_bound_are_rejected() {
+        assert!(parse_flags(&args(&["--scale", "0"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_flags(&args(&["--scale", "-1"])).is_err());
+        assert!(parse_flags(&args(&["--scale", "NaN"])).is_err());
+        assert!(parse_flags(&args(&["--reps", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_flags(&args(&["--bound", "0.5"]))
+            .unwrap_err()
+            .contains(">= 1.0"));
+        assert!(parse_flags(&args(&["--bound", "inf"])).is_err());
+    }
+
+    #[test]
+    fn run_config_is_validated() {
+        let a = parse_flags(&args(&["--scale", "0.25"])).unwrap();
+        assert!(run_config(&a).is_ok());
     }
 
     #[test]

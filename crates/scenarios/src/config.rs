@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use sim_core::cost::CostModel;
+use sim_core::faults::FaultProfile;
 use sim_core::time::SimDuration;
 
 /// Knobs for one scenario run.
@@ -41,6 +42,10 @@ pub struct RunConfig {
     /// Library default is 1 (serial); the CLI defaults it to the available
     /// cores.
     pub jobs: usize,
+    /// Control-plane fault injection profile. Default: fully disabled —
+    /// a disabled profile leaves every run byte-identical to a build
+    /// without the fault layer (pinned by the determinism suite).
+    pub faults: FaultProfile,
 }
 
 impl RunConfig {
@@ -66,6 +71,52 @@ impl RunConfig {
     pub fn scale_time(&self, d: SimDuration) -> SimDuration {
         d.scale(self.time_scale())
     }
+
+    /// Validate the configuration, returning an actionable message on the
+    /// first violation. The CLI calls this on every user-supplied config
+    /// before running anything.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.scale.is_finite() && self.scale > 0.0) {
+            return Err(format!(
+                "scale must be a positive finite number, got {}",
+                self.scale
+            ));
+        }
+        if let Some(ts) = self.time_scale {
+            if !(ts.is_finite() && ts > 0.0) {
+                return Err(format!(
+                    "time_scale must be a positive finite number, got {ts}"
+                ));
+            }
+        }
+        if self.jobs == 0 {
+            return Err("jobs must be >= 1 (0 worker threads can run nothing)".into());
+        }
+        if self.quantum <= SimDuration::ZERO {
+            return Err("quantum must be a positive duration".into());
+        }
+        if !(0.0..1.0).contains(&self.os_reserve_frac) {
+            return Err(format!(
+                "os_reserve_frac must lie in [0, 1), got {} (1.0 would leave \
+                 the workload no memory at all)",
+                self.os_reserve_frac
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.reclaim_frac_per_interval)
+            || self.reclaim_frac_per_interval.is_nan()
+        {
+            return Err(format!(
+                "reclaim_frac_per_interval must lie in [0, 1], got {}",
+                self.reclaim_frac_per_interval
+            ));
+        }
+        if self.max_sim_time <= SimDuration::ZERO {
+            return Err("max_sim_time must be a positive duration".into());
+        }
+        self.faults
+            .validate()
+            .map_err(|e| format!("invalid fault profile: {e}"))
+    }
 }
 
 impl Default for RunConfig {
@@ -83,6 +134,7 @@ impl Default for RunConfig {
             record_series: false,
             max_sim_time: SimDuration::from_secs(20_000),
             jobs: 1,
+            faults: FaultProfile::none(),
         }
     }
 }
@@ -124,5 +176,24 @@ mod tests {
             ..RunConfig::default()
         };
         assert_eq!(cfg.sampling_interval(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn validate_accepts_default_and_rejects_bad_knobs() {
+        assert!(RunConfig::default().validate().is_ok());
+        let bad = |f: fn(&mut RunConfig)| {
+            let mut c = RunConfig::default();
+            f(&mut c);
+            c.validate().unwrap_err()
+        };
+        assert!(bad(|c| c.scale = 0.0).contains("scale"));
+        assert!(bad(|c| c.scale = f64::NAN).contains("scale"));
+        assert!(bad(|c| c.time_scale = Some(-1.0)).contains("time_scale"));
+        assert!(bad(|c| c.jobs = 0).contains("jobs"));
+        assert!(bad(|c| c.quantum = SimDuration::ZERO).contains("quantum"));
+        assert!(bad(|c| c.os_reserve_frac = 1.0).contains("os_reserve_frac"));
+        assert!(bad(|c| c.reclaim_frac_per_interval = 2.0).contains("reclaim"));
+        assert!(bad(|c| c.max_sim_time = SimDuration::ZERO).contains("max_sim_time"));
+        assert!(bad(|c| c.faults.virq_drop = 7.0).contains("fault"));
     }
 }

@@ -11,6 +11,11 @@
 //! * per-second **tmem occupancy and target time-series** (Figs. 4, 6, 8,
 //!   10).
 //!
+//! Beyond the paper's figures, the [`chaos`] module stress-tests the
+//! control plane under deterministic fault injection (lost samples, flaky
+//! hypercalls, MM crashes) and verifies graceful degradation: bounded
+//! slowdown and intact tmem accounting invariants.
+//!
 //! ## Scaling
 //!
 //! Every scenario supports a memory `scale` (1.0 = the paper's sizes). To
@@ -20,6 +25,7 @@
 //! — the quantity that determines how far a policy's targets can travel —
 //! stays fixed. See `RunConfig::time_scale`.
 
+pub mod chaos;
 pub mod config;
 pub mod figures;
 pub mod par;
@@ -27,6 +33,7 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 
+pub use chaos::{run_chaos, ChaosProfile, ChaosReport, DEGRADATION_BOUND};
 pub use config::RunConfig;
 pub use runner::{run_scenario, RunResult, VmResult};
 pub use spec::{build_scenario, ScenarioKind, ScenarioSpec};

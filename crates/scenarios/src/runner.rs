@@ -23,6 +23,7 @@ use guest_os::kernel::{GuestConfig, GuestKernel, KernelStats};
 use guest_os::machine::Machine;
 use guest_os::tkm::{Dom0Tkm, GuestTkm};
 use sim_core::event::EventQueue;
+use sim_core::faults::{FaultInjector, FaultLedger};
 use sim_core::metrics::TimeSeries;
 use sim_core::rng::SplitMix64;
 use sim_core::time::{SimDuration, SimTime};
@@ -34,6 +35,7 @@ use tmem::page::Fingerprint;
 use workloads::traits::{StepOutcome, Workload};
 use xen_sim::hypervisor::Hypervisor;
 use xen_sim::sched::CpuModel;
+use xen_sim::virq::SampleChannel;
 
 /// Lifecycle of a VM's program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,6 +159,9 @@ pub struct RunResult {
     pub events: u64,
     /// The run hit the safety cutoff (always a bug — asserted by tests).
     pub truncated: bool,
+    /// Fault injection + degradation accounting for this run. All-zero
+    /// `injected()` when `RunConfig::faults` is disabled.
+    pub faults: FaultLedger,
 }
 
 struct VmRuntime {
@@ -191,6 +196,11 @@ struct Runner {
     policy_kind: PolicyKind,
     sampling: SimDuration,
     truncated: bool,
+    injector: FaultInjector,
+    sample_chan: SampleChannel,
+    /// `Some(t)` while the MM process is crashed; the watchdog restarts it
+    /// at the first VIRQ at or after `t`.
+    mm_down_until: Option<SimTime>,
 }
 
 /// Run one scenario under one policy. Deterministic in `cfg.seed`.
@@ -204,7 +214,7 @@ pub fn run_scenario(kind: ScenarioKind, policy: PolicyKind, cfg: &RunConfig) -> 
 pub fn run_spec(spec: crate::spec::ScenarioSpec, policy: PolicyKind, cfg: &RunConfig) -> RunResult {
     let tmem_pages = spec.tmem_pages();
 
-    let mm = policy.build().map(|p| MemoryManager::new(p, 128));
+    let mm = MemoryManager::from_kind(policy, 128);
     let initial_target = mm
         .as_ref()
         .map(|m| m.initial_target(tmem_pages))
@@ -269,6 +279,9 @@ pub fn run_spec(spec: crate::spec::ScenarioSpec, policy: PolicyKind, cfg: &RunCo
         pending_starts: Vec::new(),
         stop_all_on: spec.stop_all_on.clone(),
         truncated: false,
+        injector: FaultInjector::new(cfg.faults.clone(), cfg.seed),
+        sample_chan: SampleChannel::new(),
+        mm_down_until: None,
     };
     runner.seed_events();
     runner.run()
@@ -485,18 +498,62 @@ impl Runner {
         }
     }
 
+    /// MM-side half of the VIRQ: relay retry clock, watchdog restart,
+    /// crash schedule, snapshot ingestion and target pushes.
+    fn drive_mm(&mut self, now: SimTime) {
+        // The dom0 relay is kernel-side: its retry clock ticks every
+        // interval even while the user-space MM is down.
+        self.dom0.tick_retries(&mut self.hyp, &mut self.injector);
+        if let Some(t) = self.mm_down_until {
+            if now < t {
+                // MM still down; snapshots queue (and shed) in the relay.
+                return;
+            }
+            self.mm_down_until = None;
+            self.injector.ledger_mut().mm_restarts += 1;
+        }
+        let mm = self.mm.as_mut().expect("caller checked mm.is_some()");
+        // Crash schedule keys on completed MM cycles, so a fixed
+        // `mm_crash_at_cycle` hits the same policy state at any time scale.
+        if self.injector.mm_should_crash(mm.cycles()) {
+            mm.crash();
+            let downtime = self.sampling.as_nanos() * self.injector.profile().mm_restart_after;
+            self.mm_down_until = Some(now + SimDuration::from_nanos(downtime));
+            return;
+        }
+        while let Some(snap) = self.dom0.take_stats() {
+            if let Some((seq, targets)) = mm.on_stats(&snap) {
+                self.dom0
+                    .forward_targets(&mut self.hyp, &mut self.injector, seq, &targets);
+            }
+            // The MM processed a snapshot: its liveness heartbeat refreshes
+            // the hypervisor's target TTL even when the target vector was
+            // suppressed as unchanged. A crashed MM (or a wholly lost
+            // sample) sends no heartbeat, so staleness accrues.
+            self.hyp.keepalive();
+        }
+    }
+
     /// The per-interval sampling VIRQ: hypervisor → dom0 TKM → MM → targets
     /// back down, plus series recording.
+    ///
+    /// Every edge crossing consults the fault injector. With the default
+    /// (disabled) profile no RNG is drawn and exactly one snapshot flows
+    /// through per interval, so the fault-free path is byte-identical to a
+    /// build without the fault layer.
     fn virq(&mut self, now: SimTime) {
-        let stats = self.hyp.sample(now);
-        self.dom0.deliver_stats(stats);
-        if let Some(mm) = &mut self.mm {
-            let snap = self.dom0.take_stats().expect("snapshot just delivered");
-            if let Some(targets) = mm.on_stats(&snap) {
-                self.dom0.forward_targets(&mut self.hyp, &targets);
-            }
+        let msg = self.hyp.sample(now);
+        let fate = self.injector.sample_fate();
+        for m in self.sample_chan.push(msg, fate) {
+            let nfate = self.injector.netlink_fate();
+            self.dom0.deliver_stats(m, nfate);
+        }
+        if self.mm.is_some() {
+            self.drive_mm(now);
             // Slow reclaim: trickle over-target VMs' oldest pages to their
-            // swap devices (hypervisor-driven async write-back).
+            // swap devices (hypervisor-driven async write-back). This is
+            // hypervisor work — it continues while the MM is crashed, with
+            // targets held at the TTL fallback.
             let max =
                 ((self.hyp.node_info().total_tmem as f64 * self.cfg.reclaim_frac_per_interval)
                     as u64)
@@ -512,6 +569,15 @@ impl Runner {
                     }
                 }
             }
+            if self.hyp.targets_stale() {
+                self.injector.ledger_mut().stale_intervals += 1;
+            }
+        }
+        // Accounting invariants must hold every interval, faults or not.
+        let ledger = self.injector.ledger_mut();
+        ledger.invariant_checks += 1;
+        if !tmem::backend::accounting_consistent(self.hyp.backend()) {
+            ledger.invariant_violations += 1;
         }
         if let Some(series) = &mut self.series {
             for (i, vm) in self.vms.iter().enumerate() {
@@ -525,7 +591,13 @@ impl Runner {
         }
     }
 
-    fn finish(self) -> RunResult {
+    fn finish(mut self) -> RunResult {
+        // Fold MM-side degradation bookkeeping into the ledger.
+        if let Some(mm) = &self.mm {
+            let ledger = self.injector.ledger_mut();
+            ledger.seq_gaps = mm.seq_gaps();
+            ledger.snapshots_discarded = mm.snapshots_discarded();
+        }
         let vm_results = self
             .vms
             .into_iter()
@@ -553,6 +625,7 @@ impl Runner {
             end_time: self.queue.now(),
             events: self.queue.events_processed(),
             truncated: self.truncated,
+            faults: self.injector.into_ledger(),
         }
     }
 }

@@ -142,6 +142,65 @@ impl ScenarioSpec {
     pub fn tmem_pages(&self) -> u64 {
         self.tmem_bytes / 4096
     }
+
+    /// Validate the spec, returning an actionable message on the first
+    /// violation. Built-in Table II scenarios always pass; this guards
+    /// customized specs (capacity sweeps, user-authored scenarios) before
+    /// a runner consumes them.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vms.is_empty() {
+            return Err("scenario deploys zero VMs; nothing would run".into());
+        }
+        if self.tmem_pages() == 0 {
+            return Err(format!(
+                "tmem_bytes = {} is less than one 4096-byte page; use \
+                 PolicyKind::NoTmem to model a node without tmem",
+                self.tmem_bytes
+            ));
+        }
+        for (i, vm) in self.vms.iter().enumerate() {
+            if vm.config.ram_pages() == 0 {
+                return Err(format!(
+                    "VM {} ({}) has zero pages of RAM",
+                    i, vm.config.name
+                ));
+            }
+            if vm.program.is_empty() {
+                return Err(format!(
+                    "VM {} ({}) has an empty program; it would never finish",
+                    i, vm.config.name
+                ));
+            }
+            if let StartRule::OnMilestonesAll(reqs) = &vm.start {
+                for (src, label) in reqs {
+                    if *src >= self.vms.len() {
+                        return Err(format!(
+                            "VM {} waits on milestone '{label}' of VM index \
+                             {src}, but only {} VMs are deployed",
+                            i,
+                            self.vms.len()
+                        ));
+                    }
+                    if *src == i {
+                        return Err(format!(
+                            "VM {i} waits on its own milestone '{label}'; it \
+                             would never start"
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some((vm, label)) = &self.stop_all_on {
+            if *vm >= self.vms.len() {
+                return Err(format!(
+                    "stop_all_on references VM index {vm} (milestone \
+                     '{label}'), but only {} VMs are deployed",
+                    self.vms.len()
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Paper-calibrated workload footprints (bytes, full scale). The CloudSuite
@@ -374,6 +433,41 @@ mod tests {
             }
             other => panic!("unexpected start rule {other:?}"),
         }
+    }
+
+    #[test]
+    fn builtin_scenarios_validate_cleanly() {
+        for kind in ScenarioKind::ALL {
+            let spec = build_scenario(kind, &cfg());
+            assert!(spec.validate().is_ok(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        let mut spec = build_scenario(ScenarioKind::Scenario1, &cfg());
+        spec.vms.clear();
+        assert!(spec.validate().unwrap_err().contains("zero VMs"));
+
+        let mut spec = build_scenario(ScenarioKind::Scenario1, &cfg());
+        spec.tmem_bytes = 100;
+        assert!(spec.validate().unwrap_err().contains("4096-byte page"));
+
+        let mut spec = build_scenario(ScenarioKind::Scenario1, &cfg());
+        spec.vms[1].program.clear();
+        assert!(spec.validate().unwrap_err().contains("empty program"));
+
+        let mut spec = build_scenario(ScenarioKind::UsememScenario, &cfg());
+        spec.vms[2].start = StartRule::OnMilestonesAll(vec![(9, "alloc:640".into())]);
+        assert!(spec.validate().unwrap_err().contains("only 3 VMs"));
+
+        let mut spec = build_scenario(ScenarioKind::UsememScenario, &cfg());
+        spec.vms[2].start = StartRule::OnMilestonesAll(vec![(2, "alloc:640".into())]);
+        assert!(spec.validate().unwrap_err().contains("own milestone"));
+
+        let mut spec = build_scenario(ScenarioKind::UsememScenario, &cfg());
+        spec.stop_all_on = Some((7, "alloc:768".into()));
+        assert!(spec.validate().unwrap_err().contains("stop_all_on"));
     }
 
     #[test]

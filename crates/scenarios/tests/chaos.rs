@@ -1,0 +1,117 @@
+//! Chaos suite: graceful degradation under the shipped fault profiles.
+//!
+//! The acceptance bar (ISSUE: robustness tentpole) is *bounded slowdown,
+//! zero corruption*: with up to 50% sample loss, 25% hypercall failure or
+//! an MM crash-and-restart, every (scenario × policy) cell must stay
+//! within [`scenarios::DEGRADATION_BOUND`] of its fault-free running time,
+//! and the tmem accounting invariants — checked at every VIRQ interval —
+//! must never be violated. The tests also sanity-check the fault ledger so
+//! a profile that silently stops injecting (or a degradation path that
+//! silently stops engaging) fails loudly.
+
+use scenarios::chaos::{chaos_policies, shipped_profiles, ChaosReport};
+use scenarios::config::RunConfig;
+use scenarios::{run_chaos, PolicyKind, ScenarioKind, DEGRADATION_BOUND};
+
+fn cfg() -> RunConfig {
+    RunConfig {
+        scale: 0.01,
+        seed: 42,
+        jobs: 4,
+        ..RunConfig::default()
+    }
+}
+
+/// One scenario, two representative policies (the paper's baseline and its
+/// headline policy) — enough to exercise every degradation path while
+/// keeping the suite fast. The full grid runs via `smartmem-cli chaos`.
+fn small_grid() -> ChaosReport {
+    run_chaos(
+        &cfg(),
+        &[ScenarioKind::Scenario1],
+        &[PolicyKind::Greedy, PolicyKind::SmartAlloc { p: 2.0 }],
+        &shipped_profiles(),
+        DEGRADATION_BOUND,
+    )
+}
+
+#[test]
+fn shipped_profiles_degrade_within_bound_and_never_corrupt() {
+    let report = small_grid();
+    assert!(
+        report.bound_violations().is_empty(),
+        "degradation bound {}x exceeded:\n{}",
+        report.bound,
+        report.render()
+    );
+    assert_eq!(
+        report.invariant_violations(),
+        0,
+        "tmem accounting invariant violated under faults:\n{}",
+        report.render()
+    );
+    // Every cell actually ran the invariant checker.
+    for c in &report.cells {
+        assert!(
+            c.ledger.invariant_checks > 0,
+            "{}/{}/{}: invariant checker never ran",
+            c.scenario,
+            c.policy,
+            c.profile
+        );
+    }
+}
+
+#[test]
+fn fault_ledgers_show_each_profile_injecting_and_degrading() {
+    let report = small_grid();
+    for c in &report.cells {
+        let l = &c.ledger;
+        match c.profile.as_str() {
+            "baseline" => {
+                assert_eq!(l.injected(), 0, "baseline must be fault-free");
+                assert_eq!(l.seq_gaps, 0);
+                assert_eq!(l.stale_intervals, 0, "fault-free targets never stale");
+                assert!(c.ratios.iter().all(|&r| r == 1.0));
+            }
+            "sample-loss" => {
+                assert!(l.samples_dropped > 0, "VIRQ drops must fire");
+                assert!(l.netlink_dropped > 0, "netlink drops must fire");
+                assert!(l.seq_gaps > 0, "MM must detect the gaps");
+                assert!(
+                    l.stale_intervals > 0,
+                    "sustained loss must trip the TTL fallback ({}/{})",
+                    c.scenario,
+                    c.policy
+                );
+                assert!(
+                    l.snapshots_discarded > 0,
+                    "duplicates/reorders must be discarded idempotently"
+                );
+            }
+            "flaky-hypercalls" => {
+                assert!(l.hypercalls_failed > 0, "hypercall failures must fire");
+                assert!(
+                    l.hypercall_retries > 0,
+                    "relay must retry failed pushes ({}/{})",
+                    c.scenario,
+                    c.policy
+                );
+            }
+            "mm-crash" => {
+                assert_eq!(l.mm_crashes, 1, "exactly one crash is scheduled");
+                assert_eq!(l.mm_restarts, 1, "watchdog must restart the MM");
+            }
+            other => panic!("unknown profile in report: {other}"),
+        }
+    }
+}
+
+#[test]
+fn chaos_policies_cover_the_managed_paper_set() {
+    let names: Vec<String> = chaos_policies().iter().map(|p| p.to_string()).collect();
+    assert_eq!(
+        names,
+        ["greedy", "static-alloc", "reconf-static", "smart-alloc(2%)"]
+    );
+}

@@ -6,10 +6,11 @@
 //! These tests run the real fig3/table2 paths at a tiny scale under both
 //! engines and compare bytes.
 
+use scenarios::chaos::{self, shipped_profiles};
 use scenarios::config::RunConfig;
-use scenarios::figures;
-use scenarios::report;
+use scenarios::{figures, report, PolicyKind, ScenarioKind, DEGRADATION_BOUND};
 use std::fs;
+use std::path::Path;
 
 fn cfg(jobs: usize) -> RunConfig {
     RunConfig {
@@ -71,6 +72,83 @@ fn parallel_series_figure_is_byte_identical_to_serial() {
 #[test]
 fn table2_is_independent_of_job_count() {
     assert_eq!(figures::table2_rows(&cfg(1)), figures::table2_rows(&cfg(8)));
+}
+
+fn golden(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading golden {}: {e}", path.display()))
+}
+
+/// The fault-injection layer must be invisible when disabled: with the
+/// default (fault-free) `RunConfig`, today's fig3 report is byte-identical
+/// to the pre-fault-injection build's output, captured in
+/// `tests/golden/`. A diff here means the robustness PR changed fault-free
+/// behaviour — the one thing it promised not to do.
+#[test]
+fn fault_free_fig3_matches_pre_fault_injection_golden() {
+    let fig = figures::fig3(&cfg(4), 2);
+    assert_eq!(
+        report::render_bars(&fig),
+        golden("fig3_s0.01_seed20260806_reps2.txt"),
+        "fault-free fig3 output drifted from the pre-PR golden"
+    );
+}
+
+#[test]
+fn fault_free_table2_matches_pre_fault_injection_golden() {
+    let mut out = String::from("== Table II — scenarios (scale 0.01) ==\n");
+    for (name, rows) in figures::table2_rows(&cfg(1)) {
+        out.push_str(&name);
+        out.push('\n');
+        for r in rows {
+            out.push_str("  ");
+            out.push_str(&r);
+            out.push('\n');
+        }
+    }
+    assert_eq!(
+        out,
+        golden("table2_s0.01.txt"),
+        "fault-free table2 output drifted from the pre-PR golden"
+    );
+}
+
+/// Chaos runs obey the same determinism contract as the figures: one seed
+/// pins the fault schedule, and the rendered report and ledger CSV are
+/// byte-identical at any `--jobs` count.
+#[test]
+fn chaos_report_is_byte_identical_across_job_counts() {
+    let run = |jobs: usize| {
+        let config = RunConfig {
+            scale: 0.01,
+            seed: 42,
+            jobs,
+            ..RunConfig::default()
+        };
+        chaos::run_chaos(
+            &config,
+            &[ScenarioKind::Scenario1],
+            &[PolicyKind::Greedy, PolicyKind::SmartAlloc { p: 2.0 }],
+            &shipped_profiles(),
+            DEGRADATION_BOUND,
+        )
+    };
+    let r1 = run(1);
+    let r4 = run(4);
+    let r8 = run(8);
+    assert_eq!(
+        r1.render(),
+        r4.render(),
+        "chaos report differs between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(
+        r4.render(),
+        r8.render(),
+        "chaos report differs between --jobs 4 and --jobs 8"
+    );
+    assert_eq!(r1.to_csv(), r8.to_csv(), "chaos ledger CSV differs");
 }
 
 #[test]

@@ -1,0 +1,419 @@
+//! Deterministic, seed-driven control-plane fault injection.
+//!
+//! SmarTmem's control loop crosses three failure domains: the hypervisor's
+//! per-second VIRQ sampling, the dom0 TKM's netlink relay, and the
+//! user-space Memory Manager process. Each edge can lose, delay, duplicate
+//! or reorder its traffic, hypercall pushes can fail, and the MM can crash
+//! outright. This module centralizes *whether* each of those faults happens
+//! on a given message: the control-plane components consult a
+//! [`FaultInjector`] at every edge crossing and record the outcome in a
+//! [`FaultLedger`].
+//!
+//! Determinism contract: an injector is seeded explicitly and draws from its
+//! own [`SplitMix64`] stream, independent of every workload stream, so a
+//! `(profile, seed)` pair replays the exact same fault schedule — the chaos
+//! determinism tests pin this down to report bytes. A disabled profile
+//! ([`FaultProfile::none`]) never alters any decision, keeping fault-free
+//! runs byte-identical to a build without the injector.
+
+use crate::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Probabilities and schedules for control-plane faults.
+///
+/// All probabilities are per-message and must lie in `[0, 1]`. The default
+/// profile is fully disabled (all zero, no crash scheduled).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Probability a VIRQ statistics sample is dropped before reaching dom0.
+    pub virq_drop: f64,
+    /// Probability a VIRQ sample is held back one interval (delivered late,
+    /// behind the next sample).
+    pub virq_delay: f64,
+    /// Probability a VIRQ sample is delivered twice.
+    pub virq_duplicate: f64,
+    /// Probability a netlink stats message (dom0 → MM) is lost.
+    pub netlink_drop: f64,
+    /// Probability a netlink stats message is deferred behind the next one
+    /// (reordering).
+    pub netlink_reorder: f64,
+    /// Probability a `SetTargets` hypercall push fails (timeout/EAGAIN).
+    pub hypercall_fail: f64,
+    /// MM cycle count at which the MM process crashes (once per run).
+    pub mm_crash_at_cycle: Option<u64>,
+    /// Sampling intervals the watchdog waits before restarting a crashed MM.
+    pub mm_restart_after: u64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile::none()
+    }
+}
+
+impl FaultProfile {
+    /// The disabled profile: no fault is ever injected.
+    pub fn none() -> Self {
+        FaultProfile {
+            virq_drop: 0.0,
+            virq_delay: 0.0,
+            virq_duplicate: 0.0,
+            netlink_drop: 0.0,
+            netlink_reorder: 0.0,
+            hypercall_fail: 0.0,
+            mm_crash_at_cycle: None,
+            mm_restart_after: 3,
+        }
+    }
+
+    /// True when no fault can ever fire under this profile.
+    pub fn is_disabled(&self) -> bool {
+        self.virq_drop == 0.0
+            && self.virq_delay == 0.0
+            && self.virq_duplicate == 0.0
+            && self.netlink_drop == 0.0
+            && self.netlink_reorder == 0.0
+            && self.hypercall_fail == 0.0
+            && self.mm_crash_at_cycle.is_none()
+    }
+
+    /// Validate the profile: probabilities in `[0, 1]` (and jointly ≤ 1 per
+    /// edge, since the fates of one message are mutually exclusive), restart
+    /// delay positive. Returns an actionable message on violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("virq_drop", self.virq_drop),
+            ("virq_delay", self.virq_delay),
+            ("virq_duplicate", self.virq_duplicate),
+            ("netlink_drop", self.netlink_drop),
+            ("netlink_reorder", self.netlink_reorder),
+            ("hypercall_fail", self.hypercall_fail),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(format!(
+                    "fault probability {name} = {p} is outside [0, 1]; \
+                     probabilities are per-message"
+                ));
+            }
+        }
+        let virq_sum = self.virq_drop + self.virq_delay + self.virq_duplicate;
+        if virq_sum > 1.0 {
+            return Err(format!(
+                "virq fault probabilities sum to {virq_sum} > 1; drop, delay \
+                 and duplicate are mutually exclusive fates of one sample"
+            ));
+        }
+        let nl_sum = self.netlink_drop + self.netlink_reorder;
+        if nl_sum > 1.0 {
+            return Err(format!(
+                "netlink fault probabilities sum to {nl_sum} > 1; drop and \
+                 reorder are mutually exclusive fates of one message"
+            ));
+        }
+        if self.mm_crash_at_cycle.is_some() && self.mm_restart_after == 0 {
+            return Err(
+                "mm_restart_after must be >= 1 interval when an MM crash is \
+                 scheduled (0 would model a crash the watchdog never observes)"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// What happens to one VIRQ statistics sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleFate {
+    /// Delivered normally.
+    Deliver,
+    /// Lost; dom0 never sees this interval's sample.
+    Drop,
+    /// Held back one interval and delivered behind the next sample.
+    Delay,
+    /// Delivered twice (retransmission glitch).
+    Duplicate,
+}
+
+/// What happens to one netlink stats message (dom0 → MM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetlinkFate {
+    /// Delivered normally.
+    Deliver,
+    /// Lost in the socket; the MM never sees it.
+    Drop,
+    /// Deferred behind the next message (reordering).
+    Reorder,
+}
+
+/// Running totals of injected faults and degradation events for one run.
+///
+/// The ledger mixes *injected* counts (the injector's own decisions) with
+/// *observed* counts the control-plane components report back (retries,
+/// restarts, stale intervals, invariant checks) so chaos reports can show
+/// the whole episode in one place.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultLedger {
+    /// VIRQ samples delivered normally.
+    pub samples_delivered: u64,
+    /// VIRQ samples dropped.
+    pub samples_dropped: u64,
+    /// VIRQ samples delayed one interval.
+    pub samples_delayed: u64,
+    /// VIRQ samples duplicated.
+    pub samples_duplicated: u64,
+    /// Netlink stats messages dropped.
+    pub netlink_dropped: u64,
+    /// Netlink stats messages reordered.
+    pub netlink_reordered: u64,
+    /// `SetTargets` pushes that failed (first attempts and retries).
+    pub hypercalls_failed: u64,
+    /// Retry attempts issued by the dom0 relay.
+    pub hypercall_retries: u64,
+    /// Pushes abandoned after exhausting the retry budget.
+    pub hypercalls_abandoned: u64,
+    /// Pushes superseded by a newer target vector while pending retry.
+    pub hypercalls_superseded: u64,
+    /// MM crash episodes.
+    pub mm_crashes: u64,
+    /// MM watchdog restarts.
+    pub mm_restarts: u64,
+    /// Snapshot sequence gaps the MM detected (each gap may span several
+    /// missing samples).
+    pub seq_gaps: u64,
+    /// Duplicate/stale snapshots the MM discarded idempotently.
+    pub snapshots_discarded: u64,
+    /// Sampling intervals the hypervisor spent in stale-target fallback.
+    pub stale_intervals: u64,
+    /// tmem accounting invariant checks performed.
+    pub invariant_checks: u64,
+    /// tmem accounting invariant violations observed (must stay 0).
+    pub invariant_violations: u64,
+}
+
+impl FaultLedger {
+    /// Total faults injected at any edge (not counting degradation
+    /// bookkeeping like retries or stale intervals).
+    pub fn injected(&self) -> u64 {
+        self.samples_dropped
+            + self.samples_delayed
+            + self.samples_duplicated
+            + self.netlink_dropped
+            + self.netlink_reordered
+            + self.hypercalls_failed
+            + self.mm_crashes
+    }
+}
+
+/// The per-run fault decision engine: a profile, a private RNG stream and
+/// the ledger.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    profile: FaultProfile,
+    rng: SplitMix64,
+    ledger: FaultLedger,
+    crash_fired: bool,
+}
+
+impl FaultInjector {
+    /// An injector for `profile`, drawing from a stream seeded by `seed`.
+    pub fn new(profile: FaultProfile, seed: u64) -> Self {
+        FaultInjector {
+            profile,
+            rng: SplitMix64::new(seed).derive("faults"),
+            ledger: FaultLedger::default(),
+            crash_fired: false,
+        }
+    }
+
+    /// An injector that never injects anything.
+    pub fn disabled() -> Self {
+        FaultInjector::new(FaultProfile::none(), 0)
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Decide the fate of one VIRQ statistics sample.
+    pub fn sample_fate(&mut self) -> SampleFate {
+        let p = &self.profile;
+        if p.virq_drop == 0.0 && p.virq_delay == 0.0 && p.virq_duplicate == 0.0 {
+            self.ledger.samples_delivered += 1;
+            return SampleFate::Deliver;
+        }
+        let x = self.rng.next_f64();
+        if x < p.virq_drop {
+            self.ledger.samples_dropped += 1;
+            SampleFate::Drop
+        } else if x < p.virq_drop + p.virq_delay {
+            self.ledger.samples_delayed += 1;
+            SampleFate::Delay
+        } else if x < p.virq_drop + p.virq_delay + p.virq_duplicate {
+            self.ledger.samples_duplicated += 1;
+            SampleFate::Duplicate
+        } else {
+            self.ledger.samples_delivered += 1;
+            SampleFate::Deliver
+        }
+    }
+
+    /// Decide the fate of one netlink stats message.
+    pub fn netlink_fate(&mut self) -> NetlinkFate {
+        let p = &self.profile;
+        if p.netlink_drop == 0.0 && p.netlink_reorder == 0.0 {
+            return NetlinkFate::Deliver;
+        }
+        let x = self.rng.next_f64();
+        if x < p.netlink_drop {
+            self.ledger.netlink_dropped += 1;
+            NetlinkFate::Drop
+        } else if x < p.netlink_drop + p.netlink_reorder {
+            self.ledger.netlink_reordered += 1;
+            NetlinkFate::Reorder
+        } else {
+            NetlinkFate::Deliver
+        }
+    }
+
+    /// Decide whether one `SetTargets` hypercall push fails.
+    pub fn hypercall_fails(&mut self) -> bool {
+        if self.profile.hypercall_fail == 0.0 {
+            return false;
+        }
+        let fails = self.rng.next_f64() < self.profile.hypercall_fail;
+        if fails {
+            self.ledger.hypercalls_failed += 1;
+        }
+        fails
+    }
+
+    /// Whether the MM should crash now, given it has completed `cycle`
+    /// processing cycles. Fires at most once per run.
+    pub fn mm_should_crash(&mut self, cycle: u64) -> bool {
+        match self.profile.mm_crash_at_cycle {
+            Some(at) if !self.crash_fired && cycle >= at => {
+                self.crash_fired = true;
+                self.ledger.mm_crashes += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Read access to the ledger.
+    pub fn ledger(&self) -> &FaultLedger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access for components reporting observed degradation
+    /// events (retries, restarts, stale intervals, invariant checks).
+    pub fn ledger_mut(&mut self) -> &mut FaultLedger {
+        &mut self.ledger
+    }
+
+    /// Consume the injector, returning its final ledger.
+    pub fn into_ledger(self) -> FaultLedger {
+        self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profile_never_injects() {
+        let mut inj = FaultInjector::disabled();
+        for _ in 0..1000 {
+            assert_eq!(inj.sample_fate(), SampleFate::Deliver);
+            assert_eq!(inj.netlink_fate(), NetlinkFate::Deliver);
+            assert!(!inj.hypercall_fails());
+            assert!(!inj.mm_should_crash(u64::MAX));
+        }
+        assert_eq!(inj.ledger().injected(), 0);
+        assert_eq!(inj.ledger().samples_delivered, 1000);
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let profile = FaultProfile {
+            virq_drop: 0.3,
+            virq_delay: 0.1,
+            virq_duplicate: 0.1,
+            netlink_drop: 0.2,
+            hypercall_fail: 0.25,
+            ..FaultProfile::none()
+        };
+        let mut a = FaultInjector::new(profile.clone(), 99);
+        let mut b = FaultInjector::new(profile, 99);
+        for _ in 0..500 {
+            assert_eq!(a.sample_fate(), b.sample_fate());
+            assert_eq!(a.netlink_fate(), b.netlink_fate());
+            assert_eq!(a.hypercall_fails(), b.hypercall_fails());
+        }
+        assert_eq!(a.ledger(), b.ledger());
+        assert!(a.ledger().injected() > 0, "faults must actually fire");
+    }
+
+    #[test]
+    fn fate_frequencies_track_probabilities() {
+        let profile = FaultProfile {
+            virq_drop: 0.5,
+            ..FaultProfile::none()
+        };
+        let mut inj = FaultInjector::new(profile, 7);
+        for _ in 0..10_000 {
+            inj.sample_fate();
+        }
+        let dropped = inj.ledger().samples_dropped as f64 / 10_000.0;
+        assert!((dropped - 0.5).abs() < 0.03, "drop rate was {dropped}");
+    }
+
+    #[test]
+    fn crash_fires_exactly_once_at_threshold() {
+        let profile = FaultProfile {
+            mm_crash_at_cycle: Some(5),
+            ..FaultProfile::none()
+        };
+        let mut inj = FaultInjector::new(profile, 1);
+        assert!(!inj.mm_should_crash(4));
+        assert!(inj.mm_should_crash(5));
+        assert!(!inj.mm_should_crash(6), "one crash per run");
+        assert_eq!(inj.ledger().mm_crashes, 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_profiles() {
+        let mut p = FaultProfile::none();
+        assert!(p.validate().is_ok());
+        p.virq_drop = 1.5;
+        assert!(p.validate().unwrap_err().contains("outside [0, 1]"));
+        p.virq_drop = 0.7;
+        p.virq_delay = 0.4;
+        assert!(p.validate().unwrap_err().contains("sum"));
+        p.virq_delay = 0.0;
+        p.virq_drop = -0.1;
+        assert!(p.validate().is_err());
+        p.virq_drop = 0.0;
+        p.mm_crash_at_cycle = Some(3);
+        p.mm_restart_after = 0;
+        assert!(p.validate().unwrap_err().contains("mm_restart_after"));
+    }
+
+    #[test]
+    fn disabled_detection() {
+        assert!(FaultProfile::none().is_disabled());
+        let p = FaultProfile {
+            hypercall_fail: 0.01,
+            ..FaultProfile::none()
+        };
+        assert!(!p.is_disabled());
+        let crash_only = FaultProfile {
+            mm_crash_at_cycle: Some(1),
+            ..FaultProfile::none()
+        };
+        assert!(!crash_only.is_disabled());
+    }
+}

@@ -11,7 +11,10 @@
 //! * [`CostModel`] — the latency model that converts memory-system events
 //!   (RAM touches, tmem hypercalls, disk accesses) into simulated time,
 //! * [`metrics`] — counters, time-series recorders and summary statistics
-//!   used to regenerate the paper's figures.
+//!   used to regenerate the paper's figures,
+//! * [`faults`] — deterministic, seed-driven control-plane fault injection
+//!   (dropped/delayed/duplicated samples, lost netlink messages, failed
+//!   hypercalls, MM crash schedules) consulted by the control-plane edges.
 //!
 //! Everything here is deterministic: two runs with the same seeds produce
 //! bit-identical event orders and metric streams. The integration tests in
@@ -19,12 +22,14 @@
 
 pub mod cost;
 pub mod event;
+pub mod faults;
 pub mod metrics;
 pub mod rng;
 pub mod time;
 
 pub use cost::CostModel;
 pub use event::EventQueue;
+pub use faults::{FaultInjector, FaultLedger, FaultProfile, NetlinkFate, SampleFate};
 pub use metrics::{Counter, Summary, TimeSeries};
 pub use rng::SplitMix64;
 pub use time::{SimDuration, SimTime};

@@ -151,6 +151,36 @@ impl MemStats {
     }
 }
 
+/// A sequence-stamped statistics message, as it travels the VIRQ + netlink
+/// relay from the hypervisor to the user-space MM.
+///
+/// The hypervisor stamps every snapshot with a monotonically increasing
+/// sequence number at sampling time. The relay path may drop, delay or
+/// duplicate messages (fault injection); the sequence number lets the MM
+/// detect gaps, discard duplicates idempotently and ignore stale reordered
+/// snapshots — see `StatsHistory::observe` in the core crate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsMsg {
+    /// Monotonic sample sequence number (1-based; assigned by the
+    /// hypervisor at `sample()` time).
+    pub seq: u64,
+    /// The snapshot payload.
+    pub stats: MemStats,
+}
+
+/// The MM's reply to a statistics message: a sequence-stamped target vector.
+///
+/// The MM numbers its pushes so the hypervisor can apply them idempotently:
+/// a duplicate or reordered push with `seq` at or below the last applied one
+/// is ignored rather than overwriting newer targets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TargetMsg {
+    /// Monotonic push sequence number (1-based; assigned by the MM).
+    pub seq: u64,
+    /// The per-VM targets to install.
+    pub targets: Vec<MmTarget>,
+}
+
 /// One entry of the MM's reply (`mm_out[i]` in Table I): a VM and its new
 /// target allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

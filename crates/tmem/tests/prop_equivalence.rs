@@ -11,6 +11,7 @@
 //! victim stream, since figure output depends on those orders.
 
 use proptest::prelude::*;
+use sim_core::faults::{FaultInjector, FaultProfile, SampleFate};
 use tmem::backend::{accounting_consistent, PoolKind, TmemBackend};
 use tmem::key::{ObjectId, PageIndex, PoolId, VmId};
 use tmem::page::Fingerprint;
@@ -161,5 +162,122 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Robustness satellite: the backends stay in lockstep when a random
+    /// *fault schedule* perturbs the operation stream exactly the way the
+    /// control plane's sample channel perturbs VIRQ samples — operations
+    /// dropped, duplicated, or delayed one slot (a delayed op lands before
+    /// the next one, mirroring [`SampleFate::Delay`]'s one-slot buffer).
+    /// Both backends see the *same* perturbed stream, so every observable
+    /// must still agree, and — the chaos suite's core invariant — tmem
+    /// accounting must stay consistent after every step no matter what the
+    /// schedule does: `used ≤ capacity` and per-VM usage sums to the total.
+    #[test]
+    fn backends_agree_under_randomized_fault_schedules(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        capacity in 1u64..24,
+        fault_seed in any::<u64>(),
+        drop_p in 0.0f64..0.4,
+        delay_p in 0.0f64..0.2,
+        dup_p in 0.0f64..0.2,
+    ) {
+        let profile = FaultProfile {
+            virq_drop: drop_p,
+            virq_delay: delay_p,
+            virq_duplicate: dup_p,
+            ..FaultProfile::none()
+        };
+        prop_assert!(profile.validate().is_ok());
+        let mut inj = FaultInjector::new(profile, fault_seed);
+
+        let mut fast: TmemBackend<Fingerprint> = TmemBackend::new(capacity);
+        let mut refr: ReferenceBackend<Fingerprint> = ReferenceBackend::new(capacity);
+        let kinds = [
+            (VmId(1), PoolKind::Persistent),
+            (VmId(2), PoolKind::Persistent),
+            (VmId(1), PoolKind::Ephemeral),
+            (VmId(2), PoolKind::Ephemeral),
+        ];
+        let mut pools: Vec<PoolId> = Vec::new();
+        for (vm, kind) in kinds {
+            let a = fast.new_pool(vm, kind).unwrap();
+            let b = refr.new_pool(vm, kind).unwrap();
+            prop_assert_eq!(a, b);
+            pools.push(a);
+        }
+        let mut destroyed = [false; 4];
+
+        let mut delayed: Option<Op> = None;
+        for op in ops {
+            // The fault schedule decides this op's fate; a previously
+            // delayed op is flushed first, like the sample channel.
+            let mut batch: Vec<Op> = delayed.take().into_iter().collect();
+            match inj.sample_fate() {
+                SampleFate::Deliver => batch.push(op),
+                SampleFate::Drop => {}
+                SampleFate::Delay => delayed = Some(op),
+                SampleFate::Duplicate => {
+                    batch.push(op.clone());
+                    batch.push(op);
+                }
+            }
+            for op in batch {
+                match op {
+                    Op::Put { pool, obj, idx, val } => {
+                        let p = pools[pool as usize];
+                        let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
+                        let payload = Fingerprint::of(val, 0);
+                        prop_assert_eq!(fast.put(p, o, i, payload), refr.put(p, o, i, payload));
+                    }
+                    Op::Get { pool, obj, idx } => {
+                        let p = pools[pool as usize];
+                        let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
+                        prop_assert_eq!(fast.get(p, o, i), refr.get(p, o, i));
+                    }
+                    Op::FlushPage { pool, obj, idx } => {
+                        let p = pools[pool as usize];
+                        let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
+                        prop_assert_eq!(fast.flush_page(p, o, i), refr.flush_page(p, o, i));
+                    }
+                    Op::FlushObject { pool, obj } => {
+                        let p = pools[pool as usize];
+                        let o = ObjectId(obj as u64);
+                        prop_assert_eq!(fast.flush_object(p, o), refr.flush_object(p, o));
+                    }
+                    Op::Reclaim { pool, max } => {
+                        if destroyed[pool as usize] {
+                            continue;
+                        }
+                        let p = pools[pool as usize];
+                        prop_assert_eq!(
+                            fast.reclaim_oldest_persistent(p, max as u64),
+                            refr.reclaim_oldest_persistent(p, max as u64)
+                        );
+                    }
+                    Op::DestroyPool { pool } => {
+                        let p = pools[pool as usize];
+                        prop_assert_eq!(fast.destroy_pool(p), refr.destroy_pool(p));
+                        destroyed[pool as usize] = true;
+                    }
+                }
+                // Accounting holds after every delivered operation.
+                prop_assert_eq!(fast.used(), refr.used());
+                prop_assert!(accounting_consistent(&fast));
+                prop_assert!(fast.used() <= capacity, "used exceeds capacity");
+                prop_assert_eq!(
+                    fast.used_by(VmId(1)) + fast.used_by(VmId(2)),
+                    fast.used(),
+                    "per-VM usage must sum to the node total"
+                );
+            }
+        }
+        // Whatever the schedule injected, the ledger only ever counted
+        // fates it actually drew.
+        let l = inj.ledger();
+        prop_assert_eq!(
+            l.injected(),
+            l.samples_dropped + l.samples_delayed + l.samples_duplicated
+        );
     }
 }

@@ -28,7 +28,12 @@ use tmem::backend::{PoolKind, PutOutcome, TmemBackend};
 use tmem::error::{ReturnCode, TmemError};
 use tmem::key::{ObjectId, PageIndex, PoolId, VmId};
 use tmem::page::PagePayload;
-use tmem::stats::{MemStats, MmTarget, NodeInfo, VmDataHyp};
+use tmem::stats::{MemStats, MmTarget, NodeInfo, StatsMsg, VmDataHyp};
+
+/// Sampling intervals a VM's targets stay trusted without hearing from the
+/// MM. Beyond this the hypervisor treats targets as stale and enforces the
+/// graceful-degradation fallback instead (see [`Hypervisor::targets_stale`]).
+pub const DEFAULT_TARGET_TTL: u64 = 5;
 
 /// The simulated hypervisor: tmem backend + per-VM Table I state + target
 /// enforcement.
@@ -43,6 +48,20 @@ pub struct Hypervisor<P> {
     /// until the first MM cycle installs real targets.
     default_initial_target: u64,
     set_target_calls: u64,
+    /// Monotonic sample counter; stamps every `sample()` snapshot.
+    sample_seq: u64,
+    /// Sample seq at which the MM last proved liveness (a target push or an
+    /// explicit keepalive). Targets older than `target_ttl` samples are
+    /// stale.
+    last_mm_refresh_seq: u64,
+    /// Staleness TTL in sampling intervals.
+    target_ttl: u64,
+    /// Highest target-push sequence number applied (idempotence guard).
+    last_target_seq: u64,
+    /// Pushes ignored because their seq was stale or duplicate.
+    stale_target_msgs: u64,
+    /// Target entries clamped down to node capacity on application.
+    targets_clamped: u64,
 }
 
 impl<P: PagePayload> Hypervisor<P> {
@@ -56,6 +75,12 @@ impl<P: PagePayload> Hypervisor<P> {
             vms: BTreeMap::new(),
             default_initial_target,
             set_target_calls: 0,
+            sample_seq: 0,
+            last_mm_refresh_seq: 0,
+            target_ttl: DEFAULT_TARGET_TTL,
+            last_target_seq: 0,
+            stale_target_msgs: 0,
+            targets_clamped: 0,
         }
     }
 
@@ -92,6 +117,8 @@ impl<P: PagePayload> Hypervisor<P> {
             Some(info) => info,
             None => return Err(ReturnCode::Failure),
         };
+        let stale = self.targets_stale();
+        let floor = self.fallback_floor();
         let data = self
             .vm_data
             .get_mut(&owner)
@@ -99,9 +126,17 @@ impl<P: PagePayload> Hypervisor<P> {
         // Line 15: puts_total incremented whether or not the put succeeds.
         data.puts_total.incr();
 
-        // Line 5: target check against the VM's current use.
+        // Line 5: target check against the VM's current use. When the MM
+        // has gone silent past the TTL the stored target is stale and is no
+        // longer trusted as a ceiling below the fair-share floor (graceful
+        // degradation; see `targets_stale`).
+        let target = if stale {
+            data.mm_target.max(floor)
+        } else {
+            data.mm_target
+        };
         let tmem_used = self.backend.used_by(owner);
-        if tmem_used >= data.mm_target {
+        if tmem_used >= target {
             data.tmem_used = tmem_used;
             return Err(ReturnCode::Failure);
         }
@@ -212,15 +247,16 @@ impl<P: PagePayload> Hypervisor<P> {
         if kind != PoolKind::Persistent {
             return Vec::new();
         }
+        let target = self.effective_target(owner);
         let data = self
             .vm_data
             .get_mut(&owner)
             .expect("pool owner must be registered");
         let used = self.backend.used_by(owner);
-        if used <= data.mm_target {
+        if used <= target {
             return Vec::new();
         }
-        let excess = used - data.mm_target;
+        let excess = used - target;
         let reclaimed = self
             .backend
             .reclaim_oldest_persistent(pool, excess.min(max_pages));
@@ -230,12 +266,77 @@ impl<P: PagePayload> Hypervisor<P> {
 
     /// Install new targets from the MM (`SetTargets` hypercall). Stores them
     /// "and keeps them until the MM modifies them" (Algorithm 1 line 3).
+    ///
+    /// Unversioned convenience wrapper: stamps the push with the next
+    /// sequence number, so it always applies. The relay path uses
+    /// [`Hypervisor::apply_targets`] with the MM's own sequence numbers.
     pub fn set_targets(&mut self, targets: &[MmTarget]) {
+        let seq = self.last_target_seq + 1;
+        self.apply_targets(seq, targets);
+    }
+
+    /// Versioned, idempotent `SetTargets` application. A push whose `seq` is
+    /// at or below the last applied one is a duplicate or a reordered stale
+    /// message and is ignored (returns `false`) — re-applying the same push
+    /// twice must be a no-op, and an old vector must never overwrite a newer
+    /// one. Applying targets also counts as proof of MM liveness
+    /// (refreshes the staleness TTL). Per-VM targets above node capacity
+    /// are clamped (no policy can meaningfully target more than the pool).
+    pub fn apply_targets(&mut self, seq: u64, targets: &[MmTarget]) -> bool {
         self.set_target_calls += 1;
+        if seq <= self.last_target_seq {
+            self.stale_target_msgs += 1;
+            return false;
+        }
+        self.last_target_seq = seq;
+        let capacity = self.backend.capacity();
         for t in targets {
             if let Some(data) = self.vm_data.get_mut(&t.vm_id) {
-                data.mm_target = t.mm_target;
+                if t.mm_target > capacity {
+                    self.targets_clamped += 1;
+                }
+                data.mm_target = t.mm_target.min(capacity);
             }
+        }
+        self.last_mm_refresh_seq = self.sample_seq;
+        true
+    }
+
+    /// MM liveness heartbeat: the privileged domain confirms the MM
+    /// processed a snapshot this interval (even when target transmission was
+    /// suppressed as unchanged). Refreshes the target-staleness TTL.
+    pub fn keepalive(&mut self) {
+        self.last_mm_refresh_seq = self.sample_seq;
+    }
+
+    /// Whether the stored targets have outlived their TTL: the MM has not
+    /// proven liveness for more than `target_ttl` sampling intervals —
+    /// crashed, or its relay channel is down. While stale, Algorithm 1
+    /// stops trusting targets as ceilings below the per-VM fair-share floor
+    /// (`capacity / vm_count`): VMs degrade to bounded greedy competition
+    /// instead of being starved by a stale (possibly zero) target, and slow
+    /// reclaim stops pulling VMs below that floor.
+    pub fn targets_stale(&self) -> bool {
+        self.sample_seq.saturating_sub(self.last_mm_refresh_seq) > self.target_ttl
+    }
+
+    /// The per-VM fallback floor while targets are stale: an equal share of
+    /// node capacity.
+    fn fallback_floor(&self) -> u64 {
+        self.backend.capacity() / (self.vm_data.len() as u64).max(1)
+    }
+
+    /// The target Algorithm 1 actually enforces for `vm` right now: the
+    /// MM-installed target while fresh, or `max(target, fair-share floor)`
+    /// once stale.
+    pub fn effective_target(&self, vm: VmId) -> u64 {
+        let Some(data) = self.vm_data.get(&vm) else {
+            return 0;
+        };
+        if self.targets_stale() {
+            data.mm_target.max(self.fallback_floor())
+        } else {
+            data.mm_target
         }
     }
 
@@ -245,18 +346,38 @@ impl<P: PagePayload> Hypervisor<P> {
         self.set_target_calls
     }
 
-    /// Close the sampling interval and produce the `memstats` snapshot that
-    /// the VIRQ delivers to the privileged domain.
-    pub fn sample(&mut self, at: SimTime) -> MemStats {
+    /// Pushes ignored as duplicate/stale by the idempotence guard.
+    pub fn stale_target_msgs(&self) -> u64 {
+        self.stale_target_msgs
+    }
+
+    /// Target entries clamped down to node capacity on application.
+    pub fn targets_clamped(&self) -> u64 {
+        self.targets_clamped
+    }
+
+    /// Override the staleness TTL (sampling intervals). Tests and chaos
+    /// profiles use this; the default is [`DEFAULT_TARGET_TTL`].
+    pub fn set_target_ttl(&mut self, ttl: u64) {
+        self.target_ttl = ttl;
+    }
+
+    /// Close the sampling interval and produce the sequence-stamped
+    /// `memstats` snapshot that the VIRQ delivers to the privileged domain.
+    pub fn sample(&mut self, at: SimTime) -> StatsMsg {
+        self.sample_seq += 1;
         let vms: Vec<_> = self
             .vm_data
             .values_mut()
             .map(|d| d.close_interval())
             .collect();
-        MemStats {
-            at,
-            node: self.node_info(),
-            vms,
+        StatsMsg {
+            seq: self.sample_seq,
+            stats: MemStats {
+                at,
+                node: self.node_info(),
+                vms,
+            },
         }
     }
 
@@ -332,7 +453,7 @@ mod tests {
         h.put(pool, ObjectId(0), 0, fp(0)).unwrap();
         let _ = h.put(pool, ObjectId(0), 1, fp(1));
         let _ = h.put(pool, ObjectId(0), 2, fp(2));
-        let stats = h.sample(SimTime::from_secs(1));
+        let stats = h.sample(SimTime::from_secs(1)).stats;
         let vm = &stats.vms[0];
         assert_eq!(vm.puts_total, 3);
         assert_eq!(vm.puts_succ, 1);
@@ -366,7 +487,7 @@ mod tests {
         h.put(pool, ObjectId(0), 0, fp(0)).unwrap();
         assert_eq!(h.get(pool, ObjectId(0), 0), Some(fp(0)));
         assert_eq!(h.get(pool, ObjectId(0), 0), None, "exclusive get");
-        let s = h.sample(SimTime::from_secs(1));
+        let s = h.sample(SimTime::from_secs(1)).stats;
         assert_eq!(s.vms[0].gets_total, 2);
         assert_eq!(s.vms[0].gets_succ, 1);
         assert_eq!(s.vms[0].tmem_used, 0);
@@ -388,10 +509,12 @@ mod tests {
         let (mut h, pool) = hv(4, 4);
         h.put(pool, ObjectId(0), 0, fp(0)).unwrap();
         let s1 = h.sample(SimTime::from_secs(1));
-        assert_eq!(s1.vms[0].puts_total, 1);
+        assert_eq!(s1.seq, 1, "samples are sequence-stamped");
+        assert_eq!(s1.stats.vms[0].puts_total, 1);
         let s2 = h.sample(SimTime::from_secs(2));
-        assert_eq!(s2.vms[0].puts_total, 0, "interval counters reset");
-        assert_eq!(s2.vms[0].tmem_used, 1, "gauges persist");
+        assert_eq!(s2.seq, 2);
+        assert_eq!(s2.stats.vms[0].puts_total, 0, "interval counters reset");
+        assert_eq!(s2.stats.vms[0].tmem_used, 1, "gauges persist");
     }
 
     #[test]
@@ -400,10 +523,10 @@ mod tests {
         for i in 0..3 {
             let _ = h.put(pool, ObjectId(0), i, fp(i as u64));
         }
-        let s1 = h.sample(SimTime::from_secs(1));
+        let s1 = h.sample(SimTime::from_secs(1)).stats;
         assert_eq!(s1.vms[0].cumul_puts_failed, 3);
         let _ = h.put(pool, ObjectId(0), 9, fp(9));
-        let s2 = h.sample(SimTime::from_secs(2));
+        let s2 = h.sample(SimTime::from_secs(2)).stats;
         assert_eq!(s2.vms[0].cumul_puts_failed, 4);
     }
 

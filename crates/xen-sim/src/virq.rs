@@ -8,7 +8,9 @@
 //! and calls [`crate::Hypervisor::sample`] at that instant.
 
 use serde::{Deserialize, Serialize};
+use sim_core::faults::SampleFate;
 use sim_core::time::{SimDuration, SimTime};
+use tmem::stats::StatsMsg;
 
 /// Recurring sampling-interrupt schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,9 +64,79 @@ impl SamplingVirq {
     }
 }
 
+/// The VIRQ → dom0 sample channel, with fault-fate application.
+///
+/// The hypervisor's per-interval snapshot crosses this channel on its way
+/// to the privileged domain. Under fault injection a sample can be dropped,
+/// held back one interval (delivered late, behind the next sample — i.e.
+/// reordered), or duplicated. The channel owns the one-slot delay buffer;
+/// the *decision* comes from a `FaultInjector` upstream, so this stays
+/// deterministic and decision-free.
+#[derive(Debug, Default)]
+pub struct SampleChannel {
+    delayed: Option<StatsMsg>,
+    delivered: u64,
+}
+
+impl SampleChannel {
+    /// An empty channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Push this interval's sample with its fate; returns the messages that
+    /// come out of the channel *this* interval, in arrival order. A
+    /// previously delayed sample is always flushed first (it reorders
+    /// behind the newer one only when the newer one is itself delayed).
+    pub fn push(&mut self, msg: StatsMsg, fate: SampleFate) -> Vec<StatsMsg> {
+        let mut out = Vec::with_capacity(3);
+        if let Some(old) = self.delayed.take() {
+            out.push(old);
+        }
+        match fate {
+            SampleFate::Deliver => out.push(msg),
+            SampleFate::Drop => {}
+            SampleFate::Delay => self.delayed = Some(msg),
+            SampleFate::Duplicate => {
+                out.push(msg.clone());
+                out.push(msg);
+            }
+        }
+        self.delivered += out.len() as u64;
+        out
+    }
+
+    /// Messages delivered out of the channel so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Whether a delayed sample is still buffered.
+    pub fn has_delayed(&self) -> bool {
+        self.delayed.is_some()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sim_core::time::SimTime;
+    use tmem::stats::{MemStats, NodeInfo};
+
+    fn msg(seq: u64) -> StatsMsg {
+        StatsMsg {
+            seq,
+            stats: MemStats {
+                at: SimTime::from_secs(seq),
+                node: NodeInfo {
+                    total_tmem: 1,
+                    free_tmem: 1,
+                    vm_count: 0,
+                },
+                vms: Vec::new(),
+            },
+        }
+    }
 
     #[test]
     fn fires_every_period() {
@@ -81,5 +153,38 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_period_rejected() {
         SamplingVirq::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn channel_passes_through_on_deliver() {
+        let mut ch = SampleChannel::new();
+        let out = ch.push(msg(1), SampleFate::Deliver);
+        assert_eq!(out.iter().map(|m| m.seq).collect::<Vec<_>>(), [1]);
+        assert_eq!(ch.delivered(), 1);
+    }
+
+    #[test]
+    fn channel_drops_and_duplicates() {
+        let mut ch = SampleChannel::new();
+        assert!(ch.push(msg(1), SampleFate::Drop).is_empty());
+        let out = ch.push(msg(2), SampleFate::Duplicate);
+        assert_eq!(out.iter().map(|m| m.seq).collect::<Vec<_>>(), [2, 2]);
+    }
+
+    #[test]
+    fn delayed_sample_arrives_behind_the_next_one() {
+        let mut ch = SampleChannel::new();
+        assert!(ch.push(msg(1), SampleFate::Delay).is_empty());
+        assert!(ch.has_delayed());
+        // Sample 1 flushes ahead of 2 (late but in order)...
+        let out = ch.push(msg(2), SampleFate::Deliver);
+        assert_eq!(out.iter().map(|m| m.seq).collect::<Vec<_>>(), [1, 2]);
+        // ...but two consecutive delays genuinely reorder: 3 is flushed when
+        // 4 arrives delayed, then 4 flushes behind 5.
+        assert!(ch.push(msg(3), SampleFate::Delay).is_empty());
+        let out = ch.push(msg(4), SampleFate::Delay);
+        assert_eq!(out.iter().map(|m| m.seq).collect::<Vec<_>>(), [3]);
+        let out = ch.push(msg(5), SampleFate::Deliver);
+        assert_eq!(out.iter().map(|m| m.seq).collect::<Vec<_>>(), [4, 5]);
     }
 }

@@ -20,6 +20,7 @@ use smartmem::policies::{
     BalloonConfig, BalloonManager, MemoryManager, SmartAlloc, SmartAllocConfig,
 };
 use smartmem::sim::cost::CostModel;
+use smartmem::sim::faults::{FaultInjector, NetlinkFate};
 use smartmem::sim::time::{SimDuration, SimTime};
 use smartmem::tmem::backend::PoolKind;
 use smartmem::tmem::key::VmId;
@@ -45,6 +46,7 @@ fn main() {
     let cost = CostModel::hdd();
     let mut disk = SharedDisk::default();
     let mut relay = Dom0Tkm::new();
+    let mut inj = FaultInjector::disabled();
     let mut kernels = Vec::new();
     for (id, frames) in [(1u32, 400u64), (2, 1200)] {
         let vm = VmId(id);
@@ -89,13 +91,13 @@ fn main() {
         }
         now += SimDuration::from_secs(1);
         let snap = hyp.sample(now);
-        relay.deliver_stats(snap);
+        relay.deliver_stats(snap, NetlinkFate::Deliver);
         let snap = relay.take_stats().expect("delivered");
-        if let Some(targets) = mm.on_stats(&snap) {
-            relay.forward_targets(&mut hyp, &targets);
+        if let Some((seq, targets)) = mm.on_stats(&snap) {
+            relay.forward_targets(&mut hyp, &mut inj, seq, &targets);
         }
         let mut moved = String::from("-");
-        if let Some(advice) = balloon.on_stats(&snap) {
+        if let Some(advice) = balloon.on_stats(&snap.stats) {
             // Apply the transfer to both guests.
             let mut budget = StepBudget::new(SimDuration::from_secs(3600));
             let mut m = Machine {
@@ -120,7 +122,7 @@ fn main() {
                 kernels[0].current_frames(),
                 kernels[1].current_frames(),
                 hyp.tmem_used_by(VmId(1)),
-                snap.vms[0].puts_total - snap.vms[0].puts_succ,
+                snap.stats.vms[0].puts_total - snap.stats.vms[0].puts_succ,
                 moved
             );
         }

@@ -20,6 +20,7 @@ use smartmem::guest::tkm::{Dom0Tkm, GuestTkm};
 use smartmem::policies::policy::Policy;
 use smartmem::policies::{MemoryManager, SmartAlloc, SmartAllocConfig};
 use smartmem::sim::cost::CostModel;
+use smartmem::sim::faults::{FaultInjector, NetlinkFate};
 use smartmem::sim::time::{SimDuration, SimTime};
 use smartmem::tmem::backend::PoolKind;
 use smartmem::tmem::key::VmId;
@@ -108,6 +109,7 @@ fn run_with(mut mm: MemoryManager) -> SimDuration {
     let cost = CostModel::hdd();
     let mut disk = SharedDisk::default();
     let mut relay = Dom0Tkm::new();
+    let mut inj = FaultInjector::disabled();
 
     let mut kernels: Vec<GuestKernel> = Vec::new();
     for id in 1..=2u32 {
@@ -150,10 +152,10 @@ fn run_with(mut mm: MemoryManager) -> SimDuration {
         }
         now += SimDuration::from_secs(1);
         let snap = hyp.sample(now);
-        relay.deliver_stats(snap);
+        relay.deliver_stats(snap, NetlinkFate::Deliver);
         let snap = relay.take_stats().expect("just delivered");
-        if let Some(targets) = mm.on_stats(&snap) {
-            relay.forward_targets(&mut hyp, &targets);
+        if let Some((seq, targets)) = mm.on_stats(&snap) {
+            relay.forward_targets(&mut hyp, &mut inj, seq, &targets);
         }
     }
     println!(
