@@ -12,6 +12,7 @@
 
 use crate::history::{SeqObservation, StatsHistory};
 use crate::policy::{Policy, PolicyKind};
+use sim_core::trace::{Payload, Subsystem, Tracer};
 use tmem::stats::{MmTarget, StatsMsg};
 
 /// Sampling cycles a restarted MM observes before computing targets again.
@@ -39,6 +40,7 @@ pub struct MemoryManager {
     discarded: u64,
     gaps_before_crashes: u64,
     missed_before_crashes: u64,
+    tracer: Tracer,
 }
 
 impl MemoryManager {
@@ -58,7 +60,15 @@ impl MemoryManager {
             discarded: 0,
             gaps_before_crashes: 0,
             missed_before_crashes: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a flight-recorder handle; every MM cycle then emits a
+    /// decision event (with the target vector and any Eq. 2 rescale
+    /// inputs), and discards/crashes are recorded too.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Build from a [`PolicyKind`] (the value-level selector), remembering
@@ -93,6 +103,8 @@ impl MemoryManager {
             SeqObservation::Fresh => {}
             SeqObservation::Duplicate | SeqObservation::Stale => {
                 self.discarded += 1;
+                self.tracer
+                    .emit(|| (None, Subsystem::Mm, Payload::MmDiscard { seq_in: msg.seq }));
                 return None;
             }
         }
@@ -102,20 +114,52 @@ impl MemoryManager {
             // Rebuild window after a restart: let the policy see the
             // snapshot (its internal state re-seeds) but do not trust —
             // or transmit — its output yet.
-            self.policy.compute(&msg.stats);
+            let targets = self.policy.compute(&msg.stats);
             self.warmup_remaining -= 1;
+            self.tracer.emit(|| {
+                (
+                    None,
+                    Subsystem::Mm,
+                    Payload::MmDecision {
+                        seq_in: msg.seq,
+                        push_seq: 0,
+                        sent: false,
+                        warming: true,
+                        targets: targets.iter().map(|t| (t.vm_id.0, t.mm_target)).collect(),
+                        rescale: self.policy.last_rescale(),
+                    },
+                )
+            });
             return None;
         }
         let mut targets = self.policy.compute(&msg.stats);
         // Canonical order so comparison is population-change aware but
         // order-insensitive.
         targets.sort_by_key(|t| t.vm_id);
-        if self.last_sent.as_deref() == Some(&targets[..]) {
+        let sent = self.last_sent.as_deref() != Some(&targets[..]);
+        if sent {
+            self.last_sent = Some(targets.clone());
+            self.transmissions += 1;
+            self.push_seq += 1;
+        }
+        let push_seq = self.push_seq;
+        self.tracer.emit(|| {
+            (
+                None,
+                Subsystem::Mm,
+                Payload::MmDecision {
+                    seq_in: msg.seq,
+                    push_seq: if sent { push_seq } else { 0 },
+                    sent,
+                    warming: false,
+                    targets: targets.iter().map(|t| (t.vm_id.0, t.mm_target)).collect(),
+                    rescale: self.policy.last_rescale(),
+                },
+            )
+        });
+        if !sent {
             return None;
         }
-        self.last_sent = Some(targets.clone());
-        self.transmissions += 1;
-        self.push_seq += 1;
         Some((self.push_seq, targets))
     }
 
@@ -127,6 +171,9 @@ impl MemoryManager {
     /// idempotence guard keys on it), so it is monotonic across crashes —
     /// modeling the restart reading the last sequence from the relay.
     pub fn crash(&mut self) {
+        let cycle = self.cycles;
+        self.tracer
+            .emit(|| (None, Subsystem::Mm, Payload::MmCrash { cycle }));
         if let Some(kind) = self.kind {
             if let Some(policy) = kind.build() {
                 self.policy = policy;

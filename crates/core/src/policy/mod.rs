@@ -27,6 +27,14 @@ pub trait Policy {
 
     /// Compute the target vector for this interval.
     fn compute(&mut self, stats: &MemStats) -> Vec<MmTarget>;
+
+    /// When the most recent [`Policy::compute`] had to rescale its targets
+    /// to fit the node (Equation 2), the `(sum_targets, local_tmem)` inputs
+    /// of that rescale; `None` otherwise. Observability only — the MM
+    /// forwards this into the flight recorder.
+    fn last_rescale(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// Value-level policy selector used by scenario runners, benches and the

@@ -59,12 +59,18 @@ impl SmartAllocConfig {
 #[derive(Debug, Clone)]
 pub struct SmartAlloc {
     config: SmartAllocConfig,
+    /// `(sum_targets, local_tmem)` of the last compute's Eq. 2 rescale,
+    /// `None` when the last compute fit without rescaling.
+    last_rescale: Option<(u64, u64)>,
 }
 
 impl SmartAlloc {
     /// A smart-alloc instance with the given tuning.
     pub fn new(config: SmartAllocConfig) -> Self {
-        SmartAlloc { config }
+        SmartAlloc {
+            config,
+            last_rescale: None,
+        }
     }
 
     /// The configured tuning.
@@ -121,8 +127,15 @@ impl Policy for SmartAlloc {
             for t in &mut out {
                 t.mm_target = (factor * t.mm_target as f64).floor() as u64;
             }
+            self.last_rescale = Some((sum_targets, local_tmem));
+        } else {
+            self.last_rescale = None;
         }
         out
+    }
+
+    fn last_rescale(&self) -> Option<(u64, u64)> {
+        self.last_rescale
     }
 }
 
@@ -255,5 +268,18 @@ mod tests {
     #[test]
     fn name_embeds_percent() {
         assert_eq!(smart(0.75).name(), "smart-alloc(0.75%)");
+    }
+
+    #[test]
+    fn rescale_inputs_are_exposed_for_tracing() {
+        let mut p = smart(50.0);
+        assert_eq!(p.last_rescale(), None, "before any compute");
+        // Over-commit: both VMs grow by 5000 (P=50% of 10000), so the
+        // grown sum is 6000 + 10000 = 16000 > node 10000 → rescale recorded.
+        p.compute(&stats(&[(1, 0, 1000), (1, 0, 5000)], 10_000));
+        assert_eq!(p.last_rescale(), Some((16_000, 10_000)));
+        // A fitting compute clears it again.
+        p.compute(&stats(&[(0, 50, 50)], 10_000));
+        assert_eq!(p.last_rescale(), None);
     }
 }

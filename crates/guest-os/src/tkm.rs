@@ -14,6 +14,7 @@
 //!   ablation) can observe the traffic the paper describes.
 
 use sim_core::faults::{FaultInjector, NetlinkFate};
+use sim_core::trace::{Payload, PushOutcome, Subsystem, Tracer};
 use std::collections::VecDeque;
 use tmem::backend::PoolKind;
 use tmem::error::TmemError;
@@ -106,12 +107,19 @@ pub struct Dom0Tkm {
     stats_shed: u64,
     target_msgs: u64,
     target_entries: u64,
+    tracer: Tracer,
 }
 
 impl Dom0Tkm {
     /// A fresh relay.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attach a flight-recorder handle; the relay then emits structured
+    /// events for every stats message and target push attempt.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// VIRQ handler: accept a statistics snapshot from the hypervisor and
@@ -123,6 +131,13 @@ impl Dom0Tkm {
         // by the communication-overhead ablation. Counted even for dropped
         // messages: the send side still pays for them.
         self.stats_bytes += 32 + 64 * msg.stats.vms.len() as u64;
+        self.tracer.emit(|| {
+            (
+                None,
+                Subsystem::Relay,
+                Payload::NetlinkStats { seq: msg.seq, fate },
+            )
+        });
         match fate {
             NetlinkFate::Drop => {}
             NetlinkFate::Reorder => {
@@ -142,10 +157,29 @@ impl Dom0Tkm {
 
     fn enqueue(&mut self, msg: StatsMsg) {
         if self.queue.len() == NETLINK_QUEUE_DEPTH {
-            self.queue.pop_front();
+            let shed = self.queue.pop_front();
             self.stats_shed += 1;
+            self.tracer.emit(|| {
+                (
+                    None,
+                    Subsystem::Relay,
+                    Payload::RelayShed {
+                        seq: shed.map(|m| m.seq).unwrap_or(0),
+                    },
+                )
+            });
         }
         self.queue.push_back(msg);
+        self.tracer.emit(|| {
+            (
+                None,
+                Subsystem::Relay,
+                Payload::RelayEnqueue {
+                    seq: self.queue.back().map(|m| m.seq).unwrap_or(0),
+                    depth: self.queue.len() as u64,
+                },
+            )
+        });
     }
 
     /// User-space MM reads the next queued snapshot (netlink recv). `None`
@@ -168,8 +202,19 @@ impl Dom0Tkm {
     ) -> bool {
         self.target_msgs += 1;
         self.target_entries += targets.len() as u64;
-        if self.pending.take().is_some() {
+        if let Some(old) = self.pending.take() {
             inj.ledger_mut().hypercalls_superseded += 1;
+            self.tracer.emit(|| {
+                (
+                    None,
+                    Subsystem::Relay,
+                    Payload::RelayPush {
+                        seq: old.msg.seq,
+                        attempt: old.attempts,
+                        outcome: PushOutcome::Superseded,
+                    },
+                )
+            });
         }
         if inj.hypercall_fails() {
             self.pending = Some(PendingPush {
@@ -180,8 +225,30 @@ impl Dom0Tkm {
                 attempts: 1,
                 wait: PendingPush::backoff(1),
             });
+            self.tracer.emit(|| {
+                (
+                    None,
+                    Subsystem::Relay,
+                    Payload::RelayPush {
+                        seq,
+                        attempt: 1,
+                        outcome: PushOutcome::Parked,
+                    },
+                )
+            });
             false
         } else {
+            self.tracer.emit(|| {
+                (
+                    None,
+                    Subsystem::Relay,
+                    Payload::RelayPush {
+                        seq,
+                        attempt: 1,
+                        outcome: PushOutcome::Landed,
+                    },
+                )
+            });
             hyp.apply_targets(seq, targets);
             true
         }
@@ -206,15 +273,49 @@ impl Dom0Tkm {
             return;
         }
         inj.ledger_mut().hypercall_retries += 1;
+        let attempt = p.attempts + 1;
         if inj.hypercall_fails() {
             p.attempts += 1;
             if p.attempts >= MAX_PUSH_ATTEMPTS {
                 inj.ledger_mut().hypercalls_abandoned += 1;
+                self.tracer.emit(|| {
+                    (
+                        None,
+                        Subsystem::Relay,
+                        Payload::RelayPush {
+                            seq: p.msg.seq,
+                            attempt,
+                            outcome: PushOutcome::Abandoned,
+                        },
+                    )
+                });
             } else {
                 p.wait = PendingPush::backoff(p.attempts);
+                self.tracer.emit(|| {
+                    (
+                        None,
+                        Subsystem::Relay,
+                        Payload::RelayPush {
+                            seq: p.msg.seq,
+                            attempt,
+                            outcome: PushOutcome::Parked,
+                        },
+                    )
+                });
                 self.pending = Some(p);
             }
         } else {
+            self.tracer.emit(|| {
+                (
+                    None,
+                    Subsystem::Relay,
+                    Payload::RelayPush {
+                        seq: p.msg.seq,
+                        attempt,
+                        outcome: PushOutcome::Landed,
+                    },
+                )
+            });
             hyp.apply_targets(p.msg.seq, &p.msg.targets);
         }
     }
@@ -404,6 +505,119 @@ mod tests {
             (MAX_PUSH_ATTEMPTS - 1) as u64
         );
         assert_eq!(hyp.target_of(VmId(1)), initial, "never installed");
+    }
+
+    #[test]
+    fn retry_backoff_fires_at_exactly_ticks_1_3_and_7() {
+        // Backoffs of 1, 2 and 4 intervals after the 1st, 2nd and 3rd
+        // failure put the retry attempts at ticks 1, 1+2=3 and 3+4=7; every
+        // other tick must be a silent wait.
+        use sim_core::faults::FaultProfile;
+        let mut hyp: Hypervisor<Fingerprint> = Hypervisor::new(10, 10);
+        hyp.register_vm(VmConfig::new(VmId(1), "VM1", 1 << 20, 1));
+        let mut relay = Dom0Tkm::new();
+        let mut inj = FaultInjector::new(
+            FaultProfile {
+                hypercall_fail: 1.0,
+                ..FaultProfile::none()
+            },
+            3,
+        );
+        let targets = [MmTarget {
+            vm_id: VmId(1),
+            mm_target: 9,
+        }];
+        assert!(!relay.forward_targets(&mut hyp, &mut inj, 1, &targets));
+        let mut retries_at = Vec::new();
+        for tick in 1..=8u64 {
+            let before = inj.ledger().hypercall_retries;
+            relay.tick_retries(&mut hyp, &mut inj);
+            if inj.ledger().hypercall_retries > before {
+                retries_at.push(tick);
+            }
+        }
+        assert_eq!(retries_at, vec![1, 3, 7], "1/2/4 backoff schedule");
+        assert!(!relay.has_pending_push(), "abandoned on the 4th attempt");
+        assert_eq!(inj.ledger().hypercalls_abandoned, 1);
+    }
+
+    #[test]
+    fn supersede_mid_backoff_restarts_the_retry_schedule() {
+        // Two failures park the push mid-way through a 2-interval backoff;
+        // a newer vector then supersedes it and gets its own fresh
+        // 1-interval backoff rather than inheriting the old clock.
+        use sim_core::faults::FaultProfile;
+        let mut hyp: Hypervisor<Fingerprint> = Hypervisor::new(10, 10);
+        hyp.register_vm(VmConfig::new(VmId(1), "VM1", 1 << 20, 1));
+        let mut relay = Dom0Tkm::new();
+        let mut fail = FaultInjector::new(
+            FaultProfile {
+                hypercall_fail: 1.0,
+                ..FaultProfile::none()
+            },
+            3,
+        );
+        let old = [MmTarget {
+            vm_id: VmId(1),
+            mm_target: 4,
+        }];
+        assert!(!relay.forward_targets(&mut hyp, &mut fail, 1, &old));
+        relay.tick_retries(&mut hyp, &mut fail); // retry at tick 1 fails → wait 2
+        assert!(relay.has_pending_push());
+
+        let new = [MmTarget {
+            vm_id: VmId(1),
+            mm_target: 8,
+        }];
+        assert!(!relay.forward_targets(&mut hyp, &mut fail, 2, &new));
+        assert_eq!(fail.ledger().hypercalls_superseded, 1);
+
+        // One tick suffices for the superseding push to retry (and land).
+        let mut clean = FaultInjector::disabled();
+        relay.tick_retries(&mut hyp, &mut clean);
+        assert!(!relay.has_pending_push());
+        assert_eq!(hyp.target_of(VmId(1)), Some(8), "newer vector won");
+        assert_eq!(clean.ledger().hypercall_retries, 1);
+    }
+
+    #[test]
+    fn shed_at_capacity_drops_oldest_first_and_traces_the_order() {
+        use sim_core::trace::{Recorder, Tracer};
+        let mut hyp: Hypervisor<Fingerprint> = Hypervisor::new(10, 10);
+        hyp.register_vm(VmConfig::new(VmId(1), "VM1", 1 << 20, 1));
+        let mut relay = Dom0Tkm::new();
+        let tracer = Tracer::new(Recorder::new(64, None));
+        relay.set_tracer(tracer.clone());
+        for sec in 1..=4 {
+            let s = hyp.sample(SimTime::from_secs(sec));
+            relay.deliver_stats(s, NetlinkFate::Deliver);
+        }
+        let data = tracer.finish().expect("tracer enabled");
+        let shed: Vec<u64> = data
+            .events
+            .iter()
+            .filter_map(|e| match e.payload {
+                Payload::RelayShed { seq } => Some(seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(shed, vec![1, 2], "oldest snapshots shed first, in order");
+        let depths: Vec<u64> = data
+            .events
+            .iter()
+            .filter_map(|e| match e.payload {
+                Payload::RelayEnqueue { depth, .. } => Some(depth),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(depths.len(), 4, "every accepted snapshot enqueues once");
+        assert!(
+            depths.iter().all(|&d| d <= NETLINK_QUEUE_DEPTH as u64),
+            "queue depth never exceeds capacity: {depths:?}"
+        );
+        assert_eq!(relay.stats_shed(), 2);
+        assert_eq!(relay.take_stats().map(|m| m.seq), Some(3));
+        assert_eq!(relay.take_stats().map(|m| m.seq), Some(4));
     }
 
     #[test]

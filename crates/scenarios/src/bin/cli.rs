@@ -7,6 +7,8 @@
 //! smartmem-cli run <scenario1|scenario2|usemem|scenario3> <policy> [--scale S] [--seed S]
 //! smartmem-cli chaos [--scale S] [--seed S] [--out DIR] [--jobs N] [--bound X]
 //! smartmem-cli bench-parallel [--scale S] [--reps N] [--seed S] [--out DIR] [--jobs N]
+//! smartmem-cli trace <scenario> <policy> [--scale S] [--seed S] [--chaos PROFILE] [--out trace.jsonl] [--filter subsys=a,b]
+//! smartmem-cli inspect <trace.jsonl>
 //! ```
 //!
 //! Policies: `no-tmem`, `greedy`, `static-alloc`, `reconf-static`,
@@ -21,6 +23,15 @@
 //! exits non-zero when any per-VM slowdown exceeds the bound (default
 //! [`scenarios::chaos::DEGRADATION_BOUND`]) or a tmem accounting
 //! invariant was ever violated.
+//!
+//! `trace` runs one cell with the flight recorder attached, replays the
+//! event stream through the [`scenarios::trace_check`] verifier, prints
+//! the metrics registry and replay verdict, and (with `--out`) writes the
+//! trace as JSONL. `--filter subsys=tmem,mm` restricts the *written* file
+//! to those subsystems; the recorder always records (and the verifier
+//! always replays) everything. `inspect` reads a JSONL trace back and
+//! summarizes it: per-VM admission/reject/evict counts, the transmitted
+//! target-vector timeline, and a fault-ledger cross-check.
 
 use scenarios::chaos;
 use scenarios::config::RunConfig;
@@ -28,8 +39,12 @@ use scenarios::figures;
 use scenarios::report;
 use scenarios::runner::run_scenario;
 use scenarios::spec::ScenarioKind;
+use sim_core::faults::{NetlinkFate, SampleFate};
+use sim_core::trace::{
+    self, FaultKind, Payload, PutResult, Subsystem, TraceConfig, TraceData, TraceHeader,
+};
 use smartmem_core::PolicyKind;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 #[derive(Debug)]
@@ -40,6 +55,10 @@ struct Args {
     out: Option<PathBuf>,
     jobs: usize,
     bound: f64,
+    /// Subsystem restriction for the JSONL written by `trace --out`.
+    filter: Option<Vec<Subsystem>>,
+    /// Shipped chaos profile to inject during `trace`.
+    chaos: Option<chaos::ChaosProfile>,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Args, String> {
@@ -50,6 +69,8 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         out: None,
         jobs: scenarios::par::default_jobs(),
         bound: chaos::DEGRADATION_BOUND,
+        filter: None,
+        chaos: None,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -90,6 +111,30 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
                     ));
                 }
                 args.bound = b;
+            }
+            "--chaos" => {
+                let v = value()?;
+                let profile = chaos::shipped_profiles()
+                    .into_iter()
+                    .find(|p| p.name == v)
+                    .ok_or_else(|| {
+                        format!(
+                            "unknown chaos profile '{v}' (shipped: {})",
+                            chaos::shipped_profiles()
+                                .iter()
+                                .map(|p| p.name)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    })?;
+                args.chaos = Some(profile);
+            }
+            "--filter" => {
+                let v = value()?;
+                let list = v
+                    .strip_prefix("subsys=")
+                    .ok_or_else(|| format!("--filter expects subsys=<name,name,...>, got '{v}'"))?;
+                args.filter = Some(trace::parse_subsystem_filter(list)?);
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -176,7 +221,8 @@ fn main() -> ExitCode {
     let result = match argv.split_first() {
         Some((cmd, rest)) => dispatch(cmd, rest),
         None => Err(
-            "usage: smartmem-cli <table2|fig N|all|run SCENARIO POLICY|chaos|bench-parallel> [flags]"
+            "usage: smartmem-cli <table2|fig N|all|run SCENARIO POLICY|chaos|\
+             bench-parallel|trace SCENARIO POLICY|inspect FILE> [flags]"
                 .into(),
         ),
     };
@@ -306,6 +352,350 @@ fn bench_parallel(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `trace`: run one (scenario × policy) cell with the flight recorder
+/// attached, replay-verify the event stream against the live accounting,
+/// print the metrics registry, and (with `--out`) write the JSONL trace.
+fn trace_cmd(kind: ScenarioKind, policy: PolicyKind, a: &Args) -> Result<(), String> {
+    if a.filter.is_some() && a.out.is_none() {
+        return Err(
+            "--filter only shapes the JSONL written by --out; add --out FILE (the \
+             recorder itself always records every subsystem)"
+                .into(),
+        );
+    }
+    let mut cfg = run_config(a)?;
+    // The replay verifier checks the occupancy series point-by-point, so
+    // record it; series recording never changes simulation outcomes.
+    cfg.record_series = true;
+    cfg.trace = Some(TraceConfig::default());
+    if let Some(p) = &a.chaos {
+        cfg.faults = p.profile.clone();
+    }
+    let r = run_scenario(kind, policy, &cfg);
+    let data = r
+        .trace
+        .as_ref()
+        .expect("trace was configured, so the runner extracts one");
+
+    let m = &data.metrics;
+    println!(
+        "== trace {} / {} (scale {}, seed {}, chaos {}) ==",
+        r.scenario,
+        r.policy,
+        a.scale,
+        a.seed,
+        a.chaos.as_ref().map_or("off", |p| p.name),
+    );
+    println!(
+        "events: {} recorded, {} dropped (ring capacity {})",
+        data.events.len(),
+        data.dropped_oldest,
+        trace::DEFAULT_TRACE_CAPACITY,
+    );
+    println!(
+        "tmem: puts={} (rejected {}, reject-ratio {:.3}) gets={} (hits {}) \
+         evictions={} reclaimed={} flush_pages={}",
+        m.puts,
+        m.puts_rejected,
+        m.reject_ratio(),
+        m.gets,
+        m.get_hits,
+        m.evictions,
+        m.reclaimed_pages,
+        m.flush_pages,
+    );
+    let pct = |h: &sim_core::metrics::Histogram, p: f64| {
+        h.percentile(p)
+            .map_or_else(|| "-".into(), |v| v.to_string())
+    };
+    println!(
+        "put latency ns: p50={} p99={} max={} (n={})",
+        pct(&m.put_latency, 0.50),
+        pct(&m.put_latency, 0.99),
+        m.put_latency.max().map_or(0, |v| v),
+        m.put_latency.count(),
+    );
+    println!(
+        "relay: samples={} enqueued={} shed={} pushes={} retries={} queue-depth p99={}",
+        m.virq_samples,
+        m.relay_enqueued,
+        m.relay_shed,
+        m.relay_pushes,
+        m.relay_retries,
+        pct(&m.relay_depth, 0.99),
+    );
+    println!(
+        "mm: decisions={}  faults injected={}",
+        m.mm_decisions, m.faults_injected
+    );
+
+    match scenarios::trace_check::verify(&r) {
+        Ok(rep) if rep.ok() => {
+            println!(
+                "replay: PASS — {} checks over {} events re-derived the live accounting",
+                rep.checks, rep.events
+            );
+        }
+        Ok(rep) => {
+            for mi in &rep.mismatches {
+                eprintln!("replay mismatch: {mi}");
+            }
+            return Err(format!(
+                "replay verification failed: {} mismatch(es) in {} checks",
+                rep.mismatches.len(),
+                rep.checks
+            ));
+        }
+        Err(e) => return Err(format!("replay verification unavailable: {e}")),
+    }
+
+    if let Some(path) = &a.out {
+        let header = TraceHeader {
+            scenario: r.scenario.clone(),
+            policy: r.policy.clone(),
+            seed: a.seed,
+            filter: None,
+        };
+        let jsonl = data.to_jsonl(&header, a.filter.as_deref());
+        let written = jsonl.lines().count().saturating_sub(1);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        std::fs::write(path, &jsonl).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("trace: {} ({written} events)", path.display());
+    }
+    Ok(())
+}
+
+/// Per-VM admission/datapath counters accumulated by `inspect`.
+#[derive(Default)]
+struct VmInspect {
+    stored: u64,
+    replaced: u64,
+    stored_evict: u64,
+    reject_target: u64,
+    reject_cap: u64,
+    gets: u64,
+    hits: u64,
+    evicted: u64,
+    flushed_pages: u64,
+}
+
+/// `inspect`: parse a JSONL trace and summarize it — per-VM admission and
+/// eviction counts, the transmitted target-vector timeline, and a
+/// cross-check of injected-fault events against the observed fates.
+fn inspect_cmd(path: &Path) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let t = TraceData::parse_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+
+    println!(
+        "== {} — {} / {} (seed {}, schema v{}) ==",
+        path.display(),
+        t.scenario,
+        t.policy,
+        t.seed,
+        t.version
+    );
+    println!(
+        "events: {}  ring-dropped: {}  write-filter: {}",
+        t.events.len(),
+        t.dropped_oldest,
+        t.filter.as_deref().unwrap_or("none")
+    );
+
+    // --- per-VM admission / reject / evict table -------------------------
+    let mut vms: std::collections::BTreeMap<u32, VmInspect> = std::collections::BTreeMap::new();
+    for ev in &t.events {
+        let Some(vm) = ev.vm else { continue };
+        let row = vms.entry(vm).or_default();
+        match &ev.payload {
+            Payload::Put { result, .. } => match result {
+                PutResult::Stored => row.stored += 1,
+                PutResult::Replaced => row.replaced += 1,
+                PutResult::StoredEvict => row.stored_evict += 1,
+                PutResult::RejectTarget => row.reject_target += 1,
+                PutResult::RejectCapacity => row.reject_cap += 1,
+            },
+            Payload::Get { hit, .. } => {
+                row.gets += 1;
+                if *hit {
+                    row.hits += 1;
+                }
+            }
+            Payload::Evict { .. } => row.evicted += 1,
+            Payload::Flush { pages, .. } | Payload::PoolDestroy { pages, .. } => {
+                row.flushed_pages += pages;
+            }
+            _ => {}
+        }
+    }
+    println!("-- per-VM tmem admission --");
+    println!(
+        "{:>3} {:>9} {:>9} {:>9} {:>10} {:>8} {:>9} {:>9} {:>8} {:>9}",
+        "vm",
+        "stored",
+        "replaced",
+        "st_evict",
+        "rej_targ",
+        "rej_cap",
+        "gets",
+        "hits",
+        "evicted",
+        "flushed"
+    );
+    for (vm, r) in &vms {
+        println!(
+            "{vm:>3} {:>9} {:>9} {:>9} {:>10} {:>8} {:>9} {:>9} {:>8} {:>9}",
+            r.stored,
+            r.replaced,
+            r.stored_evict,
+            r.reject_target,
+            r.reject_cap,
+            r.gets,
+            r.hits,
+            r.evicted,
+            r.flushed_pages,
+        );
+    }
+
+    // --- transmitted target-vector timeline ------------------------------
+    // Consecutive identical vectors are collapsed to keep long runs legible.
+    println!("-- target-vector timeline (transmitted MM decisions) --");
+    // (first time, first push seq, target vector, consecutive repeats)
+    type TargetRun = (sim_core::time::SimTime, u64, Vec<(u32, u64)>, u64);
+    let mut pending: Option<TargetRun> = None;
+    let flush_run = |run: &Option<TargetRun>| {
+        if let Some((at, push_seq, targets, repeats)) = run {
+            let vec: Vec<String> = targets
+                .iter()
+                .map(|(vm, pages)| format!("vm{vm}={pages}"))
+                .collect();
+            let tail = if *repeats > 1 {
+                format!("  (x{repeats} consecutive)")
+            } else {
+                String::new()
+            };
+            println!(
+                "  t={:>12}ns push={push_seq:<5} {}{tail}",
+                at.as_nanos(),
+                vec.join(" ")
+            );
+        }
+    };
+    let mut transmissions = 0u64;
+    for ev in &t.events {
+        if let Payload::MmDecision {
+            push_seq,
+            sent: true,
+            targets,
+            ..
+        } = &ev.payload
+        {
+            transmissions += 1;
+            match &mut pending {
+                Some((_, _, prev, repeats)) if prev == targets => *repeats += 1,
+                _ => {
+                    flush_run(&pending);
+                    pending = Some((ev.at, *push_seq, targets.clone(), 1));
+                }
+            }
+        }
+    }
+    flush_run(&pending);
+    if transmissions == 0 {
+        println!("  (none — policy never transmitted a target vector)");
+    }
+
+    // --- fault ledger cross-check ----------------------------------------
+    // Every injected fault must have a matching observed fate elsewhere in
+    // the stream; a filtered trace drops one side of the pairing.
+    println!("-- fault ledger cross-check --");
+    if t.filter.is_some() {
+        println!("  skipped: trace was written with a subsystem filter, so fate");
+        println!("  events and fault events are not both guaranteed present");
+        return Ok(());
+    }
+    let mut injected: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    let mut observed: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    let kinds = [
+        "sample_drop",
+        "sample_delay",
+        "sample_dup",
+        "netlink_drop",
+        "netlink_reorder",
+        "hypercall_fail",
+        "mm_crash",
+    ];
+    for k in kinds {
+        injected.insert(k, 0);
+        observed.insert(k, 0);
+    }
+    for ev in &t.events {
+        match &ev.payload {
+            Payload::Fault { kind } => {
+                let k = match kind {
+                    FaultKind::SampleDrop => "sample_drop",
+                    FaultKind::SampleDelay => "sample_delay",
+                    FaultKind::SampleDuplicate => "sample_dup",
+                    FaultKind::NetlinkDrop => "netlink_drop",
+                    FaultKind::NetlinkReorder => "netlink_reorder",
+                    FaultKind::HypercallFail => "hypercall_fail",
+                    FaultKind::MmCrash => "mm_crash",
+                };
+                *injected.get_mut(k).expect("seeded") += 1;
+            }
+            Payload::VirqSample { fate, .. } => match fate {
+                SampleFate::Drop => *observed.get_mut("sample_drop").expect("seeded") += 1,
+                SampleFate::Delay => *observed.get_mut("sample_delay").expect("seeded") += 1,
+                SampleFate::Duplicate => *observed.get_mut("sample_dup").expect("seeded") += 1,
+                SampleFate::Deliver => {}
+            },
+            Payload::NetlinkStats { fate, .. } => match fate {
+                NetlinkFate::Drop => *observed.get_mut("netlink_drop").expect("seeded") += 1,
+                NetlinkFate::Reorder => *observed.get_mut("netlink_reorder").expect("seeded") += 1,
+                NetlinkFate::Deliver => {}
+            },
+            Payload::RelayPush { outcome, .. } => {
+                // Every failed hypercall attempt surfaces as a parked or
+                // abandoned push; successes and supersedes do not.
+                if matches!(
+                    outcome,
+                    trace::PushOutcome::Parked | trace::PushOutcome::Abandoned
+                ) {
+                    *observed.get_mut("hypercall_fail").expect("seeded") += 1;
+                }
+            }
+            Payload::MmCrash { .. } => *observed.get_mut("mm_crash").expect("seeded") += 1,
+            _ => {}
+        }
+    }
+    let mut mismatched = 0u64;
+    println!(
+        "  {:<16} {:>9} {:>9}  verdict",
+        "kind", "injected", "observed"
+    );
+    for k in kinds {
+        let (i, o) = (injected[k], observed[k]);
+        let verdict = if i == o {
+            "OK"
+        } else {
+            mismatched += 1;
+            "MISMATCH"
+        };
+        println!("  {k:<16} {i:>9} {o:>9}  {verdict}");
+    }
+    if mismatched > 0 {
+        return Err(format!(
+            "fault ledger cross-check failed: {mismatched} kind(s) where injected \
+             faults and observed fates disagree"
+        ));
+    }
+    Ok(())
+}
+
 fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
     match cmd {
         "table2" => {
@@ -368,6 +758,19 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "trace" => {
+            let (scenario, rest) = rest.split_first().ok_or("trace needs a scenario")?;
+            let (policy, rest) = rest.split_first().ok_or("trace needs a policy")?;
+            let kind = parse_scenario(scenario)?;
+            let policy = parse_policy(policy)?;
+            let a = parse_flags(rest)?;
+            trace_cmd(kind, policy, &a)
+        }
+        "inspect" => match rest {
+            [path] => inspect_cmd(Path::new(path)),
+            [] => Err("inspect needs a trace file (as written by `trace --out`)".into()),
+            _ => Err("inspect takes exactly one trace file and no flags".into()),
+        },
         "run" => {
             let (scenario, rest) = rest.split_first().ok_or("run needs a scenario")?;
             let (policy, rest) = rest.split_first().ok_or("run needs a policy")?;
@@ -480,6 +883,25 @@ mod tests {
             .unwrap_err()
             .contains(">= 1.0"));
         assert!(parse_flags(&args(&["--bound", "inf"])).is_err());
+    }
+
+    #[test]
+    fn chaos_flag_accepts_only_shipped_profiles() {
+        let a = parse_flags(&args(&["--chaos", "sample-loss"])).unwrap();
+        assert_eq!(a.chaos.map(|p| p.name), Some("sample-loss"));
+        let err = parse_flags(&args(&["--chaos", "meteor-strike"])).unwrap_err();
+        assert!(err.contains("shipped:"), "unhelpful message: {err}");
+    }
+
+    #[test]
+    fn filter_flag_parses_subsystem_lists() {
+        let a = parse_flags(&args(&["--filter", "subsys=tmem,mm"])).unwrap();
+        assert_eq!(a.filter, Some(vec![Subsystem::Tmem, Subsystem::Mm]));
+        let err = parse_flags(&args(&["--filter", "tmem"])).unwrap_err();
+        assert!(err.contains("subsys="), "unhelpful message: {err}");
+        let err = parse_flags(&args(&["--filter", "subsys=warp"])).unwrap_err();
+        assert!(err.contains("unknown subsystem"), "{err}");
+        assert!(parse_flags(&args(&["--filter", "subsys="])).is_err());
     }
 
     #[test]

@@ -117,6 +117,11 @@ pub struct ChaosCell {
     pub end_s: f64,
     /// Fault + degradation accounting.
     pub ledger: FaultLedger,
+    /// Replay-verifier mismatch count for this cell — `Some` only when the
+    /// run was traced (`RunConfig::trace`); `u64::MAX` flags a cell whose
+    /// trace was not verifiable at all (ring overflow). `None` leaves the
+    /// rendered report byte-identical to a build without the recorder.
+    pub replay_mismatches: Option<u64>,
 }
 
 impl ChaosCell {
@@ -182,14 +187,21 @@ pub fn run_chaos(
             .map(|p| p.profile.clone())
             .unwrap_or_else(FaultProfile::none);
         let name = profile.map(|p| p.name.to_string());
-        (name, run_scenario(scenario, policy, &cell_cfg))
+        let r = run_scenario(scenario, policy, &cell_cfg);
+        // With the flight recorder on, every cell replays its own trace:
+        // chaos runs are exactly where emission sites are easiest to get
+        // wrong (retries, supersedes, crashes), so verify them in place.
+        let replay = cell_cfg.trace.is_some().then(|| {
+            crate::trace_check::verify(&r).map_or(u64::MAX, |rep| rep.mismatches.len() as u64)
+        });
+        (name, replay, r)
     });
 
     // Fold grid-order results into cells, computing ratios against each
     // (scenario, policy)'s baseline — always the first cell of its block.
     let mut cells = Vec::with_capacity(results.len());
     let mut baseline: Vec<f64> = Vec::new();
-    for (name, r) in results {
+    for (name, replay, r) in results {
         let times = vm_times_s(&r);
         let (profile, ratios) = match name {
             None => {
@@ -213,6 +225,7 @@ pub fn run_chaos(
             ratios,
             end_s: r.end_time.as_nanos() as f64 / 1e9,
             ledger: r.faults,
+            replay_mismatches: replay,
         });
     }
     ChaosReport { bound, cells }
@@ -236,10 +249,21 @@ impl ChaosReport {
             .sum()
     }
 
-    /// Whether every cell respects the bound and no invariant was ever
-    /// violated.
+    /// Total replay-verifier mismatches across traced cells (0 when
+    /// tracing was disabled).
+    pub fn replay_mismatches(&self) -> u64 {
+        self.cells
+            .iter()
+            .filter_map(|c| c.replay_mismatches)
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Whether every cell respects the bound, no invariant was ever
+    /// violated, and (when traced) every cell's trace replayed exactly.
     pub fn passed(&self) -> bool {
-        self.bound_violations().is_empty() && self.invariant_violations() == 0
+        self.bound_violations().is_empty()
+            && self.invariant_violations() == 0
+            && self.replay_mismatches() == 0
     }
 
     /// Render the human-readable chaos report.
@@ -284,6 +308,13 @@ impl ChaosReport {
                 l.invariant_checks - l.invariant_violations,
                 l.invariant_checks,
             ));
+            if let Some(n) = c.replay_mismatches {
+                out.push_str(&if n == u64::MAX {
+                    "  replay: UNVERIFIABLE (trace ring overflowed)\n".to_string()
+                } else {
+                    format!("  replay: {n} mismatches\n")
+                });
+            }
         }
         out.push_str(&format!(
             "verdict: {} ({} bound violations, {} invariant violations)\n",

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use sim_core::cost::CostModel;
 use sim_core::faults::FaultProfile;
 use sim_core::time::SimDuration;
+use sim_core::trace::TraceConfig;
 
 /// Knobs for one scenario run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,6 +47,11 @@ pub struct RunConfig {
     /// a disabled profile leaves every run byte-identical to a build
     /// without the fault layer (pinned by the determinism suite).
     pub faults: FaultProfile,
+    /// Flight-recorder configuration. `None` (default) disables tracing
+    /// entirely: no recorder is allocated and every emit site is a single
+    /// branch, so untraced runs stay byte-identical to a build without the
+    /// recorder (pinned by the determinism suite).
+    pub trace: Option<TraceConfig>,
 }
 
 impl RunConfig {
@@ -115,7 +121,13 @@ impl RunConfig {
         }
         self.faults
             .validate()
-            .map_err(|e| format!("invalid fault profile: {e}"))
+            .map_err(|e| format!("invalid fault profile: {e}"))?;
+        if let Some(trace) = &self.trace {
+            if trace.capacity == 0 {
+                return Err("trace.capacity must be >= 1 event (0 can record nothing)".into());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -135,6 +147,7 @@ impl Default for RunConfig {
             max_sim_time: SimDuration::from_secs(20_000),
             jobs: 1,
             faults: FaultProfile::none(),
+            trace: None,
         }
     }
 }
@@ -195,5 +208,6 @@ mod tests {
         assert!(bad(|c| c.reclaim_frac_per_interval = 2.0).contains("reclaim"));
         assert!(bad(|c| c.max_sim_time = SimDuration::ZERO).contains("max_sim_time"));
         assert!(bad(|c| c.faults.virq_drop = 7.0).contains("fault"));
+        assert!(bad(|c| c.trace = Some(TraceConfig { capacity: 0 })).contains("trace"));
     }
 }

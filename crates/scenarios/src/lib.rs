@@ -32,10 +32,12 @@ pub mod par;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod trace_check;
 
 pub use chaos::{run_chaos, ChaosProfile, ChaosReport, DEGRADATION_BOUND};
 pub use config::RunConfig;
 pub use runner::{run_scenario, RunResult, VmResult};
 pub use spec::{build_scenario, ScenarioKind, ScenarioSpec};
+pub use trace_check::{verify, ReplayReport};
 
 pub use smartmem_core::PolicyKind;

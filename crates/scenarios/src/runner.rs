@@ -27,6 +27,7 @@ use sim_core::faults::{FaultInjector, FaultLedger};
 use sim_core::metrics::TimeSeries;
 use sim_core::rng::SplitMix64;
 use sim_core::time::{SimDuration, SimTime};
+use sim_core::trace::{Payload, Subsystem, TraceData, Tracer};
 use smartmem_core::{MemoryManager, PolicyKind};
 use tmem::backend::PoolKind;
 use tmem::fastmap::FxHashSet;
@@ -162,6 +163,11 @@ pub struct RunResult {
     /// Fault injection + degradation accounting for this run. All-zero
     /// `injected()` when `RunConfig::faults` is disabled.
     pub faults: FaultLedger,
+    /// Per-VM tmem pages in use at scenario end (VM order). The replay
+    /// verifier re-derives this purely from trace events.
+    pub final_tmem_used: Vec<u64>,
+    /// Flight-recorder extraction (`Some` iff `RunConfig::trace` was set).
+    pub trace: Option<TraceData>,
 }
 
 struct VmRuntime {
@@ -201,6 +207,9 @@ struct Runner {
     /// `Some(t)` while the MM process is crashed; the watchdog restarts it
     /// at the first VIRQ at or after `t`.
     mm_down_until: Option<SimTime>,
+    /// Flight-recorder handle; clones of it live inside the hypervisor,
+    /// relay, MM and fault injector. Disabled unless `RunConfig::trace`.
+    tracer: Tracer,
 }
 
 /// Run one scenario under one policy. Deterministic in `cfg.seed`.
@@ -213,13 +222,18 @@ pub fn run_scenario(kind: ScenarioKind, policy: PolicyKind, cfg: &RunConfig) -> 
 /// adjust `ScenarioSpec::tmem_bytes` before running.
 pub fn run_spec(spec: crate::spec::ScenarioSpec, policy: PolicyKind, cfg: &RunConfig) -> RunResult {
     let tmem_pages = spec.tmem_pages();
+    let tracer = Tracer::from_config(cfg.trace.as_ref(), &cfg.cost);
 
-    let mm = MemoryManager::from_kind(policy, 128);
+    let mut mm = MemoryManager::from_kind(policy, 128);
+    if let Some(m) = mm.as_mut() {
+        m.set_tracer(tracer.clone());
+    }
     let initial_target = mm
         .as_ref()
         .map(|m| m.initial_target(tmem_pages))
         .unwrap_or(0);
     let mut hyp: Hypervisor<Fingerprint> = Hypervisor::new(tmem_pages, initial_target);
+    hyp.set_tracer(tracer.clone());
 
     let frontswap = policy.tmem_enabled();
     let mut vms = Vec::with_capacity(spec.vms.len());
@@ -257,6 +271,10 @@ pub fn run_spec(spec: crate::spec::ScenarioSpec, policy: PolicyKind, cfg: &RunCo
     }
 
     let policy_name = policy.to_string();
+    let mut dom0 = Dom0Tkm::new();
+    dom0.set_tracer(tracer.clone());
+    let mut injector = FaultInjector::new(cfg.faults.clone(), cfg.seed);
+    injector.set_tracer(tracer.clone());
     let mut runner = Runner {
         series: cfg.record_series.then(|| SeriesBundle {
             used: vec![TimeSeries::new(); vms.len()],
@@ -270,7 +288,7 @@ pub fn run_spec(spec: crate::spec::ScenarioSpec, policy: PolicyKind, cfg: &RunCo
         cfg: cfg.clone(),
         hyp,
         disk: SharedDisk::default(),
-        dom0: Dom0Tkm::new(),
+        dom0,
         mm,
         cpu: CpuModel::new(cfg.cores),
         vms,
@@ -279,9 +297,10 @@ pub fn run_spec(spec: crate::spec::ScenarioSpec, policy: PolicyKind, cfg: &RunCo
         pending_starts: Vec::new(),
         stop_all_on: spec.stop_all_on.clone(),
         truncated: false,
-        injector: FaultInjector::new(cfg.faults.clone(), cfg.seed),
+        injector,
         sample_chan: SampleChannel::new(),
         mm_down_until: None,
+        tracer,
     };
     runner.seed_events();
     runner.run()
@@ -318,6 +337,7 @@ impl Runner {
     fn run(mut self) -> RunResult {
         let cutoff = SimTime::ZERO + self.cfg.max_sim_time;
         while let Some((now, event)) = self.queue.pop() {
+            self.tracer.set_now(now);
             if now > cutoff {
                 self.truncated = true;
                 self.stop_all(now);
@@ -511,6 +531,8 @@ impl Runner {
             }
             self.mm_down_until = None;
             self.injector.ledger_mut().mm_restarts += 1;
+            self.tracer
+                .emit(|| (None, Subsystem::Mm, Payload::MmRestart));
         }
         let mm = self.mm.as_mut().expect("caller checked mm.is_some()");
         // Crash schedule keys on completed MM cycles, so a fixed
@@ -543,11 +565,15 @@ impl Runner {
     /// build without the fault layer.
     fn virq(&mut self, now: SimTime) {
         let msg = self.hyp.sample(now);
+        let seq = msg.seq;
         let fate = self.injector.sample_fate();
+        self.tracer
+            .emit(|| (None, Subsystem::Virq, Payload::VirqSample { seq, fate }));
         for m in self.sample_chan.push(msg, fate) {
             let nfate = self.injector.netlink_fate();
             self.dom0.deliver_stats(m, nfate);
         }
+        let mut stale = false;
         if self.mm.is_some() {
             self.drive_mm(now);
             // Slow reclaim: trickle over-target VMs' oldest pages to their
@@ -569,16 +595,25 @@ impl Runner {
                     }
                 }
             }
-            if self.hyp.targets_stale() {
+            stale = self.hyp.targets_stale();
+            if stale {
                 self.injector.ledger_mut().stale_intervals += 1;
             }
         }
         // Accounting invariants must hold every interval, faults or not.
+        let ok = tmem::backend::accounting_consistent(self.hyp.backend());
         let ledger = self.injector.ledger_mut();
         ledger.invariant_checks += 1;
-        if !tmem::backend::accounting_consistent(self.hyp.backend()) {
+        if !ok {
             ledger.invariant_violations += 1;
         }
+        self.tracer.emit(|| {
+            (
+                None,
+                Subsystem::Virq,
+                Payload::IntervalClose { seq, stale, ok },
+            )
+        });
         if let Some(series) = &mut self.series {
             for (i, vm) in self.vms.iter().enumerate() {
                 let id = vm.spec.config.id;
@@ -598,6 +633,11 @@ impl Runner {
             ledger.seq_gaps = mm.seq_gaps();
             ledger.snapshots_discarded = mm.snapshots_discarded();
         }
+        let final_tmem_used: Vec<u64> = self
+            .vms
+            .iter()
+            .map(|rt| self.hyp.tmem_used_by(rt.spec.config.id))
+            .collect();
         let vm_results = self
             .vms
             .into_iter()
@@ -626,6 +666,8 @@ impl Runner {
             events: self.queue.events_processed(),
             truncated: self.truncated,
             faults: self.injector.into_ledger(),
+            final_tmem_used,
+            trace: self.tracer.finish(),
         }
     }
 }

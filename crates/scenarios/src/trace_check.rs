@@ -1,0 +1,463 @@
+//! Replay verifier for the flight recorder.
+//!
+//! The trace event stream is a load-bearing contract: this module re-derives
+//! per-VM tmem occupancy, the admission counters and the whole
+//! [`FaultLedger`] *purely from events* and checks them against the live
+//! accounting carried by a [`RunResult`]. A run whose trace replays cleanly
+//! proves that every subsystem emitted exactly the events its state changes
+//! imply — no missing emission sites, no double counting, no schema drift.
+//!
+//! Replay rules:
+//!
+//! * occupancy: `Put` with a frame-consuming result is +1 for the putting
+//!   VM; `Evict` is −1 for the victim; a persistent-pool `Get` hit frees the
+//!   frame (−1); `Flush`/`PoolDestroy`/`Reclaim` subtract their page counts.
+//!   The occupancy vector at the `k`-th [`Payload::IntervalClose`] must
+//!   match the `k`-th point of the recorded occupancy time-series, and the
+//!   final vector must match `RunResult::final_tmem_used`.
+//! * ledger: sample/netlink fates, relay push outcomes (a retry is any
+//!   attempt ≥ 2 that is not a `Superseded` marker — superseding re-reports
+//!   the old push's attempt count without making a new attempt), MM
+//!   crash/restart/discard events, and sequence gaps re-derived with the
+//!   MM's own rule: a fresh snapshot's `seq_in` more than one above the
+//!   previous one is a gap, and a crash resets the high-water mark.
+
+use crate::runner::RunResult;
+use sim_core::faults::{FaultLedger, NetlinkFate, SampleFate};
+use sim_core::trace::{FaultKind, Payload, PushOutcome};
+use std::collections::BTreeMap;
+
+/// Outcome of one replay verification.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayReport {
+    /// Events replayed.
+    pub events: usize,
+    /// Individual comparisons performed.
+    pub checks: u64,
+    /// Human-readable description of every comparison that failed. Empty
+    /// means the trace replays the run exactly.
+    pub mismatches: Vec<String>,
+}
+
+impl ReplayReport {
+    /// True when every comparison passed.
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Per-VM state re-derived from the event stream.
+#[derive(Debug, Clone, Copy, Default)]
+struct VmReplay {
+    occupancy: i64,
+    puts_succ: u64,
+    puts_failed: u64,
+    get_hits: u64,
+    flushes: u64,
+    reclaimed: u64,
+}
+
+fn check<T: PartialEq + std::fmt::Debug>(
+    report: &mut ReplayReport,
+    what: &str,
+    replayed: T,
+    live: T,
+) {
+    report.checks += 1;
+    if replayed != live {
+        report
+            .mismatches
+            .push(format!("{what}: replayed {replayed:?} != live {live:?}"));
+    }
+}
+
+/// Replay `result.trace` and verify it against the run's live accounting.
+///
+/// Errors when the run is not verifiable at all: no trace attached, or the
+/// ring buffer dropped events (raise `TraceConfig::capacity`). Mismatches
+/// found during replay are collected in the report, not errors.
+pub fn verify(result: &RunResult) -> Result<ReplayReport, String> {
+    let trace = result
+        .trace
+        .as_ref()
+        .ok_or("run has no trace attached (RunConfig::trace was None)")?;
+    if trace.dropped_oldest > 0 {
+        return Err(format!(
+            "trace dropped {} oldest events; raise TraceConfig::capacity to replay",
+            trace.dropped_oldest
+        ));
+    }
+
+    let mut report = ReplayReport {
+        events: trace.events.len(),
+        ..ReplayReport::default()
+    };
+    let mut vms: BTreeMap<u32, VmReplay> = BTreeMap::new();
+    for vr in &result.vm_results {
+        vms.insert(vr.vm_id.0, VmReplay::default());
+    }
+    let mut led = FaultLedger::default();
+    // MM snapshot-sequence high-water mark (None after a crash, like the
+    // rebuilt StatsHistory).
+    let mut last_seq: Option<u64> = None;
+    let mut interval_idx = 0usize;
+    let series = result.series.as_ref();
+
+    // Metrics-registry recount (counters only; histograms are checked by
+    // their counts, which are implied by the event counts).
+    let mut puts = 0u64;
+    let mut puts_rejected = 0u64;
+    let mut gets = 0u64;
+    let mut get_hits = 0u64;
+    let mut flush_pages = 0u64;
+    let mut evictions = 0u64;
+    let mut reclaimed_pages = 0u64;
+    let mut virq_samples = 0u64;
+    let mut relay_enqueued = 0u64;
+    let mut relay_shed = 0u64;
+    let mut relay_pushes = 0u64;
+    let mut relay_retries = 0u64;
+    let mut mm_decisions = 0u64;
+    let mut mm_sent = 0u64;
+    let mut faults_injected = 0u64;
+
+    for ev in &trace.events {
+        match &ev.payload {
+            Payload::Put { result: r, .. } => {
+                puts += 1;
+                let vm = vms.entry(ev.vm.unwrap_or(0)).or_default();
+                if r.is_success() {
+                    vm.puts_succ += 1;
+                } else {
+                    vm.puts_failed += 1;
+                    puts_rejected += 1;
+                }
+                if r.consumed_frame() {
+                    vm.occupancy += 1;
+                }
+            }
+            Payload::Evict { .. } => {
+                evictions += 1;
+                vms.entry(ev.vm.unwrap_or(0)).or_default().occupancy -= 1;
+            }
+            Payload::Get { hit, freed, .. } => {
+                gets += 1;
+                let vm = vms.entry(ev.vm.unwrap_or(0)).or_default();
+                if *hit {
+                    vm.get_hits += 1;
+                    get_hits += 1;
+                }
+                if *freed {
+                    vm.occupancy -= 1;
+                }
+            }
+            Payload::Flush { pages, .. } => {
+                flush_pages += pages;
+                let vm = vms.entry(ev.vm.unwrap_or(0)).or_default();
+                vm.flushes += 1;
+                vm.occupancy -= *pages as i64;
+            }
+            Payload::PoolDestroy { pages, .. } => {
+                flush_pages += pages;
+                vms.entry(ev.vm.unwrap_or(0)).or_default().occupancy -= *pages as i64;
+            }
+            Payload::Reclaim { pages, .. } => {
+                reclaimed_pages += pages;
+                let vm = vms.entry(ev.vm.unwrap_or(0)).or_default();
+                vm.reclaimed += pages;
+                vm.occupancy -= *pages as i64;
+            }
+            Payload::TargetsApplied { .. } => {}
+            Payload::VirqSample { fate, .. } => {
+                virq_samples += 1;
+                match fate {
+                    SampleFate::Deliver => led.samples_delivered += 1,
+                    SampleFate::Drop => led.samples_dropped += 1,
+                    SampleFate::Delay => led.samples_delayed += 1,
+                    SampleFate::Duplicate => led.samples_duplicated += 1,
+                }
+            }
+            Payload::IntervalClose { stale, ok, .. } => {
+                led.invariant_checks += 1;
+                if *stale {
+                    led.stale_intervals += 1;
+                }
+                if !*ok {
+                    led.invariant_violations += 1;
+                }
+                if let Some(series) = series {
+                    for (i, vr) in result.vm_results.iter().enumerate() {
+                        report.checks += 1;
+                        let occ = vms.get(&vr.vm_id.0).map(|v| v.occupancy).unwrap_or(0);
+                        match series.used[i].points().get(interval_idx) {
+                            Some(&(_, live)) if live == occ as f64 => {}
+                            Some(&(at, live)) => report.mismatches.push(format!(
+                                "occupancy[{}] at interval {} ({:?}): replayed {} != live {}",
+                                vr.name, interval_idx, at, occ, live
+                            )),
+                            None => report.mismatches.push(format!(
+                                "interval {} has no matching series point",
+                                interval_idx
+                            )),
+                        }
+                    }
+                }
+                interval_idx += 1;
+            }
+            Payload::NetlinkStats { fate, .. } => match fate {
+                NetlinkFate::Deliver => {}
+                NetlinkFate::Drop => led.netlink_dropped += 1,
+                NetlinkFate::Reorder => led.netlink_reordered += 1,
+            },
+            Payload::RelayEnqueue { .. } => relay_enqueued += 1,
+            Payload::RelayShed { .. } => relay_shed += 1,
+            Payload::RelayPush {
+                attempt, outcome, ..
+            } => {
+                relay_pushes += 1;
+                if *attempt >= 2 {
+                    relay_retries += 1;
+                    if *outcome != PushOutcome::Superseded {
+                        led.hypercall_retries += 1;
+                    }
+                }
+                // A first-attempt Superseded marker never made attempt ≥ 2,
+                // so the retry exclusion above is the only special case.
+                match outcome {
+                    PushOutcome::Abandoned => led.hypercalls_abandoned += 1,
+                    PushOutcome::Superseded => led.hypercalls_superseded += 1,
+                    PushOutcome::Landed | PushOutcome::Parked => {}
+                }
+            }
+            Payload::MmDecision { seq_in, sent, .. } => {
+                mm_decisions += 1;
+                if *sent {
+                    mm_sent += 1;
+                }
+                if let Some(last) = last_seq {
+                    if *seq_in > last + 1 {
+                        led.seq_gaps += 1;
+                    }
+                }
+                last_seq = Some(*seq_in);
+            }
+            Payload::MmDiscard { .. } => led.snapshots_discarded += 1,
+            Payload::MmCrash { .. } => {
+                led.mm_crashes += 1;
+                last_seq = None;
+            }
+            Payload::MmRestart => led.mm_restarts += 1,
+            Payload::Fault { kind } => {
+                faults_injected += 1;
+                if *kind == FaultKind::HypercallFail {
+                    led.hypercalls_failed += 1;
+                }
+            }
+        }
+    }
+
+    // Final per-VM occupancy against the hypervisor's closing accounting.
+    for (i, vr) in result.vm_results.iter().enumerate() {
+        let occ = vms.get(&vr.vm_id.0).map(|v| v.occupancy).unwrap_or(0);
+        check(
+            &mut report,
+            &format!("final occupancy[{}]", vr.name),
+            occ,
+            result.final_tmem_used.get(i).copied().unwrap_or(0) as i64,
+        );
+    }
+    // Per-interval alignment: every recorded series point was visited.
+    if let Some(series) = series {
+        if let Some(s) = series.used.first() {
+            check(
+                &mut report,
+                "interval closes vs series points",
+                interval_idx,
+                s.len(),
+            );
+        }
+    }
+    // Per-VM admission counters against the guest kernels' own accounting.
+    for (i, vr) in result.vm_results.iter().enumerate() {
+        let v = vms.get(&vr.vm_id.0).copied().unwrap_or_default();
+        let ks = &vr.kernel_stats;
+        let name = &result.vm_results[i].name;
+        check(
+            &mut report,
+            &format!("puts_succ[{name}]"),
+            v.puts_succ,
+            ks.evictions_to_tmem,
+        );
+        check(
+            &mut report,
+            &format!("puts_failed[{name}]"),
+            v.puts_failed,
+            ks.failed_puts,
+        );
+        check(
+            &mut report,
+            &format!("get_hits[{name}]"),
+            v.get_hits,
+            ks.tmem_faults,
+        );
+        check(
+            &mut report,
+            &format!("flushes[{name}]"),
+            v.flushes,
+            ks.tmem_flushes,
+        );
+        check(
+            &mut report,
+            &format!("reclaimed[{name}]"),
+            v.reclaimed,
+            ks.reclaimed_pages,
+        );
+    }
+    // The whole fault ledger, field by field.
+    let lf = &result.faults;
+    let ledger_fields: [(&str, u64, u64); 17] = [
+        (
+            "samples_delivered",
+            led.samples_delivered,
+            lf.samples_delivered,
+        ),
+        ("samples_dropped", led.samples_dropped, lf.samples_dropped),
+        ("samples_delayed", led.samples_delayed, lf.samples_delayed),
+        (
+            "samples_duplicated",
+            led.samples_duplicated,
+            lf.samples_duplicated,
+        ),
+        ("netlink_dropped", led.netlink_dropped, lf.netlink_dropped),
+        (
+            "netlink_reordered",
+            led.netlink_reordered,
+            lf.netlink_reordered,
+        ),
+        (
+            "hypercalls_failed",
+            led.hypercalls_failed,
+            lf.hypercalls_failed,
+        ),
+        (
+            "hypercall_retries",
+            led.hypercall_retries,
+            lf.hypercall_retries,
+        ),
+        (
+            "hypercalls_abandoned",
+            led.hypercalls_abandoned,
+            lf.hypercalls_abandoned,
+        ),
+        (
+            "hypercalls_superseded",
+            led.hypercalls_superseded,
+            lf.hypercalls_superseded,
+        ),
+        ("mm_crashes", led.mm_crashes, lf.mm_crashes),
+        ("mm_restarts", led.mm_restarts, lf.mm_restarts),
+        ("seq_gaps", led.seq_gaps, lf.seq_gaps),
+        (
+            "snapshots_discarded",
+            led.snapshots_discarded,
+            lf.snapshots_discarded,
+        ),
+        ("stale_intervals", led.stale_intervals, lf.stale_intervals),
+        (
+            "invariant_checks",
+            led.invariant_checks,
+            lf.invariant_checks,
+        ),
+        (
+            "invariant_violations",
+            led.invariant_violations,
+            lf.invariant_violations,
+        ),
+    ];
+    for (name, replayed, live) in ledger_fields {
+        check(&mut report, &format!("ledger.{name}"), replayed, live);
+    }
+    // The metrics registry must agree with a plain recount of the events.
+    let m = &trace.metrics;
+    check(&mut report, "metrics.puts", puts, m.puts);
+    check(
+        &mut report,
+        "metrics.puts_rejected",
+        puts_rejected,
+        m.puts_rejected,
+    );
+    check(&mut report, "metrics.gets", gets, m.gets);
+    check(&mut report, "metrics.get_hits", get_hits, m.get_hits);
+    check(
+        &mut report,
+        "metrics.flush_pages",
+        flush_pages,
+        m.flush_pages,
+    );
+    check(&mut report, "metrics.evictions", evictions, m.evictions);
+    check(
+        &mut report,
+        "metrics.reclaimed_pages",
+        reclaimed_pages,
+        m.reclaimed_pages,
+    );
+    check(
+        &mut report,
+        "metrics.virq_samples",
+        virq_samples,
+        m.virq_samples,
+    );
+    check(
+        &mut report,
+        "metrics.relay_enqueued",
+        relay_enqueued,
+        m.relay_enqueued,
+    );
+    check(&mut report, "metrics.relay_shed", relay_shed, m.relay_shed);
+    check(
+        &mut report,
+        "metrics.relay_pushes",
+        relay_pushes,
+        m.relay_pushes,
+    );
+    check(
+        &mut report,
+        "metrics.relay_retries",
+        relay_retries,
+        m.relay_retries,
+    );
+    check(
+        &mut report,
+        "metrics.mm_decisions",
+        mm_decisions,
+        m.mm_decisions,
+    );
+    check(
+        &mut report,
+        "metrics.faults_injected",
+        faults_injected,
+        m.faults_injected,
+    );
+    // One latency sample per put; one depth sample per enqueue.
+    check(
+        &mut report,
+        "put_latency samples",
+        m.put_latency.count(),
+        puts,
+    );
+    check(
+        &mut report,
+        "relay_depth samples",
+        m.relay_depth.count(),
+        relay_enqueued,
+    );
+    // MM counters surfaced on the run result.
+    check(&mut report, "mm_cycles", mm_decisions, result.mm_cycles);
+    check(
+        &mut report,
+        "mm_transmissions",
+        mm_sent,
+        result.mm_transmissions,
+    );
+    Ok(report)
+}

@@ -17,6 +17,7 @@
 //! runs byte-identical to a build without the injector.
 
 use crate::rng::SplitMix64;
+use crate::trace::{FaultKind, Payload, Subsystem, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// Probabilities and schedules for control-plane faults.
@@ -213,6 +214,7 @@ pub struct FaultInjector {
     rng: SplitMix64,
     ledger: FaultLedger,
     crash_fired: bool,
+    tracer: Tracer,
 }
 
 impl FaultInjector {
@@ -223,7 +225,19 @@ impl FaultInjector {
             rng: SplitMix64::new(seed).derive("faults"),
             ledger: FaultLedger::default(),
             crash_fired: false,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a flight-recorder handle; every injected fault then emits one
+    /// [`Payload::Fault`] event.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    fn trace_fault(&self, kind: FaultKind) {
+        self.tracer
+            .emit(|| (None, Subsystem::Fault, Payload::Fault { kind }));
     }
 
     /// An injector that never injects anything.
@@ -246,12 +260,15 @@ impl FaultInjector {
         let x = self.rng.next_f64();
         if x < p.virq_drop {
             self.ledger.samples_dropped += 1;
+            self.trace_fault(FaultKind::SampleDrop);
             SampleFate::Drop
         } else if x < p.virq_drop + p.virq_delay {
             self.ledger.samples_delayed += 1;
+            self.trace_fault(FaultKind::SampleDelay);
             SampleFate::Delay
         } else if x < p.virq_drop + p.virq_delay + p.virq_duplicate {
             self.ledger.samples_duplicated += 1;
+            self.trace_fault(FaultKind::SampleDuplicate);
             SampleFate::Duplicate
         } else {
             self.ledger.samples_delivered += 1;
@@ -268,9 +285,11 @@ impl FaultInjector {
         let x = self.rng.next_f64();
         if x < p.netlink_drop {
             self.ledger.netlink_dropped += 1;
+            self.trace_fault(FaultKind::NetlinkDrop);
             NetlinkFate::Drop
         } else if x < p.netlink_drop + p.netlink_reorder {
             self.ledger.netlink_reordered += 1;
+            self.trace_fault(FaultKind::NetlinkReorder);
             NetlinkFate::Reorder
         } else {
             NetlinkFate::Deliver
@@ -285,6 +304,7 @@ impl FaultInjector {
         let fails = self.rng.next_f64() < self.profile.hypercall_fail;
         if fails {
             self.ledger.hypercalls_failed += 1;
+            self.trace_fault(FaultKind::HypercallFail);
         }
         fails
     }
@@ -296,6 +316,7 @@ impl FaultInjector {
             Some(at) if !self.crash_fired && cycle >= at => {
                 self.crash_fired = true;
                 self.ledger.mm_crashes += 1;
+                self.trace_fault(FaultKind::MmCrash);
                 true
             }
             _ => false,

@@ -14,7 +14,10 @@
 //!   used to regenerate the paper's figures,
 //! * [`faults`] — deterministic, seed-driven control-plane fault injection
 //!   (dropped/delayed/duplicated samples, lost netlink messages, failed
-//!   hypercalls, MM crash schedules) consulted by the control-plane edges.
+//!   hypercalls, MM crash schedules) consulted by the control-plane edges,
+//! * [`trace`] — the flight recorder: a zero-cost-when-disabled structured
+//!   event layer every subsystem emits into, with a bounded ring buffer, a
+//!   metrics registry and a hand-rolled JSONL codec.
 //!
 //! Everything here is deterministic: two runs with the same seeds produce
 //! bit-identical event orders and metric streams. The integration tests in
@@ -26,10 +29,12 @@ pub mod faults;
 pub mod metrics;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use cost::CostModel;
 pub use event::EventQueue;
 pub use faults::{FaultInjector, FaultLedger, FaultProfile, NetlinkFate, SampleFate};
-pub use metrics::{Counter, Summary, TimeSeries};
+pub use metrics::{Counter, Histogram, Summary, TimeSeries};
 pub use rng::SplitMix64;
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceConfig, TraceData, Tracer};

@@ -1,0 +1,190 @@
+//! Property tests pinning the metrics registry against naive reference
+//! folds: the online [`Summary`] against two-pass formulas, [`Histogram`]
+//! bucketing/percentiles against a sorted vector, and merge associativity
+//! for both — the property the experiment grid relies on when folding
+//! per-cell trace metrics in arbitrary tree shapes.
+
+use proptest::prelude::*;
+use sim_core::metrics::{Histogram, Summary, TimeSeries, HISTOGRAM_BUCKETS};
+use sim_core::time::SimTime;
+
+/// Reference two-pass mean/std over a slice.
+fn two_pass(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = if xs.len() < 2 {
+        0.0
+    } else {
+        xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    };
+    (mean, var.sqrt())
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Reference histogram bucket index: 0 for zero, else bit length.
+fn ref_bucket(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Merging two summaries is indistinguishable (up to fp rounding) from
+    /// recording the concatenation; count/min/max are bit-exact.
+    #[test]
+    fn summary_merge_equals_concatenation(
+        xs in proptest::collection::vec(-1e6f64..1e6, 0..60),
+        ys in proptest::collection::vec(-1e6f64..1e6, 0..60),
+    ) {
+        let mut merged: Summary = xs.iter().copied().collect();
+        let right: Summary = ys.iter().copied().collect();
+        merged.merge(&right);
+
+        let all: Vec<f64> = xs.iter().chain(&ys).copied().collect();
+        let folded: Summary = all.iter().copied().collect();
+
+        prop_assert_eq!(merged.count(), folded.count());
+        prop_assert_eq!(merged.min(), folded.min(), "min must be exact");
+        prop_assert_eq!(merged.max(), folded.max(), "max must be exact");
+        if !all.is_empty() {
+            let (mean, std) = two_pass(&all);
+            prop_assert!(close(merged.mean(), mean, 1e-9), "{} vs {}", merged.mean(), mean);
+            prop_assert!(close(merged.stddev(), std, 1e-6), "{} vs {}", merged.stddev(), std);
+        }
+    }
+
+    /// Summary merge is associative up to fp rounding — grid folds may
+    /// combine cells in any tree shape.
+    #[test]
+    fn summary_merge_is_associative(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..40),
+        ys in proptest::collection::vec(-1e3f64..1e3, 1..40),
+        zs in proptest::collection::vec(-1e3f64..1e3, 1..40),
+    ) {
+        let s = |v: &[f64]| v.iter().copied().collect::<Summary>();
+        let mut left = s(&xs);
+        left.merge(&s(&ys));
+        left.merge(&s(&zs));
+        let mut right_tail = s(&ys);
+        right_tail.merge(&s(&zs));
+        let mut right = s(&xs);
+        right.merge(&right_tail);
+
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        prop_assert!(close(left.mean(), right.mean(), 1e-9));
+        prop_assert!(close(left.stddev(), right.stddev(), 1e-6));
+    }
+
+    /// Histogram bucket counts, count, sum, min and max match a naive fold,
+    /// and the zero/log2 bucketing contract holds for every value.
+    #[test]
+    fn histogram_matches_reference_fold(
+        vs in proptest::collection::vec(any::<u64>(), 1..120),
+    ) {
+        let mut h = Histogram::new();
+        let mut ref_buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        for &v in &vs {
+            h.record(v);
+            ref_buckets[ref_bucket(v)] += 1;
+        }
+        prop_assert_eq!(h.buckets(), &ref_buckets[..]);
+        prop_assert_eq!(h.count(), vs.len() as u64);
+        let sum = vs.iter().fold(0u64, |a, &v| a.saturating_add(v));
+        prop_assert_eq!(h.sum(), sum);
+        prop_assert_eq!(h.min(), vs.iter().min().copied());
+        prop_assert_eq!(h.max(), vs.iter().max().copied());
+    }
+
+    /// Percentile guarantee: at least ceil(p·count) observations are ≤ the
+    /// returned bound, the bound never exceeds the observed max, and
+    /// percentiles are monotone in p.
+    #[test]
+    fn histogram_percentile_rank_guarantee(
+        vs in proptest::collection::vec(0u64..1_000_000, 1..120),
+        p in 0.01f64..1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &vs {
+            h.record(v);
+        }
+        let bound = h.percentile(p).expect("non-empty");
+        let rank = (p * vs.len() as f64).ceil() as usize;
+        let at_or_below = vs.iter().filter(|&&v| v <= bound).count();
+        prop_assert!(
+            at_or_below >= rank.clamp(1, vs.len()),
+            "p={p}: only {at_or_below} of {} values <= {bound}, need {rank}",
+            vs.len()
+        );
+        prop_assert!(bound <= h.max().unwrap());
+        let p50 = h.percentile(0.5).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        prop_assert!(p50 <= p99, "percentiles must be monotone: {p50} > {p99}");
+    }
+
+    /// Histogram merge is exact and associative: bucket-for-bucket equal to
+    /// recording the concatenation, in either association order.
+    #[test]
+    fn histogram_merge_is_exact_and_associative(
+        xs in proptest::collection::vec(any::<u64>(), 0..60),
+        ys in proptest::collection::vec(any::<u64>(), 0..60),
+        zs in proptest::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let h = |v: &[u64]| {
+            let mut h = Histogram::new();
+            for &x in v {
+                h.record(x);
+            }
+            h
+        };
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        let mut left = h(&xs);
+        left.merge(&h(&ys));
+        left.merge(&h(&zs));
+        let mut right_tail = h(&ys);
+        right_tail.merge(&h(&zs));
+        let mut right = h(&xs);
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right, "associativity must be bit-exact");
+        prop_assert_eq!(&left, &h(&all), "merge must equal concatenation");
+    }
+
+    /// Time-weighted mean lies within [min, max] of the sampled values and
+    /// matches the rectangle-rule reference fold.
+    #[test]
+    fn time_series_weighted_mean_matches_reference(
+        pts in proptest::collection::vec((0u64..1000, 0f64..100.0), 2..50),
+    ) {
+        let mut sorted = pts.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut ts = TimeSeries::new();
+        for &(t, v) in &sorted {
+            ts.push(SimTime(t), v);
+        }
+        let mut area = 0.0;
+        let mut span = 0.0;
+        for w in sorted.windows(2) {
+            let dt = (w[1].0 - w[0].0) as f64;
+            area += w[0].1 * dt;
+            span += dt;
+        }
+        match ts.time_weighted_mean() {
+            Some(m) => {
+                prop_assert!(span > 0.0);
+                prop_assert!(close(m, area / span, 1e-9));
+                let lo = sorted.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+                let hi = ts.max().unwrap();
+                prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9, "{m} outside [{lo}, {hi}]");
+            }
+            None => prop_assert!(span == 0.0, "mean may only be absent for zero span"),
+        }
+    }
+}

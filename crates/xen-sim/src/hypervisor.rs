@@ -23,6 +23,7 @@
 
 use crate::vm::VmConfig;
 use sim_core::time::SimTime;
+use sim_core::trace::{Payload, PutResult, Subsystem, Tracer};
 use std::collections::BTreeMap;
 use tmem::backend::{PoolKind, PutOutcome, TmemBackend};
 use tmem::error::{ReturnCode, TmemError};
@@ -62,6 +63,8 @@ pub struct Hypervisor<P> {
     stale_target_msgs: u64,
     /// Target entries clamped down to node capacity on application.
     targets_clamped: u64,
+    /// Flight-recorder handle (disabled by default; one branch per op).
+    tracer: Tracer,
 }
 
 impl<P: PagePayload> Hypervisor<P> {
@@ -81,7 +84,14 @@ impl<P: PagePayload> Hypervisor<P> {
             last_target_seq: 0,
             stale_target_msgs: 0,
             targets_clamped: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a flight-recorder handle; the tmem datapath and the target
+    /// plumbing then emit structured events into it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Register a VM (domain creation). Idempotent per id.
@@ -138,6 +148,18 @@ impl<P: PagePayload> Hypervisor<P> {
         let tmem_used = self.backend.used_by(owner);
         if tmem_used >= target {
             data.tmem_used = tmem_used;
+            self.tracer.emit(|| {
+                (
+                    Some(owner.0),
+                    Subsystem::Tmem,
+                    Payload::Put {
+                        pool: pool.0,
+                        result: PutResult::RejectTarget,
+                        used: tmem_used,
+                        target,
+                    },
+                )
+            });
             return Err(ReturnCode::Failure);
         }
         // Line 7: node free-page check. Replacement puts and ephemeral
@@ -155,12 +177,50 @@ impl<P: PagePayload> Hypervisor<P> {
                         if let Some(v) = self.vm_data.get_mut(&victim_owner) {
                             v.tmem_used = self.backend.used_by(victim_owner);
                         }
+                        self.tracer.emit(|| {
+                            (
+                                Some(victim_owner.0),
+                                Subsystem::Tmem,
+                                Payload::Evict {
+                                    pool: victim.pool.0,
+                                },
+                            )
+                        });
                     }
                 }
+                self.tracer.emit(|| {
+                    let result = match outcome {
+                        PutOutcome::Stored => PutResult::Stored,
+                        PutOutcome::Replaced => PutResult::Replaced,
+                        PutOutcome::StoredAfterEviction(_) => PutResult::StoredEvict,
+                    };
+                    (
+                        Some(owner.0),
+                        Subsystem::Tmem,
+                        Payload::Put {
+                            pool: pool.0,
+                            result,
+                            used: tmem_used,
+                            target,
+                        },
+                    )
+                });
                 Ok(outcome)
             }
             Err(TmemError::NoCapacity) => {
                 data.tmem_used = tmem_used;
+                self.tracer.emit(|| {
+                    (
+                        Some(owner.0),
+                        Subsystem::Tmem,
+                        Payload::Put {
+                            pool: pool.0,
+                            result: PutResult::RejectCapacity,
+                            used: tmem_used,
+                            target,
+                        },
+                    )
+                });
                 Err(ReturnCode::Failure)
             }
             Err(e) => panic!("unexpected tmem backend error on put: {e}"),
@@ -169,20 +229,33 @@ impl<P: PagePayload> Hypervisor<P> {
 
     /// `tmem_get`. Persistent (frontswap) hits free the frame.
     pub fn get(&mut self, pool: PoolId, object: ObjectId, index: PageIndex) -> Option<P> {
-        let (owner, _) = self.backend.pool_info(pool)?;
+        let (owner, kind) = self.backend.pool_info(pool)?;
         let data = self
             .vm_data
             .get_mut(&owner)
             .expect("pool owner must be registered");
         data.gets_total.incr();
-        match self.backend.get(pool, object, index) {
+        let out = match self.backend.get(pool, object, index) {
             Ok(p) => {
                 data.gets_succ.incr();
                 data.tmem_used = self.backend.used_by(owner);
                 Some(p)
             }
             Err(_) => None,
-        }
+        };
+        let hit = out.is_some();
+        self.tracer.emit(|| {
+            (
+                Some(owner.0),
+                Subsystem::Tmem,
+                Payload::Get {
+                    pool: pool.0,
+                    hit,
+                    freed: hit && kind == PoolKind::Persistent,
+                },
+            )
+        });
+        out
     }
 
     /// Algorithm 1, `op == FLUSH` (single page).
@@ -195,13 +268,24 @@ impl<P: PagePayload> Hypervisor<P> {
             .get_mut(&owner)
             .expect("pool owner must be registered");
         data.flushes.incr();
-        match self.backend.flush_page(pool, object, index) {
+        let code = match self.backend.flush_page(pool, object, index) {
             Ok(_) => {
                 data.tmem_used = self.backend.used_by(owner);
                 ReturnCode::Success
             }
             Err(_) => ReturnCode::Failure,
-        }
+        };
+        self.tracer.emit(|| {
+            (
+                Some(owner.0),
+                Subsystem::Tmem,
+                Payload::Flush {
+                    pool: pool.0,
+                    pages: (code == ReturnCode::Success) as u64,
+                },
+            )
+        });
+        code
     }
 
     /// `tmem_flush_object`: invalidate a whole object; returns pages freed.
@@ -216,6 +300,16 @@ impl<P: PagePayload> Hypervisor<P> {
         data.flushes.incr();
         let freed = self.backend.flush_object(pool, object).unwrap_or(0);
         data.tmem_used = self.backend.used_by(owner);
+        self.tracer.emit(|| {
+            (
+                Some(owner.0),
+                Subsystem::Tmem,
+                Payload::Flush {
+                    pool: pool.0,
+                    pages: freed,
+                },
+            )
+        });
         freed
     }
 
@@ -228,6 +322,16 @@ impl<P: PagePayload> Hypervisor<P> {
         if let Some(data) = self.vm_data.get_mut(&owner) {
             data.tmem_used = self.backend.used_by(owner);
         }
+        self.tracer.emit(|| {
+            (
+                Some(owner.0),
+                Subsystem::Tmem,
+                Payload::PoolDestroy {
+                    pool: pool.0,
+                    pages: freed,
+                },
+            )
+        });
         freed
     }
 
@@ -261,6 +365,19 @@ impl<P: PagePayload> Hypervisor<P> {
             .backend
             .reclaim_oldest_persistent(pool, excess.min(max_pages));
         data.tmem_used = self.backend.used_by(owner);
+        if !reclaimed.is_empty() {
+            let pages = reclaimed.len() as u64;
+            self.tracer.emit(|| {
+                (
+                    Some(owner.0),
+                    Subsystem::Tmem,
+                    Payload::Reclaim {
+                        pool: pool.0,
+                        pages,
+                    },
+                )
+            });
+        }
         reclaimed
     }
 
@@ -286,6 +403,17 @@ impl<P: PagePayload> Hypervisor<P> {
         self.set_target_calls += 1;
         if seq <= self.last_target_seq {
             self.stale_target_msgs += 1;
+            self.tracer.emit(|| {
+                (
+                    None,
+                    Subsystem::Hypervisor,
+                    Payload::TargetsApplied {
+                        seq,
+                        entries: targets.len() as u32,
+                        applied: false,
+                    },
+                )
+            });
             return false;
         }
         self.last_target_seq = seq;
@@ -299,6 +427,17 @@ impl<P: PagePayload> Hypervisor<P> {
             }
         }
         self.last_mm_refresh_seq = self.sample_seq;
+        self.tracer.emit(|| {
+            (
+                None,
+                Subsystem::Hypervisor,
+                Payload::TargetsApplied {
+                    seq,
+                    entries: targets.len() as u32,
+                    applied: true,
+                },
+            )
+        });
         true
     }
 
@@ -458,6 +597,39 @@ mod tests {
         assert_eq!(vm.puts_total, 3);
         assert_eq!(vm.puts_succ, 1);
         assert_eq!(vm.failed_puts(), 2);
+    }
+
+    #[test]
+    fn target_ttl_expires_strictly_after_five_silent_intervals() {
+        // The stored targets go stale only once the MM has been silent for
+        // MORE than DEFAULT_TARGET_TTL (5) sampling intervals: the boundary
+        // interval itself is still fresh.
+        let (mut h, _pool) = hv(10, 10);
+        assert!(h.apply_targets(
+            1,
+            &[MmTarget {
+                vm_id: VmId(1),
+                mm_target: 4,
+            }]
+        ));
+        for k in 1..=DEFAULT_TARGET_TTL {
+            h.sample(SimTime::from_secs(k));
+            assert!(
+                !h.targets_stale(),
+                "interval {k}: targets must stay fresh through the TTL"
+            );
+        }
+        h.sample(SimTime::from_secs(DEFAULT_TARGET_TTL + 1));
+        assert!(h.targets_stale(), "interval 6: one past the TTL is stale");
+        // A fresh push clears staleness immediately.
+        assert!(h.apply_targets(
+            2,
+            &[MmTarget {
+                vm_id: VmId(1),
+                mm_target: 4,
+            }]
+        ));
+        assert!(!h.targets_stale());
     }
 
     #[test]

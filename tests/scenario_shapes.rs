@@ -4,6 +4,10 @@
 //! These run whole scenarios, so they use a small memory scale; the shapes
 //! they assert are scale-invariant by design (the sampling interval scales
 //! with memory — see `scenarios::RunConfig`).
+//!
+//! The two heaviest tests (12-run policy sweep, 8-run reproducibility
+//! check) are `#[ignore]`d to keep the default `cargo test -q` fast; CI's
+//! slow-suite job runs them with `cargo test -- --ignored`.
 
 use smartmem::policies::PolicyKind;
 use smartmem::scenarios::{run_scenario, RunConfig, ScenarioKind};
@@ -29,6 +33,7 @@ fn mean_completion(r: &smartmem::scenarios::RunResult) -> f64 {
 }
 
 #[test]
+#[ignore = "12-run policy sweep (~55 s); CI runs the slow suite via --ignored"]
 fn no_tmem_is_the_worst_policy_in_every_scenario() {
     for kind in [
         ScenarioKind::Scenario1,
@@ -223,6 +228,7 @@ fn reconf_static_activates_only_swapping_vms() {
 }
 
 #[test]
+#[ignore = "8-run reproducibility sweep (~30 s); CI runs the slow suite via --ignored"]
 fn run_results_are_reproducible_across_policies() {
     for policy in [
         PolicyKind::Greedy,
