@@ -47,6 +47,7 @@ pub struct Measurement {
 pub struct Criterion {
     measure: Duration,
     warmup: Duration,
+    test_mode: bool,
     results: Vec<Measurement>,
 }
 
@@ -64,21 +65,29 @@ impl Default for Criterion {
         Criterion {
             measure: env_ms("CRITERION_MEASURE_MS", 500),
             warmup: env_ms("CRITERION_WARMUP_MS", 200),
+            test_mode: false,
             results: Vec::new(),
         }
     }
 }
 
 impl Criterion {
-    /// Parse CLI args (accepted and ignored — bench filters are not
-    /// supported by the stand-in).
-    pub fn configure_from_args(self) -> Self {
+    /// Parse CLI args. The one flag the stand-in honors is `--test`
+    /// (`cargo bench -- --test`): like real criterion, every benchmark
+    /// then runs exactly once as a smoke check instead of being measured
+    /// — CI uses this to keep bench code compiling and running without
+    /// paying measurement time. Filters and other options are accepted
+    /// and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
         self
     }
 
     /// Run one benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        let m = run_bench(id, self.warmup, self.measure, &mut f);
+        let m = run_bench(id, self.warmup, self.measure, self.test_mode, &mut f);
         report(&m);
         self.results.push(m);
         self
@@ -109,7 +118,13 @@ impl BenchmarkGroup<'_> {
     /// Run one benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, id);
-        let m = run_bench(&full, self.criterion.warmup, self.criterion.measure, &mut f);
+        let m = run_bench(
+            &full,
+            self.criterion.warmup,
+            self.criterion.measure,
+            self.criterion.test_mode,
+            &mut f,
+        );
         report(&m);
         self.criterion.results.push(m);
         self
@@ -123,6 +138,7 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     warmup: Duration,
     measure: Duration,
+    test_mode: bool,
     batch_means: Vec<Duration>,
     iterations: u64,
 }
@@ -130,6 +146,13 @@ pub struct Bencher {
 impl Bencher {
     /// Measure `routine` repeatedly.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            let t = Instant::now();
+            black_box(routine());
+            self.batch_means.push(t.elapsed());
+            self.iterations += 1;
+            return;
+        }
         // Calibrate: how many iterations fit ~10ms?
         let mut n: u64 = 1;
         loop {
@@ -169,6 +192,14 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        if self.test_mode {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.batch_means.push(t.elapsed());
+            self.iterations += 1;
+            return;
+        }
         // Warm-up.
         let t = Instant::now();
         while t.elapsed() < self.warmup {
@@ -192,11 +223,13 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     id: &str,
     warmup: Duration,
     measure: Duration,
+    test_mode: bool,
     f: &mut F,
 ) -> Measurement {
     let mut b = Bencher {
         warmup,
         measure,
+        test_mode,
         batch_means: Vec::new(),
         iterations: 0,
     };
@@ -272,5 +305,24 @@ mod tests {
         c.bench_function("noop", |b| b.iter(|| 1 + 1));
         assert_eq!(c.measurements().len(), 1);
         assert!(c.measurements()[0].iterations > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_each_bench_exactly_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke-iter", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1, "--test must invoke the routine exactly once");
+        assert_eq!(c.measurements()[0].iterations, 1);
+
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        c.bench_function("smoke-batched", |b| {
+            b.iter_batched(|| setups += 1, |()| runs += 1, BatchSize::SmallInput)
+        });
+        assert_eq!((setups, runs), (1, 1));
     }
 }

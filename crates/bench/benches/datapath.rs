@@ -159,10 +159,52 @@ fn bench_flush_object(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_destroy_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datapath-destroy-pool");
+    g.bench_function("fast/destroy_pool_4k", |b| {
+        b.iter_batched(
+            || {
+                let mut backend: TmemBackend<Fingerprint> = TmemBackend::new(8192);
+                let pool = backend.new_pool(VmId(1), PoolKind::Persistent).unwrap();
+                for o in 0..OBJECTS {
+                    for i in 0..PAGES_PER_OBJECT {
+                        backend
+                            .put(pool, ObjectId(o), i, Fingerprint(o ^ u64::from(i)))
+                            .unwrap();
+                    }
+                }
+                (backend, pool)
+            },
+            |(mut backend, pool)| black_box(backend.destroy_pool(pool).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("reference/destroy_pool_4k", |b| {
+        b.iter_batched(
+            || {
+                let mut backend: ReferenceBackend<Fingerprint> = ReferenceBackend::new(8192);
+                let pool = backend.new_pool(VmId(1), PoolKind::Persistent).unwrap();
+                for o in 0..OBJECTS {
+                    for i in 0..PAGES_PER_OBJECT {
+                        backend
+                            .put(pool, ObjectId(o), i, Fingerprint(o ^ u64::from(i)))
+                            .unwrap();
+                    }
+                }
+                (backend, pool)
+            },
+            |(mut backend, pool)| black_box(backend.destroy_pool(pool).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_put_get,
     bench_ephemeral_churn,
-    bench_flush_object
+    bench_flush_object,
+    bench_destroy_pool
 );
 criterion_main!(benches);

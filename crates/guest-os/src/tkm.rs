@@ -155,6 +155,19 @@ impl Dom0Tkm {
         }
     }
 
+    /// Deliver one interval's batch of snapshots (a sample channel can
+    /// emit up to three when delays flush or duplicates fire), drawing a
+    /// netlink fate from the injector *per logical message* — batching is
+    /// a delivery optimization, so the fault stream and the resulting
+    /// ledger are exactly those of message-at-a-time delivery. Drains
+    /// `msgs` so the caller can reuse the buffer.
+    pub fn deliver_stats_batch(&mut self, msgs: &mut Vec<StatsMsg>, inj: &mut FaultInjector) {
+        for msg in msgs.drain(..) {
+            let fate = inj.netlink_fate();
+            self.deliver_stats(msg, fate);
+        }
+    }
+
     fn enqueue(&mut self, msg: StatsMsg) {
         if self.queue.len() == NETLINK_QUEUE_DEPTH {
             let shed = self.queue.pop_front();

@@ -156,7 +156,7 @@ pub struct RunResult {
     pub disk_throttle: sim_core::time::SimDuration,
     /// Instant the last VM finished/stopped.
     pub end_time: SimTime,
-    /// Events processed by the queue (determinism fingerprint).
+    /// Events dispatched by the run loop (determinism fingerprint).
     pub events: u64,
     /// The run hit the safety cutoff (always a bug — asserted by tests).
     pub truncated: bool,
@@ -202,8 +202,16 @@ struct Runner {
     policy_kind: PolicyKind,
     sampling: SimDuration,
     truncated: bool,
+    /// Events actually dispatched (the determinism fingerprint). Counted
+    /// here rather than read off the queue: batch draining pops whole
+    /// same-instant groups, but a cutoff or early completion stops
+    /// dispatch mid-batch exactly where one-at-a-time popping would have
+    /// stopped.
+    dispatched: u64,
     injector: FaultInjector,
     sample_chan: SampleChannel,
+    /// Reusable buffer for one interval's VIRQ → dom0 snapshot batch.
+    virq_buf: Vec<tmem::stats::StatsMsg>,
     /// `Some(t)` while the MM process is crashed; the watchdog restarts it
     /// at the first VIRQ at or after `t`.
     mm_down_until: Option<SimTime>,
@@ -297,8 +305,10 @@ pub fn run_spec(spec: crate::spec::ScenarioSpec, policy: PolicyKind, cfg: &RunCo
         pending_starts: Vec::new(),
         stop_all_on: spec.stop_all_on.clone(),
         truncated: false,
+        dispatched: 0,
         injector,
         sample_chan: SampleChannel::new(),
+        virq_buf: Vec::new(),
         mm_down_until: None,
         tracer,
     };
@@ -336,33 +346,46 @@ impl Runner {
 
     fn run(mut self) -> RunResult {
         let cutoff = SimTime::ZERO + self.cfg.max_sim_time;
-        while let Some((now, event)) = self.queue.pop() {
+        // Same-instant events are drained from the heap as one batch and
+        // dispatched in a row — one heap pop amortized over the group, no
+        // re-sift between control-plane messages of the same tick. Events a
+        // handler schedules at `now` carry higher sequence numbers than the
+        // whole drained batch, so they form the next batch and dispatch
+        // order is exactly that of one-at-a-time popping.
+        let mut batch = Vec::new();
+        'dispatch: while let Some(now) = self.queue.pop_batch(&mut batch) {
             self.tracer.set_now(now);
             if now > cutoff {
+                // Count only the event that crossed the cutoff, exactly as
+                // a single pop would have.
+                self.dispatched += 1;
                 self.truncated = true;
                 self.stop_all(now);
                 break;
             }
-            match event {
-                Event::Start(i) => {
-                    if self.vms[i].state == VmState::NotStarted {
-                        self.start_next(i, now);
+            for event in batch.drain(..) {
+                self.dispatched += 1;
+                match event {
+                    Event::Start(i) => {
+                        if self.vms[i].state == VmState::NotStarted {
+                            self.start_next(i, now);
+                        }
                     }
-                }
-                Event::Wake(i) => {
-                    if self.vms[i].state == VmState::Sleeping {
-                        self.start_next(i, now);
+                    Event::Wake(i) => {
+                        if self.vms[i].state == VmState::Sleeping {
+                            self.start_next(i, now);
+                        }
                     }
-                }
-                Event::Step(i) => {
-                    if self.vms[i].state == VmState::Running {
-                        self.step_vm(i, now);
+                    Event::Step(i) => {
+                        if self.vms[i].state == VmState::Running {
+                            self.step_vm(i, now);
+                        }
                     }
+                    Event::Virq => self.virq(now),
                 }
-                Event::Virq => self.virq(now),
-            }
-            if self.all_done() {
-                break;
+                if self.all_done() {
+                    break 'dispatch;
+                }
             }
         }
         self.finish()
@@ -569,10 +592,12 @@ impl Runner {
         let fate = self.injector.sample_fate();
         self.tracer
             .emit(|| (None, Subsystem::Virq, Payload::VirqSample { seq, fate }));
-        for m in self.sample_chan.push(msg, fate) {
-            let nfate = self.injector.netlink_fate();
-            self.dom0.deliver_stats(m, nfate);
-        }
+        // The channel's output batch is handed to the relay in one call —
+        // the relay still draws a fault fate per logical message, so the
+        // fault stream is that of message-at-a-time delivery.
+        self.sample_chan.push_into(msg, fate, &mut self.virq_buf);
+        self.dom0
+            .deliver_stats_batch(&mut self.virq_buf, &mut self.injector);
         let mut stale = false;
         if self.mm.is_some() {
             self.drive_mm(now);
@@ -663,7 +688,7 @@ impl Runner {
             disk_read_wait: self.disk.read_wait_total(),
             disk_throttle: self.disk.throttle_total(),
             end_time: self.queue.now(),
-            events: self.queue.events_processed(),
+            events: self.dispatched,
             truncated: self.truncated,
             faults: self.injector.into_ledger(),
             final_tmem_used,

@@ -124,6 +124,80 @@ fn fault_free_table2_matches_pre_fault_injection_golden() {
     );
 }
 
+/// Batched control-plane delivery must be invisible: same-tick events now
+/// drain from the heap as one batch and an interval's VIRQ snapshots cross
+/// to the relay in one call, so the pre-batch goldens pin the output. With
+/// `fault_free_fig3_matches_pre_fault_injection_golden` covering jobs 4,
+/// this completes the jobs 1/4/8 grid against the same golden; the
+/// fault-profiles-on half of the contract lives in
+/// `chaos_report_is_byte_identical_across_job_counts` (reports at jobs
+/// 1/4/8) and in the faulted trace check below. Trace JSONL is produced
+/// per run — the engine parallelizes across grid cells, never inside a
+/// run — so its goldens (`trace_replay.rs`, default suite) plus the
+/// faulted A/B here are the per-run equivalent of the jobs grid.
+#[test]
+#[ignore = "fig3 grids at jobs 1 and 8 plus traced faulted runs (~60 s); CI runs the slow suite via --ignored"]
+fn batched_delivery_matches_pre_batch_goldens_across_engine_widths() {
+    let expected = golden("fig3_s0.01_seed20260806_reps2.txt");
+    for jobs in [1usize, 8] {
+        let fig = figures::fig3(&cfg(jobs), 2);
+        assert_eq!(
+            report::render_bars(&fig),
+            expected,
+            "batched dispatch at --jobs {jobs} drifted from the pre-batch fig3 golden"
+        );
+    }
+
+    // Fault profile on: two independent traced runs must serialize to
+    // byte-identical JSONL — batch delivery draws netlink fates per
+    // logical message, so the fault stream (and everything downstream of
+    // it) stays exactly that of message-at-a-time delivery.
+    let sample_loss = shipped_profiles()
+        .into_iter()
+        .find(|p| p.name == "sample-loss")
+        .expect("sample-loss ships with the chaos suite")
+        .profile;
+    let faulted = RunConfig {
+        scale: 0.01,
+        time_scale: Some(0.1),
+        seed: 42,
+        faults: sample_loss,
+        trace: Some(TraceConfig::default()),
+        ..RunConfig::default()
+    };
+    let jsonl = |r: &scenarios::runner::RunResult| {
+        let header = sim_core::trace::TraceHeader {
+            scenario: r.scenario.clone(),
+            policy: r.policy.clone(),
+            seed: faulted.seed,
+            filter: None,
+        };
+        r.trace
+            .as_ref()
+            .expect("trace requested")
+            .to_jsonl(&header, None)
+    };
+    let a = run_scenario(
+        ScenarioKind::Scenario1,
+        PolicyKind::SmartAlloc { p: 2.0 },
+        &faulted,
+    );
+    let b = run_scenario(
+        ScenarioKind::Scenario1,
+        PolicyKind::SmartAlloc { p: 2.0 },
+        &faulted,
+    );
+    assert_eq!(
+        format!("{:?}", a.faults),
+        format!("{:?}", b.faults),
+        "fault ledgers must replay identically"
+    );
+    assert!(
+        jsonl(&a) == jsonl(&b),
+        "faulted trace JSONL differs between identical batched runs"
+    );
+}
+
 /// Chaos runs obey the same determinism contract as the figures: one seed
 /// pins the fault schedule, and the rendered report and ledger CSV are
 /// byte-identical at any `--jobs` count.

@@ -124,6 +124,34 @@ impl<E> EventQueue<E> {
     pub fn peek_due(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse(s)| s.due)
     }
+
+    /// Pop the next event *and every further event due at the same
+    /// instant*, appending them to `out` in FIFO order; advances the clock
+    /// and returns the batch's shared due time.
+    ///
+    /// Dispatching a drained batch in order is indistinguishable from
+    /// popping one event at a time: events scheduled while the batch is
+    /// being processed carry higher sequence numbers than everything
+    /// already drained, so they would have popped after the remaining
+    /// batch members in the one-at-a-time scheme too — they simply form
+    /// the next batch.
+    pub fn pop_batch(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        let Reverse(first) = self.heap.pop()?;
+        debug_assert!(first.due >= self.now, "event queue time went backwards");
+        let due = first.due;
+        self.now = due;
+        self.popped += 1;
+        out.push(first.event);
+        while let Some(Reverse(s)) = self.heap.peek() {
+            if s.due != due {
+                break;
+            }
+            let Reverse(s) = self.heap.pop().expect("peeked just above");
+            self.popped += 1;
+            out.push(s.event);
+        }
+        Some(due)
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +197,73 @@ mod tests {
         q.schedule_at(SimTime(100), ());
         q.pop();
         q.schedule_at(SimTime(50), ());
+    }
+
+    #[test]
+    fn pop_batch_drains_exactly_the_same_instant() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(10), "a");
+        q.schedule_at(SimTime(10), "b");
+        q.schedule_at(SimTime(20), "c");
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), Some(SimTime(10)));
+        assert_eq!(batch, vec!["a", "b"]);
+        assert_eq!(q.now(), SimTime(10));
+        batch.clear();
+        assert_eq!(q.pop_batch(&mut batch), Some(SimTime(20)));
+        assert_eq!(batch, vec!["c"]);
+        batch.clear();
+        assert_eq!(q.pop_batch(&mut batch), None);
+        assert!(batch.is_empty());
+        assert_eq!(q.events_processed(), 3);
+    }
+
+    #[test]
+    fn pop_batch_matches_pop_one_at_a_time() {
+        // The same interleaved schedule (including events scheduled at the
+        // current instant mid-processing) must dispatch identically under
+        // both draining schemes.
+        fn schedule(q: &mut EventQueue<u32>) {
+            q.schedule_at(SimTime(5), 0);
+            q.schedule_at(SimTime(5), 1);
+            q.schedule_at(SimTime(9), 4);
+            q.schedule_at(SimTime(5), 2);
+        }
+        let mut singles = Vec::new();
+        let mut q = EventQueue::new();
+        schedule(&mut q);
+        while let Some((t, e)) = q.pop() {
+            // A handler scheduling more work at `now` — lands after the
+            // rest of the instant, before later times.
+            if e == 1 {
+                q.schedule_at(t, 3);
+            }
+            singles.push((t, e));
+        }
+
+        let mut batched = Vec::new();
+        let mut q = EventQueue::new();
+        schedule(&mut q);
+        let mut batch = Vec::new();
+        while let Some(t) = q.pop_batch(&mut batch) {
+            for e in batch.drain(..) {
+                if e == 1 {
+                    q.schedule_at(t, 3);
+                }
+                batched.push((t, e));
+            }
+        }
+        assert_eq!(singles, batched);
+        assert_eq!(
+            batched,
+            vec![
+                (SimTime(5), 0),
+                (SimTime(5), 1),
+                (SimTime(5), 2),
+                (SimTime(5), 3),
+                (SimTime(9), 4),
+            ]
+        );
     }
 
     #[test]

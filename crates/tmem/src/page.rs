@@ -78,6 +78,101 @@ impl Default for PageBuf {
     }
 }
 
+/// Handle to a page slot inside a [`PageArena`].
+///
+/// The backend's flat key map stores these 4-byte handles instead of the
+/// payloads themselves, so map entries stay small and payload storage is
+/// stable (never moved by a rehash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotHandle(u32);
+
+/// Slab of page payload slots with a free list.
+///
+/// `alloc` reuses the most recently freed slot before growing the slab, so
+/// steady-state put/flush churn touches a small, warm set of slots and
+/// never calls into the global allocator (beyond amortized `Vec` growth up
+/// to the high-water mark of live pages). Payloads are addressed by
+/// [`SlotHandle`]; the arena itself knows nothing about tmem keys.
+#[derive(Debug)]
+pub struct PageArena<P> {
+    slots: Vec<Option<P>>,
+    free_list: Vec<u32>,
+}
+
+impl<P> Default for PageArena<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> PageArena<P> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        PageArena {
+            slots: Vec::new(),
+            free_list: Vec::new(),
+        }
+    }
+
+    /// Number of live (allocated) slots.
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free_list.len()
+    }
+
+    /// High-water mark: total slots ever grown (live + free).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Store `payload` in a slot, reusing a freed one when available.
+    #[inline]
+    pub fn alloc(&mut self, payload: P) -> SlotHandle {
+        match self.free_list.pop() {
+            Some(i) => {
+                debug_assert!(self.slots[i as usize].is_none(), "free list slot was live");
+                self.slots[i as usize] = Some(payload);
+                SlotHandle(i)
+            }
+            None => {
+                let i = self.slots.len();
+                assert!(i < u32::MAX as usize, "page arena slot space exhausted");
+                self.slots.push(Some(payload));
+                SlotHandle(i as u32)
+            }
+        }
+    }
+
+    /// Release a slot, returning its payload.
+    ///
+    /// # Panics
+    /// Panics if the slot is already free — a double free means the caller's
+    /// key map and the arena disagree, which would corrupt accounting.
+    #[inline]
+    pub fn free(&mut self, handle: SlotHandle) -> P {
+        let payload = self.slots[handle.0 as usize]
+            .take()
+            .expect("double free of arena slot");
+        self.free_list.push(handle.0);
+        payload
+    }
+
+    /// Borrow the payload in a live slot.
+    #[inline]
+    pub fn get(&self, handle: SlotHandle) -> &P {
+        self.slots[handle.0 as usize]
+            .as_ref()
+            .expect("stale arena handle")
+    }
+
+    /// Mutably borrow the payload in a live slot.
+    #[inline]
+    pub fn get_mut(&mut self, handle: SlotHandle) -> &mut P {
+        self.slots[handle.0 as usize]
+            .as_mut()
+            .expect("stale arena handle")
+    }
+}
+
 /// A compact stand-in for page contents: a 64-bit fingerprint.
 ///
 /// Guests in scenario simulations construct a fingerprint from the page's
@@ -127,6 +222,43 @@ mod tests {
             PageBuf::filled(7).fingerprint(),
             PageBuf::filled(7).fingerprint()
         );
+    }
+
+    #[test]
+    fn arena_reuses_freed_slots_lifo() {
+        let mut a: PageArena<u64> = PageArena::new();
+        let h1 = a.alloc(1);
+        let h2 = a.alloc(2);
+        assert_eq!(a.live(), 2);
+        assert_eq!(*a.get(h1), 1);
+        assert_eq!(a.free(h1), 1);
+        assert_eq!(a.live(), 1);
+        // The freed slot is reused before the slab grows.
+        let h3 = a.alloc(3);
+        assert_eq!(h3, h1);
+        assert_eq!(a.slot_count(), 2);
+        *a.get_mut(h2) = 20;
+        assert_eq!(*a.get(h2), 20);
+        assert_eq!(a.free(h2), 20);
+        assert_eq!(a.free(h3), 3);
+        assert_eq!(a.live(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn arena_double_free_panics() {
+        let mut a: PageArena<u64> = PageArena::new();
+        let h = a.alloc(7);
+        a.free(h);
+        a.free(h);
+    }
+
+    #[test]
+    fn arena_holds_real_pages() {
+        let mut a: PageArena<PageBuf> = PageArena::new();
+        let h = a.alloc(PageBuf::filled(0xCD));
+        assert_eq!(a.get(h).as_slice()[0], 0xCD);
+        assert_eq!(a.free(h), PageBuf::filled(0xCD));
     }
 
     #[test]

@@ -48,17 +48,158 @@ enum Op {
     },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
+/// Operation mix with explicit weights, so besides the balanced default
+/// the suite can skew toward the bulk teardown paths (`flush_object`,
+/// `destroy_pool`) whose per-object index rewrite made them O(pages
+/// touched).
+fn weighted_op_strategy(
+    put: u32,
+    get: u32,
+    flush_page: u32,
+    flush_object: u32,
+    reclaim: u32,
+    destroy: u32,
+) -> impl Strategy<Value = Op> {
     prop_oneof![
-        8 => (0..4u8, 0..3u8, 0..16u8, any::<u64>())
+        put => (0..4u8, 0..3u8, 0..16u8, any::<u64>())
             .prop_map(|(pool, obj, idx, val)| Op::Put { pool, obj, idx, val }),
-        4 => (0..4u8, 0..3u8, 0..16u8).prop_map(|(pool, obj, idx)| Op::Get { pool, obj, idx }),
-        3 => (0..4u8, 0..3u8, 0..16u8)
+        get => (0..4u8, 0..3u8, 0..16u8).prop_map(|(pool, obj, idx)| Op::Get { pool, obj, idx }),
+        flush_page => (0..4u8, 0..3u8, 0..16u8)
             .prop_map(|(pool, obj, idx)| Op::FlushPage { pool, obj, idx }),
-        2 => (0..4u8, 0..3u8).prop_map(|(pool, obj)| Op::FlushObject { pool, obj }),
-        2 => (0..2u8, 1..6u8).prop_map(|(pool, max)| Op::Reclaim { pool, max }),
-        1 => (0..4u8).prop_map(|pool| Op::DestroyPool { pool }),
+        flush_object => (0..4u8, 0..3u8).prop_map(|(pool, obj)| Op::FlushObject { pool, obj }),
+        reclaim => (0..2u8, 1..6u8).prop_map(|(pool, max)| Op::Reclaim { pool, max }),
+        destroy => (0..4u8).prop_map(|pool| Op::DestroyPool { pool }),
     ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    weighted_op_strategy(8, 4, 3, 2, 2, 1)
+}
+
+/// Drive one operation sequence through both backends in lockstep,
+/// asserting every observable agrees after every step. With
+/// `recreate_destroyed`, a destroyed pool is immediately re-created (in
+/// both backends, with id agreement asserted) so destroy-heavy mixes keep
+/// exercising live-pool traffic instead of degenerating into `NoSuchPool`
+/// agreement checks.
+fn drive_lockstep(
+    ops: Vec<Op>,
+    capacity: u64,
+    recreate_destroyed: bool,
+) -> Result<(), TestCaseError> {
+    let mut fast: TmemBackend<Fingerprint> = TmemBackend::new(capacity);
+    let mut refr: ReferenceBackend<Fingerprint> = ReferenceBackend::new(capacity);
+    let kinds = [
+        (VmId(1), PoolKind::Persistent),
+        (VmId(2), PoolKind::Persistent),
+        (VmId(1), PoolKind::Ephemeral),
+        (VmId(2), PoolKind::Ephemeral),
+    ];
+    let mut pools: Vec<PoolId> = Vec::new();
+    for (vm, kind) in kinds {
+        let a = fast.new_pool(vm, kind).unwrap();
+        let b = refr.new_pool(vm, kind).unwrap();
+        prop_assert_eq!(a, b, "pool id allocation must agree");
+        pools.push(a);
+    }
+    let mut destroyed = [false; 4];
+
+    for op in ops {
+        match op {
+            Op::Put {
+                pool,
+                obj,
+                idx,
+                val,
+            } => {
+                let p = pools[pool as usize];
+                let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
+                let payload = Fingerprint::of(val, 0);
+                prop_assert_eq!(
+                    fast.put(p, o, i, payload),
+                    refr.put(p, o, i, payload),
+                    "put({:?},{:?},{})",
+                    p,
+                    o,
+                    i
+                );
+            }
+            Op::Get { pool, obj, idx } => {
+                let p = pools[pool as usize];
+                let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
+                prop_assert_eq!(
+                    fast.get(p, o, i),
+                    refr.get(p, o, i),
+                    "get({:?},{:?},{})",
+                    p,
+                    o,
+                    i
+                );
+            }
+            Op::FlushPage { pool, obj, idx } => {
+                let p = pools[pool as usize];
+                let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
+                prop_assert_eq!(fast.flush_page(p, o, i), refr.flush_page(p, o, i));
+            }
+            Op::FlushObject { pool, obj } => {
+                let p = pools[pool as usize];
+                let o = ObjectId(obj as u64);
+                prop_assert_eq!(fast.flush_object(p, o), refr.flush_object(p, o));
+            }
+            Op::Reclaim { pool, max } => {
+                let p = pools[pool as usize];
+                if destroyed[pool as usize] {
+                    continue; // reference reclaim asserts pool kind
+                }
+                prop_assert_eq!(
+                    fast.reclaim_oldest_persistent(p, max as u64),
+                    refr.reclaim_oldest_persistent(p, max as u64),
+                    "reclaim victim streams diverged"
+                );
+            }
+            Op::DestroyPool { pool } => {
+                let p = pools[pool as usize];
+                prop_assert_eq!(fast.destroy_pool(p), refr.destroy_pool(p));
+                destroyed[pool as usize] = true;
+                if recreate_destroyed {
+                    let (vm, kind) = kinds[pool as usize];
+                    let a = fast.new_pool(vm, kind).unwrap();
+                    let b = refr.new_pool(vm, kind).unwrap();
+                    prop_assert_eq!(a, b, "recreated pool ids must agree");
+                    pools[pool as usize] = a;
+                    destroyed[pool as usize] = false;
+                }
+            }
+        }
+        // Node-level observables after every step.
+        prop_assert_eq!(fast.used(), refr.used());
+        prop_assert_eq!(fast.free_pages(), refr.free_pages());
+        prop_assert_eq!(fast.evictions(), refr.evictions());
+        prop_assert_eq!(fast.used_by(VmId(1)), refr.used_by(VmId(1)));
+        prop_assert_eq!(fast.used_by(VmId(2)), refr.used_by(VmId(2)));
+        prop_assert!(accounting_consistent(&fast));
+    }
+
+    // Final sweep: page-level agreement over the whole key space.
+    for (pi, &p) in pools.iter().enumerate() {
+        prop_assert_eq!(fast.pool_page_count(p), refr.pool_page_count(p));
+        if destroyed[pi] {
+            continue;
+        }
+        for obj in 0..3u64 {
+            for idx in 0..16u32 {
+                prop_assert_eq!(
+                    fast.contains(p, ObjectId(obj), idx),
+                    refr.contains(p, ObjectId(obj), idx),
+                    "contains({:?},{},{})",
+                    p,
+                    obj,
+                    idx
+                );
+            }
+        }
+    }
+    Ok(())
 }
 
 proptest! {
@@ -72,96 +213,29 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(), 1..160),
         capacity in 1u64..24,
     ) {
-        let mut fast: TmemBackend<Fingerprint> = TmemBackend::new(capacity);
-        let mut refr: ReferenceBackend<Fingerprint> = ReferenceBackend::new(capacity);
-        let kinds = [
-            (VmId(1), PoolKind::Persistent),
-            (VmId(2), PoolKind::Persistent),
-            (VmId(1), PoolKind::Ephemeral),
-            (VmId(2), PoolKind::Ephemeral),
-        ];
-        let mut pools: Vec<PoolId> = Vec::new();
-        for (vm, kind) in kinds {
-            let a = fast.new_pool(vm, kind).unwrap();
-            let b = refr.new_pool(vm, kind).unwrap();
-            prop_assert_eq!(a, b, "pool id allocation must agree");
-            pools.push(a);
-        }
-        let mut destroyed = [false; 4];
+        drive_lockstep(ops, capacity, false)?;
+    }
 
-        for op in ops {
-            match op {
-                Op::Put { pool, obj, idx, val } => {
-                    let p = pools[pool as usize];
-                    let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
-                    let payload = Fingerprint::of(val, 0);
-                    prop_assert_eq!(
-                        fast.put(p, o, i, payload),
-                        refr.put(p, o, i, payload),
-                        "put({:?},{:?},{})", p, o, i
-                    );
-                }
-                Op::Get { pool, obj, idx } => {
-                    let p = pools[pool as usize];
-                    let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
-                    prop_assert_eq!(
-                        fast.get(p, o, i),
-                        refr.get(p, o, i),
-                        "get({:?},{:?},{})", p, o, i
-                    );
-                }
-                Op::FlushPage { pool, obj, idx } => {
-                    let p = pools[pool as usize];
-                    let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
-                    prop_assert_eq!(fast.flush_page(p, o, i), refr.flush_page(p, o, i));
-                }
-                Op::FlushObject { pool, obj } => {
-                    let p = pools[pool as usize];
-                    let o = ObjectId(obj as u64);
-                    prop_assert_eq!(fast.flush_object(p, o), refr.flush_object(p, o));
-                }
-                Op::Reclaim { pool, max } => {
-                    let p = pools[pool as usize];
-                    if destroyed[pool as usize] {
-                        continue; // reference reclaim asserts pool kind
-                    }
-                    prop_assert_eq!(
-                        fast.reclaim_oldest_persistent(p, max as u64),
-                        refr.reclaim_oldest_persistent(p, max as u64),
-                        "reclaim victim streams diverged"
-                    );
-                }
-                Op::DestroyPool { pool } => {
-                    let p = pools[pool as usize];
-                    prop_assert_eq!(fast.destroy_pool(p), refr.destroy_pool(p));
-                    destroyed[pool as usize] = true;
-                }
-            }
-            // Node-level observables after every step.
-            prop_assert_eq!(fast.used(), refr.used());
-            prop_assert_eq!(fast.free_pages(), refr.free_pages());
-            prop_assert_eq!(fast.evictions(), refr.evictions());
-            prop_assert_eq!(fast.used_by(VmId(1)), refr.used_by(VmId(1)));
-            prop_assert_eq!(fast.used_by(VmId(2)), refr.used_by(VmId(2)));
-            prop_assert!(accounting_consistent(&fast));
-        }
+    /// Flush-heavy mix — 7/18 of operations are `FlushObject` and
+    /// another 2/18 `FlushPage` (≥25% flush traffic), hammering the
+    /// per-object index drain and its queue-tombstone interaction.
+    #[test]
+    fn flush_heavy_mix_matches_reference(
+        ops in proptest::collection::vec(weighted_op_strategy(5, 2, 2, 7, 1, 1), 1..160),
+        capacity in 1u64..24,
+    ) {
+        drive_lockstep(ops, capacity, false)?;
+    }
 
-        // Final sweep: page-level agreement over the whole key space.
-        for (pi, &p) in pools.iter().enumerate() {
-            prop_assert_eq!(fast.pool_page_count(p), refr.pool_page_count(p));
-            if destroyed[pi] {
-                continue;
-            }
-            for obj in 0..3u64 {
-                for idx in 0..16u32 {
-                    prop_assert_eq!(
-                        fast.contains(p, ObjectId(obj), idx),
-                        refr.contains(p, ObjectId(obj), idx),
-                        "contains({:?},{},{})", p, obj, idx
-                    );
-                }
-            }
-        }
+    /// Destroy-heavy mix — 5/18 of operations tear a whole pool down
+    /// (plus 5/18 flush ops); destroyed pools are re-created on the spot
+    /// so the stream keeps hitting live pools and fresh pool ids.
+    #[test]
+    fn destroy_pool_heavy_mix_matches_reference(
+        ops in proptest::collection::vec(weighted_op_strategy(5, 2, 2, 3, 1, 5), 1..160),
+        capacity in 1u64..24,
+    ) {
+        drive_lockstep(ops, capacity, true)?;
     }
 
     /// Robustness satellite: the backends stay in lockstep when a random

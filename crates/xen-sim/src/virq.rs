@@ -90,6 +90,15 @@ impl SampleChannel {
     /// behind the newer one only when the newer one is itself delayed).
     pub fn push(&mut self, msg: StatsMsg, fate: SampleFate) -> Vec<StatsMsg> {
         let mut out = Vec::with_capacity(3);
+        self.push_into(msg, fate, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`SampleChannel::push`]: the interval's
+    /// output batch (at most three messages) is appended to `out`, which
+    /// the caller reuses across intervals.
+    pub fn push_into(&mut self, msg: StatsMsg, fate: SampleFate, out: &mut Vec<StatsMsg>) {
+        let start = out.len();
         if let Some(old) = self.delayed.take() {
             out.push(old);
         }
@@ -102,8 +111,7 @@ impl SampleChannel {
                 out.push(msg);
             }
         }
-        self.delivered += out.len() as u64;
-        out
+        self.delivered += (out.len() - start) as u64;
     }
 
     /// Messages delivered out of the channel so far.
