@@ -4,15 +4,30 @@
 //! smartmem-cli table2 [--scale S]
 //! smartmem-cli fig <3|4|5|6|7|8|9|10> [--scale S] [--reps N] [--seed S] [--out DIR] [--jobs N]
 //! smartmem-cli all [--scale S] [--reps N] [--out DIR] [--jobs N]
-//! smartmem-cli run <scenario1|scenario2|usemem|scenario3> <policy> [--scale S] [--seed S]
+//! smartmem-cli run <SCENARIO> <policy> [--scale S] [--seed S]
 //! smartmem-cli chaos [--scale S] [--seed S] [--out DIR] [--jobs N] [--bound X]
 //! smartmem-cli bench-parallel [--scale S] [--reps N] [--seed S] [--out DIR] [--jobs N]
-//! smartmem-cli trace <scenario> <policy> [--scale S] [--seed S] [--chaos PROFILE] [--out trace.jsonl] [--filter subsys=a,b]
+//! smartmem-cli bench-fleet [--scale S] [--seed S] [--out DIR] [--jobs N]
+//! smartmem-cli trace <SCENARIO> <policy> [--scale S] [--seed S] [--chaos PROFILE] [--out trace.jsonl] [--filter subsys=a,b]
 //! smartmem-cli inspect <trace.jsonl>
 //! ```
 //!
+//! `SCENARIO` is one of the Table II cells — `scenario1`, `scenario2`,
+//! `usemem`, `scenario3` — or a parameterized fleet cell:
+//! `fleet:<vms>[:<footprint_mb>[:<mix>[:<gap_ms>]]]`, e.g. `fleet:64`,
+//! `fleet:32:256:paging`, `fleet:16:128:balanced:0` (gap 0 = simultaneous
+//! arrivals). Mixes: `balanced`, `analytics`, `serving`, `paging`.
+//!
 //! Policies: `no-tmem`, `greedy`, `static-alloc`, `reconf-static`,
 //! `smart-alloc:<P>` (e.g. `smart-alloc:0.75`), `predictive`.
+//!
+//! `bench-fleet` sweeps the fleet family at 8/16/32/64 VMs and writes
+//! `BENCH_fleet.json`: wall-clock and peak RSS versus VM count, with
+//! per-VM occupancy/slowdown figures. `--scale` sizes the per-VM footprint
+//! off the 512 MiB headline cell (default 0.125 → 64 MiB — a smoke pass;
+//! use `--scale 1` for the headline numbers). The simulation itself always
+//! runs at time scale 1 (1 s sampling), because fleet cells are not
+//! resized by `RunConfig::scale`.
 //!
 //! `--jobs N` sets the number of worker threads the experiment grids fan
 //! out over (default: all available cores). Output is byte-identical at
@@ -38,7 +53,7 @@ use scenarios::config::RunConfig;
 use scenarios::figures;
 use scenarios::report;
 use scenarios::runner::run_scenario;
-use scenarios::spec::ScenarioKind;
+use scenarios::spec::{build_scenario, Arrival, FleetParams, ScenarioKind, WorkloadMix};
 use sim_core::faults::{NetlinkFate, SampleFate};
 use sim_core::trace::{
     self, FaultKind, Payload, PutResult, Subsystem, TraceConfig, TraceData, TraceHeader,
@@ -171,13 +186,74 @@ fn parse_policy(s: &str) -> Result<PolicyKind, String> {
     }
 }
 
+fn parse_mix(s: &str) -> Result<WorkloadMix, String> {
+    match s {
+        "balanced" => Ok(WorkloadMix::Balanced),
+        "analytics" => Ok(WorkloadMix::Analytics),
+        "serving" => Ok(WorkloadMix::Serving),
+        "paging" => Ok(WorkloadMix::Paging),
+        _ => Err(format!(
+            "unknown workload mix '{s}' (balanced, analytics, serving, paging)"
+        )),
+    }
+}
+
+/// `fleet:<vms>[:<footprint_mb>[:<mix>[:<gap_ms>]]]` — unspecified parts
+/// fall back to the headline defaults (512 MiB, balanced, 250 ms).
+fn parse_fleet(s: &str) -> Result<FleetParams, String> {
+    let mut p = FleetParams::default();
+    let mut parts = s.split(':');
+    let vms = parts.next().ok_or("fleet: needs a VM count")?;
+    p.vms = vms
+        .parse()
+        .map_err(|e| format!("fleet VM count '{vms}': {e}"))?;
+    if p.vms == 0 {
+        return Err("fleet VM count must be at least 1".into());
+    }
+    if let Some(mb) = parts.next() {
+        p.footprint_mb = mb
+            .parse()
+            .map_err(|e| format!("fleet footprint MiB '{mb}': {e}"))?;
+        if p.footprint_mb == 0 {
+            return Err("fleet footprint must be at least 1 MiB".into());
+        }
+    }
+    if let Some(mix) = parts.next() {
+        p.mix = parse_mix(mix)?;
+    }
+    if let Some(gap) = parts.next() {
+        let gap_ms: u32 = gap
+            .parse()
+            .map_err(|e| format!("fleet arrival gap ms '{gap}': {e}"))?;
+        p.arrival = if gap_ms == 0 {
+            Arrival::Simultaneous
+        } else {
+            Arrival::Staggered { gap_ms }
+        };
+    }
+    if let Some(extra) = parts.next() {
+        return Err(format!(
+            "fleet spec has a trailing part '{extra}' \
+             (syntax: fleet:<vms>[:<footprint_mb>[:<mix>[:<gap_ms>]]])"
+        ));
+    }
+    Ok(p)
+}
+
 fn parse_scenario(s: &str) -> Result<ScenarioKind, String> {
     match s {
         "scenario1" => Ok(ScenarioKind::Scenario1),
         "scenario2" => Ok(ScenarioKind::Scenario2),
         "usemem" => Ok(ScenarioKind::UsememScenario),
         "scenario3" => Ok(ScenarioKind::Scenario3),
-        _ => Err(format!("unknown scenario '{s}'")),
+        "scenario5" | "fleet" => Ok(ScenarioKind::Scenario5(FleetParams::default())),
+        _ => {
+            if let Some(params) = s.strip_prefix("fleet:") {
+                Ok(ScenarioKind::Scenario5(parse_fleet(params)?))
+            } else {
+                Err(format!("unknown scenario '{s}'"))
+            }
+        }
     }
 }
 
@@ -222,7 +298,7 @@ fn main() -> ExitCode {
         Some((cmd, rest)) => dispatch(cmd, rest),
         None => Err(
             "usage: smartmem-cli <table2|fig N|all|run SCENARIO POLICY|chaos|\
-             bench-parallel|trace SCENARIO POLICY|inspect FILE> [flags]"
+             bench-parallel|bench-fleet|trace SCENARIO POLICY|inspect FILE> [flags]"
                 .into(),
         ),
     };
@@ -424,9 +500,8 @@ fn bench_parallel(a: &Args) -> Result<(), String> {
     for jobs in [1usize, 2, 4, 8] {
         let mut cfg = run_config(a)?;
         cfg.jobs = jobs;
-        let t = std::time::Instant::now();
-        compute_all(&cfg, a.reps);
-        let wall_s = t.elapsed().as_secs_f64();
+        let m = smartmem_bench::measure::measure(|| compute_all(&cfg, a.reps));
+        let wall_s = m.wall.as_secs_f64();
         println!("e2e all (jobs={jobs}): {wall_s:.2} s");
         entries.push((jobs, wall_s));
     }
@@ -481,6 +556,150 @@ fn bench_parallel(a: &Args) -> Result<(), String> {
     if !scaling_valid {
         return Err(format!("jobs-scaling sweep invalid — {warning}"));
     }
+    Ok(())
+}
+
+/// `bench-fleet`: wall-clock and peak RSS versus VM count over the fleet
+/// scenario family (8/16/32/64 VMs), with per-VM occupancy/slowdown
+/// figures. Writes `BENCH_fleet.json`.
+fn bench_fleet(a: &Args) -> Result<(), String> {
+    use smartmem_bench::measure::measure;
+
+    // Fleet cells are not resized by `RunConfig::scale` (their size is
+    // explicit in `FleetParams`), so the run config keeps the default
+    // scale 1.0 — one-second sampling — and `--scale` instead sizes the
+    // per-VM footprint off the 512 MiB headline cell.
+    let footprint_mb = ((512.0 * a.scale).round() as u32).max(8);
+    let policy = PolicyKind::SmartAlloc { p: 2.0 };
+    let cfg = RunConfig {
+        seed: a.seed,
+        jobs: a.jobs,
+        ..RunConfig::default()
+    };
+    cfg.validate()?;
+
+    println!("== bench-fleet — wall-clock and peak RSS vs VM count ==");
+    println!(
+        "footprint {footprint_mb} MiB/VM, balanced mix, 250 ms staggered arrivals, \
+         policy smart-alloc:2"
+    );
+    println!(
+        "(peak RSS is the process high-water mark, so cells run in ascending order \
+         and each reading is the peak through that cell)"
+    );
+
+    let mut cells_json = Vec::new();
+    for vms in [8u32, 16, 32, 64] {
+        let params = FleetParams {
+            vms,
+            footprint_mb,
+            ..FleetParams::default()
+        };
+        let kind = ScenarioKind::Scenario5(params);
+        let sessions = build_scenario(kind, &cfg).logical_sessions();
+        let m = measure(|| run_scenario(kind, policy, &cfg));
+        let r = &m.value;
+        let wall_s = m.wall.as_secs_f64();
+        let rss_mib = m.peak_rss_kb.map_or(f64::NAN, |kb| kb as f64 / 1024.0);
+        println!(
+            "fleet {vms:>3} VMs: wall {wall_s:7.2} s  peak RSS {rss_mib:8.1} MiB  \
+             events {:>12}  sessions {:>12}  sim end {:.0} s{}",
+            r.events,
+            sessions,
+            r.end_time.as_secs_f64(),
+            if r.truncated { "  TRUNCATED" } else { "" },
+        );
+
+        // Per-VM occupancy and slowdown. Slowdown is each VM's total
+        // program runtime relative to the fastest VM running the same
+        // workload — 1.00 marks the least-contended VM of its class.
+        let runtime_ns: Vec<u64> = r
+            .vm_results
+            .iter()
+            .map(|vm| {
+                vm.runs
+                    .iter()
+                    .filter_map(|rr| rr.duration())
+                    .map(|d| d.as_nanos())
+                    .sum()
+            })
+            .collect();
+        let class: Vec<&str> = r
+            .vm_results
+            .iter()
+            .map(|vm| vm.runs.first().map_or("-", |rr| rr.workload.as_str()))
+            .collect();
+        let mut fastest: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+        for (&c, &ns) in class.iter().zip(&runtime_ns) {
+            if ns > 0 {
+                let e = fastest.entry(c).or_insert(u64::MAX);
+                *e = (*e).min(ns);
+            }
+        }
+        println!(
+            "  {:<6} {:>22} {:>12} {:>9} {:>12}",
+            "vm", "workload", "runtime_s", "slowdown", "occ_pages"
+        );
+        let mut per_vm_json = Vec::new();
+        for (i, vm) in r.vm_results.iter().enumerate() {
+            let runtime_s = runtime_ns[i] as f64 / 1e9;
+            let slowdown = match fastest.get(class[i]) {
+                Some(&best) if runtime_ns[i] > 0 => runtime_ns[i] as f64 / best as f64,
+                _ => f64::NAN,
+            };
+            let occ = r.final_tmem_used[i];
+            println!(
+                "  {:<6} {:>22} {:>12.1} {:>9.3} {:>12}",
+                vm.name, class[i], runtime_s, slowdown, occ
+            );
+            per_vm_json.push(format!(
+                "        {{ \"name\": \"{}\", \"workload\": \"{}\", \"runtime_s\": {:.3}, \
+                 \"slowdown\": {}, \"occupancy_pages\": {} }}",
+                vm.name,
+                class[i],
+                runtime_s,
+                if slowdown.is_nan() {
+                    "null".to_string()
+                } else {
+                    format!("{slowdown:.4}")
+                },
+                occ
+            ));
+        }
+        cells_json.push(format!(
+            "    {{\n      \"vms\": {vms},\n      \"scenario\": \"{}\",\n      \
+             \"wall_s\": {wall_s:.3},\n      \"peak_rss_kb\": {},\n      \
+             \"events\": {},\n      \"sim_end_s\": {:.3},\n      \
+             \"truncated\": {},\n      \"logical_sessions\": {sessions},\n      \
+             \"per_vm\": [\n{}\n      ]\n    }}",
+            r.scenario,
+            m.peak_rss_kb
+                .map_or("null".to_string(), |kb| kb.to_string()),
+            r.events,
+            r.end_time.as_secs_f64(),
+            r.truncated,
+            per_vm_json.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"host\": {{ \"available_cores\": {} }},\n  \"config\": {{ \"scale\": {}, \
+         \"footprint_mb\": {footprint_mb}, \"seed\": {}, \"jobs\": {}, \
+         \"policy\": \"smart-alloc:2\", \"mix\": \"balanced\", \"arrival_gap_ms\": 250 }},\n  \
+         \"note\": \"peak_rss_kb is the process-lifetime high-water mark (VmHWM); cells run \
+         in ascending VM order, so each reading is the peak through that cell\",\n  \
+         \"cells\": [\n{}\n  ]\n}}\n",
+        scenarios::par::default_jobs(),
+        a.scale,
+        a.seed,
+        a.jobs,
+        cells_json.join(",\n")
+    );
+    let dir = a.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = dir.join("BENCH_fleet.json");
+    std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("perf record: {}", path.display());
     Ok(())
 }
 
@@ -860,6 +1079,10 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             let a = parse_flags(rest)?;
             bench_parallel(&a)
         }
+        "bench-fleet" => {
+            let a = parse_flags(rest)?;
+            bench_fleet(&a)
+        }
         "chaos" => {
             let a = parse_flags(rest)?;
             let cfg = run_config(&a)?;
@@ -1066,6 +1289,52 @@ mod tests {
             ScenarioKind::Scenario3
         );
         assert!(parse_scenario("scenario9").is_err());
+    }
+
+    #[test]
+    fn fleet_scenarios_parse() {
+        assert_eq!(
+            parse_scenario("fleet").unwrap(),
+            ScenarioKind::Scenario5(FleetParams::default())
+        );
+        assert_eq!(
+            parse_scenario("scenario5").unwrap(),
+            ScenarioKind::Scenario5(FleetParams::default())
+        );
+        assert_eq!(
+            parse_scenario("fleet:16").unwrap(),
+            ScenarioKind::Scenario5(FleetParams {
+                vms: 16,
+                ..FleetParams::default()
+            })
+        );
+        assert_eq!(
+            parse_scenario("fleet:32:256:paging:100").unwrap(),
+            ScenarioKind::Scenario5(FleetParams {
+                vms: 32,
+                footprint_mb: 256,
+                mix: WorkloadMix::Paging,
+                arrival: Arrival::Staggered { gap_ms: 100 },
+            })
+        );
+        assert_eq!(
+            parse_scenario("fleet:8:64:serving:0").unwrap(),
+            ScenarioKind::Scenario5(FleetParams {
+                vms: 8,
+                footprint_mb: 64,
+                mix: WorkloadMix::Serving,
+                arrival: Arrival::Simultaneous,
+            }),
+            "gap 0 means simultaneous arrivals"
+        );
+        assert!(parse_scenario("fleet:0").is_err(), "zero VMs");
+        assert!(parse_scenario("fleet:8:0").is_err(), "zero footprint");
+        assert!(parse_scenario("fleet:8:64:warp").is_err(), "unknown mix");
+        assert!(
+            parse_scenario("fleet:8:64:paging:5:9").is_err(),
+            "trailing part"
+        );
+        assert!(parse_scenario("fleet:x").is_err());
     }
 
     #[test]

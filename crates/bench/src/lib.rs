@@ -12,6 +12,8 @@
 
 use scenarios::config::RunConfig;
 
+pub mod measure;
+
 /// Benchmark run configuration from the environment.
 pub fn bench_config() -> RunConfig {
     let scale = std::env::var("SMARTMEM_BENCH_SCALE")

@@ -8,6 +8,7 @@
 //! e.g. demand prediction over a window. It also powers report generation.
 
 use std::collections::VecDeque;
+use tmem::fastmap::FxHashMap;
 use tmem::key::VmId;
 use tmem::stats::MemStats;
 
@@ -33,6 +34,13 @@ pub struct StatsHistory {
     last_seq: Option<u64>,
     gaps: u64,
     missed: u64,
+    /// Per-VM `(intervals present, failed-put sum)` over the retained
+    /// window, maintained incrementally on push/evict. Each update touches
+    /// only the VMs that appear in the snapshot crossing the window edge,
+    /// so windowed queries stay O(1) however many VMs or intervals the
+    /// history holds — at fleet scale a rescan would be O(window × VMs)
+    /// per interval.
+    failed_puts_agg: FxHashMap<VmId, (u64, u64)>,
 }
 
 impl StatsHistory {
@@ -44,6 +52,7 @@ impl StatsHistory {
             last_seq: None,
             gaps: 0,
             missed: 0,
+            failed_puts_agg: FxHashMap::default(),
         }
     }
 
@@ -86,13 +95,29 @@ impl StatsHistory {
         self.missed
     }
 
-    /// Append a snapshot, evicting the oldest beyond the limit.
+    /// Append a snapshot, evicting the oldest beyond the limit. Windowed
+    /// aggregates are updated for exactly the VMs present in the incoming
+    /// (and, at capacity, the evicted) snapshot.
     pub fn push(&mut self, stats: MemStats) {
         if self.limit == 0 {
             return;
         }
         if self.window.len() == self.limit {
-            self.window.pop_front();
+            let old = self.window.pop_front().expect("len == limit > 0");
+            for v in &old.vms {
+                if let Some(e) = self.failed_puts_agg.get_mut(&v.vm_id) {
+                    e.0 -= 1;
+                    e.1 -= v.failed_puts();
+                    if e.0 == 0 {
+                        self.failed_puts_agg.remove(&v.vm_id);
+                    }
+                }
+            }
+        }
+        for v in &stats.vms {
+            let e = self.failed_puts_agg.entry(v.vm_id).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += v.failed_puts();
         }
         self.window.push_back(stats);
     }
@@ -118,17 +143,13 @@ impl StatsHistory {
     }
 
     /// Mean failed puts per interval for `vm` over the retained window —
-    /// the kind of windowed signal a predictive policy would use.
+    /// the kind of windowed signal a predictive policy would use. O(1):
+    /// served from the incrementally-maintained aggregate, bit-identical
+    /// to a window rescan (same integer sum over the same count).
     pub fn mean_failed_puts(&self, vm: VmId) -> Option<f64> {
-        let mut n = 0u64;
-        let mut sum = 0u64;
-        for s in &self.window {
-            if let Some(v) = s.vms.iter().find(|v| v.vm_id == vm) {
-                sum += v.failed_puts();
-                n += 1;
-            }
-        }
-        (n > 0).then(|| sum as f64 / n as f64)
+        self.failed_puts_agg
+            .get(&vm)
+            .map(|&(n, sum)| sum as f64 / n as f64)
     }
 }
 
@@ -202,5 +223,21 @@ mod tests {
         }
         assert_eq!(h.mean_failed_puts(VmId(1)), Some(4.0));
         assert_eq!(h.mean_failed_puts(VmId(9)), None, "unknown VM");
+    }
+
+    #[test]
+    fn mean_failed_puts_tracks_evictions() {
+        let mut h = StatsHistory::new(2);
+        for f in [2, 4, 6] {
+            h.push(snap(f, f));
+        }
+        // Window is [4, 6]: the evicted snapshot (2) must leave the mean.
+        assert_eq!(h.mean_failed_puts(VmId(1)), Some(5.0));
+        // Evict everything mentioning VmId(1): aggregate entry must vanish.
+        let mut empty = snap(9, 0);
+        empty.vms.clear();
+        h.push(empty.clone());
+        h.push(empty);
+        assert_eq!(h.mean_failed_puts(VmId(1)), None);
     }
 }

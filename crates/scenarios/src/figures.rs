@@ -399,6 +399,9 @@ pub fn table2_rows(cfg: &RunConfig) -> Vec<(String, Vec<String>)> {
                             ProgramStep::Run(WorkloadSpec::Graph(c)) => {
                                 format!("graph-analytics ({} MiB)", c.footprint_bytes() >> 20)
                             }
+                            ProgramStep::Run(WorkloadSpec::FileServer(c)) => {
+                                format!("fileserver ({} MiB)", c.footprint_bytes() >> 20)
+                            }
                             ProgramStep::Sleep(d) => format!("sleep {d}"),
                         })
                         .collect();

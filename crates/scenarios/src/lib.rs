@@ -3,8 +3,9 @@
 //! Scenarios and the experiment runner (paper §IV–V).
 //!
 //! This crate assembles the full simulated node — hypervisor, shared disk,
-//! three guest kernels, the dom0 TKM relay and the user-space Memory
-//! Manager — and drives the four benchmark scenarios of Table II under each
+//! the guest kernels (three for the Table II scenarios, 8–128 for the
+//! fleet family), the dom0 TKM relay and the user-space Memory Manager —
+//! and drives the four benchmark scenarios of Table II under each
 //! policy, producing exactly the data behind the paper's figures:
 //!
 //! * per-VM, per-run **running times** (Figs. 3, 5, 7, 9),
@@ -14,7 +15,10 @@
 //! Beyond the paper's figures, the [`chaos`] module stress-tests the
 //! control plane under deterministic fault injection (lost samples, flaky
 //! hypercalls, MM crashes) and verifies graceful degradation: bounded
-//! slowdown and intact tmem accounting invariants.
+//! slowdown and intact tmem accounting invariants. The parameterized
+//! fleet family ([`spec::FleetParams`], `ScenarioKind::Scenario5`) scales
+//! the same machinery to 8–128 VMs with staggered arrivals and mixed
+//! workloads for scale-focused benchmarking (`bench-fleet`).
 //!
 //! ## Scaling
 //!
@@ -37,7 +41,7 @@ pub mod trace_check;
 pub use chaos::{run_chaos, ChaosProfile, ChaosReport, DEGRADATION_BOUND};
 pub use config::RunConfig;
 pub use runner::{run_scenario, RunResult, VmResult};
-pub use spec::{build_scenario, ScenarioKind, ScenarioSpec};
+pub use spec::{build_scenario, Arrival, FleetParams, ScenarioKind, ScenarioSpec, WorkloadMix};
 pub use trace_check::{verify, ReplayReport};
 
 pub use smartmem_core::PolicyKind;

@@ -197,7 +197,7 @@ struct Runner {
     stop_all_on: Option<(usize, String)>,
     series: Option<SeriesBundle>,
     seed_root: SplitMix64,
-    scenario_name: &'static str,
+    scenario_name: String,
     policy_name: String,
     policy_kind: PolicyKind,
     sampling: SimDuration,
@@ -208,10 +208,22 @@ struct Runner {
     /// dispatch mid-batch exactly where one-at-a-time popping would have
     /// stopped.
     dispatched: u64,
+    /// vCPUs of VMs currently in [`VmState::Running`], maintained
+    /// incrementally by [`Runner::set_state`] — `step_vm` needs it on every
+    /// dispatched step, which at fleet scale (64+ VMs) makes an O(VMs)
+    /// rescan the hottest line of the whole loop.
+    running_vcpus: u32,
+    /// VMs not yet Finished/Stopped, maintained by [`Runner::set_state`];
+    /// `all_done()` is consulted after every event.
+    unfinished: usize,
     injector: FaultInjector,
     sample_chan: SampleChannel,
     /// Reusable buffer for one interval's VIRQ → dom0 snapshot batch.
     virq_buf: Vec<tmem::stats::StatsMsg>,
+    /// Reusable per-interval buffers for the slow-reclaim trickle, so an
+    /// over-target VM doesn't cost two fresh `Vec`s every interval.
+    reclaim_buf: Vec<(tmem::key::ObjectId, u32)>,
+    reclaim_keys: Vec<(u64, u32)>,
     /// `Some(t)` while the MM process is crashed; the watchdog restarts it
     /// at the first VIRQ at or after `t`.
     mm_down_until: Option<SimTime>,
@@ -283,6 +295,7 @@ pub fn run_spec(spec: crate::spec::ScenarioSpec, policy: PolicyKind, cfg: &RunCo
     dom0.set_tracer(tracer.clone());
     let mut injector = FaultInjector::new(cfg.faults.clone(), cfg.seed);
     injector.set_tracer(tracer.clone());
+    let unfinished = vms.len();
     let mut runner = Runner {
         series: cfg.record_series.then(|| SeriesBundle {
             used: vec![TimeSeries::new(); vms.len()],
@@ -306,9 +319,13 @@ pub fn run_spec(spec: crate::spec::ScenarioSpec, policy: PolicyKind, cfg: &RunCo
         stop_all_on: spec.stop_all_on.clone(),
         truncated: false,
         dispatched: 0,
+        running_vcpus: 0,
+        unfinished,
         injector,
         sample_chan: SampleChannel::new(),
         virq_buf: Vec::new(),
+        reclaim_buf: Vec::new(),
+        reclaim_keys: Vec::new(),
         mm_down_until: None,
         tracer,
     };
@@ -321,6 +338,12 @@ impl Runner {
         for (i, vm) in self.vms.iter().enumerate() {
             match &vm.spec.start {
                 StartRule::At(d) => self.queue.schedule_at(SimTime::ZERO + *d, Event::Start(i)),
+                StartRule::OnMilestonesAll(reqs) if reqs.is_empty() => {
+                    // No requirements means nothing to wait for; an empty
+                    // rule must not depend on some other VM emitting a
+                    // milestone first.
+                    self.queue.schedule_at(SimTime::ZERO, Event::Start(i));
+                }
                 StartRule::OnMilestonesAll(reqs) => {
                     self.pending_starts.push((i, reqs.clone()));
                 }
@@ -330,18 +353,36 @@ impl Runner {
             .schedule_at(SimTime::ZERO + self.sampling, Event::Virq);
     }
 
+    /// Move VM `i` to `new`, keeping the incremental `running_vcpus` /
+    /// `unfinished` counters exact. Every state transition in the runner
+    /// goes through here.
+    fn set_state(&mut self, i: usize, new: VmState) {
+        let old = self.vms[i].state;
+        if old == new {
+            return;
+        }
+        let vcpus = self.vms[i].spec.config.vcpus;
+        if old == VmState::Running {
+            self.running_vcpus -= vcpus;
+        }
+        if new == VmState::Running {
+            self.running_vcpus += vcpus;
+        }
+        let done = |s: VmState| matches!(s, VmState::Finished | VmState::Stopped);
+        match (done(old), done(new)) {
+            (false, true) => self.unfinished -= 1,
+            (true, false) => self.unfinished += 1,
+            _ => {}
+        }
+        self.vms[i].state = new;
+    }
+
     fn all_done(&self) -> bool {
-        self.vms
-            .iter()
-            .all(|v| matches!(v.state, VmState::Finished | VmState::Stopped))
+        self.unfinished == 0
     }
 
     fn runnable_vcpus(&self) -> u32 {
-        self.vms
-            .iter()
-            .filter(|v| v.state == VmState::Running)
-            .map(|v| v.spec.config.vcpus)
-            .sum()
+        self.running_vcpus
     }
 
     fn run(mut self) -> RunResult {
@@ -394,21 +435,26 @@ impl Runner {
     /// Begin the next program step of VM `i` at `now` (initial start, after
     /// a sleep, or after a completed run).
     fn start_next(&mut self, i: usize, now: SimTime) {
-        let scenario = self.scenario_name;
-        let policy = self.policy_name.clone();
-        let rt = &mut self.vms[i];
-        if rt.prog_idx >= rt.spec.program.len() {
-            rt.state = VmState::Finished;
+        if self.vms[i].prog_idx >= self.vms[i].spec.program.len() {
+            self.set_state(i, VmState::Finished);
             return;
         }
-        let step = rt.spec.program[rt.prog_idx].clone();
-        rt.prog_idx += 1;
+        let step = {
+            let rt = &mut self.vms[i];
+            let step = rt.spec.program[rt.prog_idx].clone();
+            rt.prog_idx += 1;
+            step
+        };
         match step {
             ProgramStep::Run(ws) => {
-                let label = format!("{scenario}/{policy}/vm{i}/run{}", rt.run_counter);
-                rt.run_counter += 1;
+                let label = format!(
+                    "{}/{}/vm{i}/run{}",
+                    self.scenario_name, self.policy_name, self.vms[i].run_counter
+                );
                 let seed = self.seed_root.derive(&label).next();
                 let workload = ws.build(seed);
+                let rt = &mut self.vms[i];
+                rt.run_counter += 1;
                 rt.runs.push(RunRecord {
                     workload: workload.name().to_string(),
                     start: now,
@@ -417,11 +463,11 @@ impl Runner {
                     stats_at_end: None,
                 });
                 rt.workload = Some(workload);
-                rt.state = VmState::Running;
+                self.set_state(i, VmState::Running);
                 self.queue.schedule_at(now, Event::Step(i));
             }
             ProgramStep::Sleep(d) => {
-                rt.state = VmState::Sleeping;
+                self.set_state(i, VmState::Sleeping);
                 self.queue.schedule_at(now + d, Event::Wake(i));
             }
         }
@@ -456,6 +502,7 @@ impl Runner {
             .into_iter()
             .map(|m| m.0)
             .collect();
+        let new_labels = !labels.is_empty();
         let mut stop_everything = false;
         for label in labels {
             self.vms[i].milestones.push((label.clone(), t_end));
@@ -466,7 +513,12 @@ impl Runner {
                 }
             }
         }
-        self.fire_ready_starts(t_end);
+        // Milestone-triggered starts can only become ready when a new label
+        // was recorded (empty-requirement rules fire from `seed_events`),
+        // so a step without milestones skips the pending scan entirely.
+        if new_labels && !self.pending_starts.is_empty() {
+            self.fire_ready_starts(t_end);
+        }
         if stop_everything {
             self.stop_all(t_end);
             return;
@@ -536,8 +588,8 @@ impl Runner {
                     r.stats_at_end = Some(stats);
                 }
             }
-            rt.state = VmState::Stopped;
             rt.stopped_early = true;
+            self.set_state(i, VmState::Stopped);
         }
     }
 
@@ -611,11 +663,15 @@ impl Runner {
                     .max(1);
             for rt in &mut self.vms {
                 let Some(tkm) = &rt._tkm else { continue };
-                let reclaimed = self.hyp.reclaim_over_target(tkm.pool(), max);
-                if !reclaimed.is_empty() {
-                    let keys: Vec<(u64, u32)> = reclaimed.iter().map(|&(o, i)| (o.0, i)).collect();
-                    rt.kernel.tmem_reclaimed(&keys);
-                    for _ in &keys {
+                self.reclaim_buf.clear();
+                self.hyp
+                    .reclaim_over_target_into(tkm.pool(), max, &mut self.reclaim_buf);
+                if !self.reclaim_buf.is_empty() {
+                    self.reclaim_keys.clear();
+                    self.reclaim_keys
+                        .extend(self.reclaim_buf.iter().map(|&(o, i)| (o.0, i)));
+                    rt.kernel.tmem_reclaimed(&self.reclaim_keys);
+                    for _ in 0..self.reclaim_keys.len() {
                         self.disk.write_page(now, &self.cfg.cost);
                     }
                 }
@@ -676,7 +732,7 @@ impl Runner {
             })
             .collect();
         RunResult {
-            scenario: self.scenario_name.to_string(),
+            scenario: self.scenario_name,
             policy: self.policy_name,
             policy_kind: self.policy_kind,
             vm_results,

@@ -1,22 +1,28 @@
-//! Table II: the benchmark scenarios.
+//! The benchmark scenarios: Table II plus the fleet family.
 //!
-//! Each scenario deploys three VMs with the paper's RAM/CPU parameters and
-//! a per-VM *program* (a sequence of workload runs and sleeps), plus start
-//! rules (fixed times or cross-VM milestone triggers) and an optional
-//! global stop trigger — everything Table II specifies, scaled by the
-//! run configuration.
+//! Each Table II scenario deploys three VMs with the paper's RAM/CPU
+//! parameters and a per-VM *program* (a sequence of workload runs and
+//! sleeps), plus start rules (fixed times or cross-VM milestone triggers)
+//! and an optional global stop trigger — everything Table II specifies,
+//! scaled by the run configuration.
+//!
+//! [`ScenarioKind::Scenario5`] goes beyond the paper: a parameterized
+//! fleet of 8–128 identical VMs with staggered arrivals and a mixed
+//! `inmem`/`fileserver`/`usemem` workload population sized to millions of
+//! logical sessions (ROADMAP item 1).
 
 use crate::config::RunConfig;
 use serde::{Deserialize, Serialize};
 use sim_core::time::SimDuration;
 use tmem::key::VmId;
+use workloads::fileserver::FileServerConfig;
 use workloads::graph::GraphAnalyticsConfig;
 use workloads::inmem::InMemoryAnalyticsConfig;
 use workloads::traits::Workload;
 use workloads::usemem::UsememConfig;
 use xen_sim::vm::VmConfig;
 
-/// The four scenarios of Table II.
+/// The four scenarios of Table II, plus the fleet family (Scenario 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ScenarioKind {
     /// 3 × 1 GB VMs; in-memory-analytics twice with a 5 s sleep; 1 GB tmem.
@@ -29,10 +35,85 @@ pub enum ScenarioKind {
     /// VM1/VM2 512 MB graph-analytics; VM3 1 GB in-memory-analytics 30 s
     /// later; 1 GB tmem.
     Scenario3,
+    /// The fleet family: `vms` identical guests with per-VM footprints,
+    /// staggered arrivals and a mixed workload population. Not in the
+    /// paper (its evaluation tops out at 4 VMs); this is the ≥50-VM
+    /// scale-out of ROADMAP item 1.
+    Scenario5(FleetParams),
+}
+
+/// Which workloads a fleet's VMs run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadMix {
+    /// Round-robin `inmem` / `fileserver` / `usemem` by VM index.
+    Balanced,
+    /// Every VM runs in-memory-analytics (frontswap-heavy).
+    Analytics,
+    /// Every VM runs the file server (cleancache-heavy).
+    Serving,
+    /// Every VM runs single-block usemem sized exactly to the footprint —
+    /// the purest paging load, and the mix the peak-RSS guard uses.
+    Paging,
+}
+
+impl WorkloadMix {
+    /// Report name fragment.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadMix::Balanced => "balanced",
+            WorkloadMix::Analytics => "analytics",
+            WorkloadMix::Serving => "serving",
+            WorkloadMix::Paging => "paging",
+        }
+    }
+}
+
+/// When a fleet's VMs come online.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Arrival {
+    /// All VMs start at t = 0.
+    Simultaneous,
+    /// VM `i` starts at `i × gap_ms` (time-scaled): a rolling deploy.
+    Staggered {
+        /// Gap between consecutive VM starts, in milliseconds.
+        gap_ms: u32,
+    },
+}
+
+/// Parameters of the Scenario-5 fleet family.
+///
+/// Unlike the Table II scenarios, fleet cells are *not* resized by
+/// [`RunConfig::scale`] — `vms` and `footprint_mb` already say exactly how
+/// big the cell is. Time scaling (`RunConfig::time_scale`) still applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetParams {
+    /// Number of VMs to deploy (8–128 is the designed range).
+    pub vms: u32,
+    /// Per-VM workload footprint in MiB; VM RAM is 80% of this, so every
+    /// guest runs under the paper's memory-pressure precondition.
+    pub footprint_mb: u32,
+    /// Workload population.
+    pub mix: WorkloadMix,
+    /// Arrival schedule.
+    pub arrival: Arrival,
+}
+
+impl Default for FleetParams {
+    /// The headline cell: 64 VMs × 512 MiB, balanced mix, 250 ms rolling
+    /// arrivals.
+    fn default() -> Self {
+        FleetParams {
+            vms: 64,
+            footprint_mb: 512,
+            mix: WorkloadMix::Balanced,
+            arrival: Arrival::Staggered { gap_ms: 250 },
+        }
+    }
 }
 
 impl ScenarioKind {
-    /// All scenarios, in paper order.
+    /// All paper scenarios, in paper order. (Fleet cells are parameterized,
+    /// so they are constructed explicitly rather than enumerated.)
     pub const ALL: [ScenarioKind; 4] = [
         ScenarioKind::Scenario1,
         ScenarioKind::Scenario2,
@@ -41,12 +122,15 @@ impl ScenarioKind {
     ];
 
     /// Report name.
-    pub fn name(&self) -> &'static str {
+    pub fn name(&self) -> String {
         match self {
-            ScenarioKind::Scenario1 => "scenario1",
-            ScenarioKind::Scenario2 => "scenario2",
-            ScenarioKind::UsememScenario => "usemem",
-            ScenarioKind::Scenario3 => "scenario3",
+            ScenarioKind::Scenario1 => "scenario1".into(),
+            ScenarioKind::Scenario2 => "scenario2".into(),
+            ScenarioKind::UsememScenario => "usemem".into(),
+            ScenarioKind::Scenario3 => "scenario3".into(),
+            ScenarioKind::Scenario5(p) => {
+                format!("scenario5-{}x{}mb-{}", p.vms, p.footprint_mb, p.mix.name())
+            }
         }
     }
 
@@ -58,6 +142,7 @@ impl ScenarioKind {
             ScenarioKind::Scenario2 => &[2.0, 6.0],
             ScenarioKind::UsememScenario => &[0.75, 2.0],
             ScenarioKind::Scenario3 => &[2.0, 4.0],
+            ScenarioKind::Scenario5(_) => &[2.0],
         }
     }
 }
@@ -80,6 +165,8 @@ pub enum WorkloadSpec {
     InMem(InMemoryAnalyticsConfig),
     /// CloudSuite-equivalent graph-analytics.
     Graph(GraphAnalyticsConfig),
+    /// Zipf-popular static file serving (cleancache).
+    FileServer(FileServerConfig),
 }
 
 impl WorkloadSpec {
@@ -97,6 +184,11 @@ impl WorkloadSpec {
                 let mut c = *c;
                 c.seed = seed;
                 Box::new(workloads::graph::GraphAnalytics::new(c))
+            }
+            WorkloadSpec::FileServer(c) => {
+                let mut c = *c;
+                c.seed = seed;
+                Box::new(workloads::fileserver::FileServer::new(c))
             }
         }
     }
@@ -129,7 +221,8 @@ pub struct ScenarioSpec {
     pub kind: ScenarioKind,
     /// tmem capacity enabled on the node, in bytes (already scaled).
     pub tmem_bytes: u64,
-    /// The deployed VMs (always 3, per Table II).
+    /// The deployed VMs — 3 for the Table II scenarios, 8–128 for the
+    /// fleet family.
     pub vms: Vec<VmSpec>,
     /// Stop every VM when this `(vm_index, milestone)` fires (the Usemem
     /// scenario's "stopped simultaneously when VM3 attempts to allocate
@@ -141,6 +234,21 @@ impl ScenarioSpec {
     /// tmem capacity in pages.
     pub fn tmem_pages(&self) -> u64 {
         self.tmem_bytes / 4096
+    }
+
+    /// Logical user sessions this spec simulates: one per in-memory
+    /// analytics rating and one per file-server request. (Usemem and
+    /// graph-analytics model batch jobs, not sessions.)
+    pub fn logical_sessions(&self) -> u64 {
+        self.vms
+            .iter()
+            .flat_map(|vm| &vm.program)
+            .map(|step| match step {
+                ProgramStep::Run(WorkloadSpec::InMem(c)) => c.n_ratings as u64,
+                ProgramStep::Run(WorkloadSpec::FileServer(c)) => c.requests,
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Validate the spec, returning an actionable message on the first
@@ -219,9 +327,72 @@ pub fn usemem_alloc_label(cfg: &UsememConfig, k: u64) -> String {
     format!("alloc:{}", bytes >> 20)
 }
 
-/// Build a scenario spec from Table II, scaled by `cfg`.
+/// Build a fleet cell: `p.vms` identical guests, each with 80% of the
+/// workload footprint as RAM (the paper's pressure precondition), sharing
+/// a tmem pool of a quarter of the aggregate footprint. Arrivals follow
+/// `p.arrival`; the mix assigns workloads by VM index so the population is
+/// stable under any VM count.
+fn build_fleet(p: FleetParams, cfg: &RunConfig) -> ScenarioSpec {
+    let n = p.vms.max(1);
+    let fp = u64::from(p.footprint_mb.max(1)) * MIB;
+    let ram = fp * 4 / 5;
+    // One logical session per corpus page read, twice over: enough traffic
+    // that the popular set cycles through cleancache several times.
+    let fs_requests = 2 * fp / 4096;
+    let inmem = || WorkloadSpec::InMem(InMemoryAnalyticsConfig::with_footprint(fp, 0));
+    let fileserver =
+        || WorkloadSpec::FileServer(FileServerConfig::with_footprint(fp, fs_requests, 0));
+    // Ramping usemem (an eighth at a time) for the balanced mix; a single
+    // footprint-sized block for the paging mix, where the page table must
+    // stay exactly O(footprint) for the peak-RSS guard.
+    let usemem = |single: bool| {
+        let step = if single { fp } else { (fp / 8).max(4096) };
+        WorkloadSpec::Usemem(UsememConfig {
+            start_bytes: step,
+            step_bytes: step,
+            max_bytes: fp,
+            compute_per_page: SimDuration::from_micros(2),
+            max_steady_passes: 2,
+        })
+    };
+    let vms = (0..n)
+        .map(|i| {
+            let workload = match p.mix {
+                WorkloadMix::Analytics => inmem(),
+                WorkloadMix::Serving => fileserver(),
+                WorkloadMix::Paging => usemem(true),
+                WorkloadMix::Balanced => match i % 3 {
+                    0 => inmem(),
+                    1 => fileserver(),
+                    _ => usemem(false),
+                },
+            };
+            let start = match p.arrival {
+                Arrival::Simultaneous => SimDuration::ZERO,
+                Arrival::Staggered { gap_ms } => {
+                    cfg.scale_time(SimDuration::from_millis(u64::from(gap_ms) * u64::from(i)))
+                }
+            };
+            VmSpec {
+                config: VmConfig::new(VmId(i + 1), format!("VM{}", i + 1), ram, 1),
+                program: vec![ProgramStep::Run(workload)],
+                start: StartRule::At(start),
+            }
+        })
+        .collect();
+    ScenarioSpec {
+        kind: ScenarioKind::Scenario5(p),
+        tmem_bytes: (u64::from(n) * fp / 4).max(4 * 4096),
+        vms,
+        stop_all_on: None,
+    }
+}
+
+/// Build a scenario spec from Table II (scaled by `cfg`) or a fleet cell
+/// (sized by its own [`FleetParams`]).
 pub fn build_scenario(kind: ScenarioKind, cfg: &RunConfig) -> ScenarioSpec {
     match kind {
+        ScenarioKind::Scenario5(p) => build_fleet(p, cfg),
         ScenarioKind::Scenario1 => {
             // "All VMs execute in-memory-analytics once simultaneously,
             // sleep for 5 seconds and execute it again."
@@ -468,6 +639,118 @@ mod tests {
         let mut spec = build_scenario(ScenarioKind::UsememScenario, &cfg());
         spec.stop_all_on = Some((7, "alloc:768".into()));
         assert!(spec.validate().unwrap_err().contains("stop_all_on"));
+    }
+
+    fn fleet(vms: u32, footprint_mb: u32, mix: WorkloadMix, arrival: Arrival) -> FleetParams {
+        FleetParams {
+            vms,
+            footprint_mb,
+            mix,
+            arrival,
+        }
+    }
+
+    #[test]
+    fn fleet_staggered_arrivals_are_strictly_ordered() {
+        let p = fleet(
+            8,
+            64,
+            WorkloadMix::Balanced,
+            Arrival::Staggered { gap_ms: 250 },
+        );
+        let spec = build_scenario(ScenarioKind::Scenario5(p), &cfg());
+        assert_eq!(spec.vms.len(), 8);
+        let mut prev = None;
+        for (i, vm) in spec.vms.iter().enumerate() {
+            let StartRule::At(at) = vm.start else {
+                panic!("fleet VMs start on the clock, not on milestones");
+            };
+            assert_eq!(
+                at,
+                SimDuration::from_millis(250 * i as u64),
+                "VM{} must arrive exactly i × gap after t=0",
+                i + 1
+            );
+            if let Some(p) = prev {
+                assert!(at > p, "arrival order must be strictly increasing");
+            }
+            prev = Some(at);
+        }
+        // Simultaneous arrival collapses the schedule to t=0.
+        let p0 = fleet(8, 64, WorkloadMix::Balanced, Arrival::Simultaneous);
+        let spec0 = build_scenario(ScenarioKind::Scenario5(p0), &cfg());
+        for vm in &spec0.vms {
+            assert!(matches!(vm.start, StartRule::At(d) if d == SimDuration::ZERO));
+        }
+    }
+
+    #[test]
+    fn fleet_balanced_mix_round_robins_workloads() {
+        let p = fleet(9, 64, WorkloadMix::Balanced, Arrival::Simultaneous);
+        let spec = build_scenario(ScenarioKind::Scenario5(p), &cfg());
+        for (i, vm) in spec.vms.iter().enumerate() {
+            let ProgramStep::Run(w) = &vm.program[0] else {
+                panic!("fleet programs are a single run");
+            };
+            match i % 3 {
+                0 => assert!(matches!(w, WorkloadSpec::InMem(_)), "VM{}", i + 1),
+                1 => assert!(matches!(w, WorkloadSpec::FileServer(_)), "VM{}", i + 1),
+                _ => assert!(matches!(w, WorkloadSpec::Usemem(_)), "VM{}", i + 1),
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_keeps_the_pressure_precondition_and_validates() {
+        for mix in [
+            WorkloadMix::Balanced,
+            WorkloadMix::Analytics,
+            WorkloadMix::Serving,
+            WorkloadMix::Paging,
+        ] {
+            let p = fleet(8, 128, mix, Arrival::Staggered { gap_ms: 100 });
+            let spec = build_scenario(ScenarioKind::Scenario5(p), &cfg());
+            assert!(spec.validate().is_ok(), "{mix:?}");
+            let fp = 128 * MIB;
+            assert_eq!(spec.tmem_bytes, 8 * fp / 4);
+            for vm in &spec.vms {
+                assert_eq!(vm.config.ram_bytes, fp * 4 / 5);
+                match &vm.program[0] {
+                    ProgramStep::Run(WorkloadSpec::InMem(c)) => {
+                        assert!(c.footprint_bytes() > vm.config.ram_bytes)
+                    }
+                    ProgramStep::Run(WorkloadSpec::Usemem(c)) => {
+                        assert!(c.max_bytes > vm.config.ram_bytes);
+                        assert_ne!(c.max_steady_passes, u64::MAX, "fleet usemem terminates");
+                    }
+                    ProgramStep::Run(WorkloadSpec::FileServer(c)) => {
+                        assert!(c.footprint_bytes() > fp / 4, "corpus exceeds its cache")
+                    }
+                    other => panic!("unexpected fleet program step {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_names_and_sessions_scale_with_parameters() {
+        let p = FleetParams::default();
+        assert_eq!(p.vms, 64);
+        let spec = build_scenario(ScenarioKind::Scenario5(p), &cfg());
+        assert_eq!(spec.kind.name(), "scenario5-64x512mb-balanced");
+        assert!(
+            spec.logical_sessions() > 1_000_000,
+            "the headline fleet cell must simulate millions of sessions, got {}",
+            spec.logical_sessions()
+        );
+        // The fleet is sized by its params, not by RunConfig::scale.
+        let tiny_scale = RunConfig {
+            scale: 0.01,
+            ..RunConfig::default()
+        };
+        let same = build_scenario(ScenarioKind::Scenario5(p), &tiny_scale);
+        assert_eq!(same.tmem_bytes, spec.tmem_bytes);
+        assert_eq!(same.vms[0].config.ram_bytes, spec.vms[0].config.ram_bytes);
     }
 
     #[test]

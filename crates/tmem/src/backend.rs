@@ -640,7 +640,21 @@ impl<P: PagePayload> TmemBackend<P> {
         max: u64,
     ) -> Vec<(ObjectId, PageIndex)> {
         let mut out = Vec::new();
-        while (out.len() as u64) < max {
+        self.reclaim_oldest_persistent_into(pool_id, max, &mut out);
+        out
+    }
+
+    /// [`TmemBackend::reclaim_oldest_persistent`] appending into a
+    /// caller-owned buffer — the per-interval reclaim trickle reuses one
+    /// buffer across VMs and intervals instead of allocating per call.
+    pub fn reclaim_oldest_persistent_into(
+        &mut self,
+        pool_id: PoolId,
+        max: u64,
+        out: &mut Vec<(ObjectId, PageIndex)>,
+    ) {
+        let start = out.len();
+        while ((out.len() - start) as u64) < max {
             let Some(pool) = self.pool_mut(pool_id) else {
                 break;
             };
@@ -656,7 +670,6 @@ impl<P: PagePayload> TmemBackend<P> {
                 out.push((obj, idx));
             }
         }
-        out
     }
 
     /// Drop the oldest still-present ephemeral page; returns its key.

@@ -53,6 +53,29 @@ impl FileServerConfig {
             seed,
         }
     }
+
+    /// A corpus sized to a total footprint of `bytes`, served by a guest
+    /// page cache holding a quarter of it, answering `requests` page reads
+    /// (one logical user session each). Files stay at 32 pages (128 KiB)
+    /// so footprint scales the corpus breadth, not the file size.
+    pub fn with_footprint(bytes: u64, requests: u64, seed: u64) -> Self {
+        const PAGES_PER_FILE: u32 = 32;
+        let pages = (bytes / tmem::page::PAGE_SIZE as u64).max(u64::from(PAGES_PER_FILE));
+        FileServerConfig {
+            n_files: (pages / u64::from(PAGES_PER_FILE)).max(1),
+            pages_per_file: PAGES_PER_FILE,
+            cache_pages: (pages / 4).max(64) as usize,
+            requests,
+            skew: 1.1,
+            compute_per_request: SimDuration::from_micros(5),
+            seed,
+        }
+    }
+
+    /// Total corpus size in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.n_files * u64::from(self.pages_per_file) * tmem::page::PAGE_SIZE as u64
+    }
 }
 
 /// The file-serving workload.

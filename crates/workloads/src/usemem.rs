@@ -36,6 +36,10 @@ pub struct UsememConfig {
     /// Compute per page traversed (the per-word read/write loop: ~512
     /// words of work per 4 KiB page).
     pub compute_per_page: SimDuration,
+    /// Full traversals to perform at the maximum block size before
+    /// finishing. The paper's usemem runs "until stopped" (`u64::MAX`);
+    /// fleet scenarios bound it so a cell terminates on its own.
+    pub max_steady_passes: u64,
 }
 
 impl UsememConfig {
@@ -47,6 +51,7 @@ impl UsememConfig {
             step_bytes: mb(128),
             max_bytes: mb(1024),
             compute_per_page: SimDuration::from_micros(2),
+            max_steady_passes: u64::MAX,
         }
     }
 }
@@ -197,6 +202,11 @@ impl Workload for Usemem {
                     *pos = 0;
                     *writing = !*writing;
                     self.steady_passes += 1;
+                    if self.steady_passes >= self.config.max_steady_passes {
+                        self.milestones.push(Milestone("steady-done".into()));
+                        self.free_block(kernel, m);
+                        self.phase = Phase::Finished;
+                    }
                 }
                 Phase::Finished => return StepOutcome::Done,
             }
@@ -281,7 +291,39 @@ mod tests {
             step_bytes: 4 * 4096,
             max_bytes: 12 * 4096,
             compute_per_page: SimDuration::from_micros(2),
+            max_steady_passes: u64::MAX,
         }
+    }
+
+    #[test]
+    fn bounded_steady_state_finishes_and_frees() {
+        let mut rig = rig(64, 64);
+        let mut w = Usemem::new(UsememConfig {
+            max_steady_passes: 3,
+            ..tiny()
+        });
+        let mut done = false;
+        for _ in 0..10_000 {
+            let mut b = StepBudget::new(SimDuration::from_millis(1));
+            let mut m = Machine {
+                hyp: &mut rig.hyp,
+                disk: &mut rig.disk,
+                cost: &rig.cost,
+                now: SimTime::ZERO,
+                budget: &mut b,
+            };
+            if w.step(&mut rig.kernel, &mut m) == StepOutcome::Done {
+                done = true;
+                break;
+            }
+        }
+        assert!(done, "bounded usemem must terminate on its own");
+        assert_eq!(w.steady_passes(), 3);
+        assert_eq!(
+            rig.kernel.resident_pages(),
+            0,
+            "finishing frees the final block"
+        );
     }
 
     #[test]

@@ -345,11 +345,26 @@ impl<P: PagePayload> Hypervisor<P> {
         pool: PoolId,
         max_pages: u64,
     ) -> Vec<(ObjectId, PageIndex)> {
+        let mut out = Vec::new();
+        self.reclaim_over_target_into(pool, max_pages, &mut out);
+        out
+    }
+
+    /// [`Hypervisor::reclaim_over_target`] appending into a caller-owned
+    /// buffer. The runner calls this once per VM per sampling interval, so
+    /// at fleet scale (64+ VMs) reusing one buffer replaces thousands of
+    /// short-lived allocations per simulated second.
+    pub fn reclaim_over_target_into(
+        &mut self,
+        pool: PoolId,
+        max_pages: u64,
+        out: &mut Vec<(ObjectId, PageIndex)>,
+    ) {
         let Some((owner, kind)) = self.backend.pool_info(pool) else {
-            return Vec::new();
+            return;
         };
         if kind != PoolKind::Persistent {
-            return Vec::new();
+            return;
         }
         let target = self.effective_target(owner);
         let data = self
@@ -358,15 +373,15 @@ impl<P: PagePayload> Hypervisor<P> {
             .expect("pool owner must be registered");
         let used = self.backend.used_by(owner);
         if used <= target {
-            return Vec::new();
+            return;
         }
         let excess = used - target;
-        let reclaimed = self
-            .backend
-            .reclaim_oldest_persistent(pool, excess.min(max_pages));
+        let start = out.len();
+        self.backend
+            .reclaim_oldest_persistent_into(pool, excess.min(max_pages), out);
         data.tmem_used = self.backend.used_by(owner);
-        if !reclaimed.is_empty() {
-            let pages = reclaimed.len() as u64;
+        let pages = (out.len() - start) as u64;
+        if pages > 0 {
             self.tracer.emit(|| {
                 (
                     Some(owner.0),
@@ -378,7 +393,6 @@ impl<P: PagePayload> Hypervisor<P> {
                 )
             });
         }
-        reclaimed
     }
 
     /// Install new targets from the MM (`SetTargets` hypercall). Stores them

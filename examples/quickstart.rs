@@ -52,5 +52,5 @@ fn main() {
     println!("Things to try:");
     println!("  * PolicyKind::NoTmem — the everything-to-disk baseline");
     println!("  * cfg.scale = 1.0    — the paper's full memory sizes");
-    println!("  * the CLI: cargo run --release -p smartmem-scenarios --bin smartmem-cli -- fig 5");
+    println!("  * the CLI: cargo run --release -p smartmem-bench --bin smartmem-cli -- fig 5");
 }
