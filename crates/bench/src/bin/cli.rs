@@ -10,6 +10,8 @@
 //! smartmem-cli bench-fleet [--scale S] [--seed S] [--out DIR] [--jobs N]
 //! smartmem-cli trace <SCENARIO> <policy> [--scale S] [--seed S] [--chaos PROFILE] [--out trace.jsonl] [--filter subsys=a,b]
 //! smartmem-cli inspect <trace.jsonl>
+//! smartmem-cli run-file <scenario.toml> [POLICY ...] [--scale S] [--seed S] [--reps N] [--chaos P]
+//! smartmem-cli sweep <manifest.toml> [--resume DIR] [--jobs N] [--stop-after N]
 //! ```
 //!
 //! `SCENARIO` is one of the Table II cells — `scenario1`, `scenario2`,
@@ -39,6 +41,15 @@
 //! [`scenarios::chaos::DEGRADATION_BOUND`]) or a tmem accounting
 //! invariant was ever violated.
 //!
+//! `run-file` runs a declarative scenario file (see `scenarios/*.toml` and
+//! EXPERIMENTS.md) under one or more policies; the file's `[run]` table
+//! supplies defaults for any flag or policy list not given on the command
+//! line. `sweep` expands a manifest's `scenarios × policies × chaos × reps`
+//! matrix and runs it with per-cell checkpointing: every finished cell is
+//! journaled, so a killed sweep rerun with the same `--resume DIR` picks up
+//! where it stopped and produces byte-identical outputs. `--stop-after N`
+//! caps how many cells one invocation runs (useful for exercising resume).
+//!
 //! `trace` runs one cell with the flight recorder attached, replays the
 //! event stream through the [`scenarios::trace_check`] verifier, prints
 //! the metrics registry and replay verdict, and (with `--out`) writes the
@@ -48,12 +59,14 @@
 //! summarizes it: per-VM admission/reject/evict counts, the transmitted
 //! target-vector timeline, and a fault-ledger cross-check.
 
+use scenarios::batch;
 use scenarios::chaos;
 use scenarios::config::RunConfig;
+use scenarios::dsl;
 use scenarios::figures;
 use scenarios::report;
-use scenarios::runner::run_scenario;
-use scenarios::spec::{build_scenario, Arrival, FleetParams, ScenarioKind, WorkloadMix};
+use scenarios::runner::{run_scenario, run_spec, RunResult};
+use scenarios::spec::{build_scenario, FleetParams, ScenarioKind};
 use sim_core::faults::{NetlinkFate, SampleFate};
 use sim_core::trace::{
     self, FaultKind, Payload, PutResult, Subsystem, TraceConfig, TraceData, TraceHeader,
@@ -74,6 +87,10 @@ struct Args {
     filter: Option<Vec<Subsystem>>,
     /// Shipped chaos profile to inject during `trace`.
     chaos: Option<chaos::ChaosProfile>,
+    /// Sweep checkpoint directory (`sweep --resume`).
+    resume: Option<PathBuf>,
+    /// Cap on cells one `sweep` invocation runs (resume/CI kill stand-in).
+    stop_after: Option<usize>,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Args, String> {
@@ -86,6 +103,8 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         bound: chaos::DEGRADATION_BOUND,
         filter: None,
         chaos: None,
+        resume: None,
+        stop_after: None,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -137,12 +156,17 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
                             "unknown chaos profile '{v}' (shipped: {})",
                             chaos::shipped_profiles()
                                 .iter()
-                                .map(|p| p.name)
+                                .map(|p| p.name.as_str())
                                 .collect::<Vec<_>>()
                                 .join(", ")
                         )
                     })?;
                 args.chaos = Some(profile);
+            }
+            "--resume" => args.resume = Some(PathBuf::from(value()?)),
+            "--stop-after" => {
+                let n: usize = value()?.parse().map_err(|e| format!("--stop-after: {e}"))?;
+                args.stop_after = Some(n);
             }
             "--filter" => {
                 let v = value()?;
@@ -168,93 +192,16 @@ fn run_config(a: &Args) -> Result<RunConfig, String> {
     Ok(cfg)
 }
 
+// The positional-argument vocabulary is the declarative DSL's shared
+// vocabulary (`scenarios::dsl`): policy names, mixes and `fleet:` specs
+// mean exactly the same thing on the command line and in a `.toml` file.
+
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
-    match s {
-        "no-tmem" => Ok(PolicyKind::NoTmem),
-        "greedy" => Ok(PolicyKind::Greedy),
-        "static-alloc" => Ok(PolicyKind::StaticAlloc),
-        "reconf-static" => Ok(PolicyKind::ReconfStatic),
-        "predictive" => Ok(PolicyKind::Predictive),
-        _ => {
-            if let Some(p) = s.strip_prefix("smart-alloc:") {
-                let p: f64 = p.parse().map_err(|e| format!("smart-alloc P: {e}"))?;
-                Ok(PolicyKind::SmartAlloc { p })
-            } else {
-                Err(format!("unknown policy '{s}'"))
-            }
-        }
-    }
-}
-
-fn parse_mix(s: &str) -> Result<WorkloadMix, String> {
-    match s {
-        "balanced" => Ok(WorkloadMix::Balanced),
-        "analytics" => Ok(WorkloadMix::Analytics),
-        "serving" => Ok(WorkloadMix::Serving),
-        "paging" => Ok(WorkloadMix::Paging),
-        _ => Err(format!(
-            "unknown workload mix '{s}' (balanced, analytics, serving, paging)"
-        )),
-    }
-}
-
-/// `fleet:<vms>[:<footprint_mb>[:<mix>[:<gap_ms>]]]` — unspecified parts
-/// fall back to the headline defaults (512 MiB, balanced, 250 ms).
-fn parse_fleet(s: &str) -> Result<FleetParams, String> {
-    let mut p = FleetParams::default();
-    let mut parts = s.split(':');
-    let vms = parts.next().ok_or("fleet: needs a VM count")?;
-    p.vms = vms
-        .parse()
-        .map_err(|e| format!("fleet VM count '{vms}': {e}"))?;
-    if p.vms == 0 {
-        return Err("fleet VM count must be at least 1".into());
-    }
-    if let Some(mb) = parts.next() {
-        p.footprint_mb = mb
-            .parse()
-            .map_err(|e| format!("fleet footprint MiB '{mb}': {e}"))?;
-        if p.footprint_mb == 0 {
-            return Err("fleet footprint must be at least 1 MiB".into());
-        }
-    }
-    if let Some(mix) = parts.next() {
-        p.mix = parse_mix(mix)?;
-    }
-    if let Some(gap) = parts.next() {
-        let gap_ms: u32 = gap
-            .parse()
-            .map_err(|e| format!("fleet arrival gap ms '{gap}': {e}"))?;
-        p.arrival = if gap_ms == 0 {
-            Arrival::Simultaneous
-        } else {
-            Arrival::Staggered { gap_ms }
-        };
-    }
-    if let Some(extra) = parts.next() {
-        return Err(format!(
-            "fleet spec has a trailing part '{extra}' \
-             (syntax: fleet:<vms>[:<footprint_mb>[:<mix>[:<gap_ms>]]])"
-        ));
-    }
-    Ok(p)
+    dsl::parse_policy(s)
 }
 
 fn parse_scenario(s: &str) -> Result<ScenarioKind, String> {
-    match s {
-        "scenario1" => Ok(ScenarioKind::Scenario1),
-        "scenario2" => Ok(ScenarioKind::Scenario2),
-        "usemem" => Ok(ScenarioKind::UsememScenario),
-        "scenario3" => Ok(ScenarioKind::Scenario3),
-        "scenario5" | "fleet" => Ok(ScenarioKind::Scenario5(FleetParams::default())),
-        _ => {
-            if let Some(params) = s.strip_prefix("fleet:") {
-                Ok(ScenarioKind::Scenario5(parse_fleet(params)?))
-            } else {
-                Err(format!("unknown scenario '{s}'"))
-            }
-        }
-    }
+    dsl::parse_kind(s)
 }
 
 fn emit_bars(fig: figures::FigureData, out: &Option<PathBuf>) -> Result<(), String> {
@@ -298,7 +245,8 @@ fn main() -> ExitCode {
         Some((cmd, rest)) => dispatch(cmd, rest),
         None => Err(
             "usage: smartmem-cli <table2|fig N|all|run SCENARIO POLICY|chaos|\
-             bench-parallel|bench-fleet|trace SCENARIO POLICY|inspect FILE> [flags]"
+             bench-parallel|bench-fleet|trace SCENARIO POLICY|inspect FILE|\
+             run-file FILE [POLICY ...]|sweep MANIFEST> [flags]"
                 .into(),
         ),
     };
@@ -735,7 +683,7 @@ fn trace_cmd(kind: ScenarioKind, policy: PolicyKind, a: &Args) -> Result<(), Str
         r.policy,
         a.scale,
         a.seed,
-        a.chaos.as_ref().map_or("off", |p| p.name),
+        a.chaos.as_ref().map_or("off", |p| p.name.as_str()),
     );
     println!(
         "events: {} recorded, {} dropped (ring capacity {})",
@@ -1047,6 +995,169 @@ fn inspect_cmd(path: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// One-cell result summary shared by `run` and `run-file`.
+fn print_result(r: &RunResult) {
+    println!(
+        "{} / {}: end={} events={} disk_reads={} read_wait={} throttle={} mm_tx={}/{}",
+        r.scenario,
+        r.policy,
+        r.end_time,
+        r.events,
+        r.disk_reads,
+        r.disk_read_wait,
+        r.disk_throttle,
+        r.mm_transmissions,
+        r.mm_cycles
+    );
+    for vm in &r.vm_results {
+        let runs: Vec<String> = vm
+            .runs
+            .iter()
+            .map(|rr| {
+                let tail = format!(
+                    " (df={} tf={} fp={})",
+                    rr.stat_delta(|s| s.disk_faults).unwrap_or(0),
+                    rr.stat_delta(|s| s.tmem_faults).unwrap_or(0),
+                    rr.stat_delta(|s| s.failed_puts).unwrap_or(0),
+                );
+                match rr.duration() {
+                    Some(d) => format!("{}={d}{tail}", rr.workload),
+                    None => format!("{}=stopped{tail}", rr.workload),
+                }
+            })
+            .collect();
+        println!(
+            "  {}: {} | tmem_ev={} disk_ev={} tmem_faults={} disk_faults={} failed_puts={}",
+            vm.name,
+            runs.join(", "),
+            vm.kernel_stats.evictions_to_tmem,
+            vm.kernel_stats.evictions_to_disk,
+            vm.kernel_stats.tmem_faults,
+            vm.kernel_stats.disk_faults,
+            vm.kernel_stats.failed_puts,
+        );
+    }
+}
+
+/// `run-file`: run a declarative scenario file under one or more policies.
+/// The file's `[run]` table supplies defaults for anything the command
+/// line leaves unset; explicit flags and positional policies win.
+fn run_file_cmd(
+    path: &Path,
+    policies: &[String],
+    flags: &[String],
+    a: &Args,
+) -> Result<(), String> {
+    let flag_given = |f: &str| flags.iter().any(|s| s == f);
+    // Parse once at the CLI config just to read the [run] directives, then
+    // re-parse at the effective scale (the spec's sizes depend on it).
+    let probe = dsl::load_scenario(path, &run_config(a)?)?;
+    let run = probe.run;
+    let scale = if flag_given("--scale") {
+        a.scale
+    } else {
+        run.scale.unwrap_or(a.scale)
+    };
+    let seed = if flag_given("--seed") {
+        a.seed
+    } else {
+        run.seed.unwrap_or(a.seed)
+    };
+    let reps = if flag_given("--reps") {
+        a.reps
+    } else {
+        u64::from(run.reps.unwrap_or(1))
+    };
+    let cfg = RunConfig {
+        scale,
+        seed,
+        jobs: a.jobs,
+        ..RunConfig::default()
+    };
+    cfg.validate()?;
+    let doc = dsl::load_scenario(path, &cfg)?;
+
+    let policy_list: Vec<PolicyKind> = if policies.is_empty() {
+        run.policies
+            .unwrap_or_else(|| vec![PolicyKind::SmartAlloc { p: 2.0 }])
+    } else {
+        policies
+            .iter()
+            .map(|p| parse_policy(p))
+            .collect::<Result<_, _>>()?
+    };
+
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let faults = if a.chaos.is_some() {
+        a.chaos.as_ref().map(|p| p.profile.clone())
+    } else if let Some(entry) = &run.chaos {
+        dsl::resolve_chaos(entry, dir)?.map(|p| p.profile)
+    } else {
+        None
+    };
+
+    println!(
+        "== run-file {} — {} (scale {scale}, seed {seed}, reps {reps}) ==",
+        path.display(),
+        doc.spec.name
+    );
+    for policy in policy_list {
+        for rep in 0..reps {
+            let mut cfg = cfg.clone();
+            cfg.seed = seed.wrapping_add(rep);
+            if let Some(f) = &faults {
+                cfg.faults = f.clone();
+            }
+            if reps > 1 {
+                println!("-- rep {} --", rep + 1);
+            }
+            print_result(&run_spec(doc.spec.clone(), policy, &cfg));
+        }
+    }
+    Ok(())
+}
+
+/// `sweep`: expand a manifest and run (or resume) its cell matrix with
+/// per-cell checkpointing in the `--resume` directory.
+fn sweep_cmd(path: &Path, a: &Args) -> Result<(), String> {
+    let plan = batch::load_plan(path, a.jobs)?;
+    let dir = a
+        .resume
+        .clone()
+        .or_else(|| a.out.clone())
+        .unwrap_or_else(|| {
+            let stem = path
+                .file_stem()
+                .map_or_else(|| "sweep".to_string(), |s| s.to_string_lossy().into_owned());
+            PathBuf::from(format!("{stem}-sweep"))
+        });
+    let outcome = batch::run_sweep(&plan, &dir, a.stop_after)?;
+    for w in &outcome.warnings {
+        eprintln!("warning: {w}");
+    }
+    print!("{}", batch::render_report(&plan, &outcome));
+    if outcome.resumed > 0 {
+        println!(
+            "resumed: {} cell(s) restored from the journal, {} run by this invocation",
+            outcome.resumed, outcome.ran
+        );
+    }
+    if outcome.complete() {
+        let (report, csv) = batch::write_outputs(&plan, &dir, &outcome)?;
+        println!("report: {}", report.display());
+        println!("csv: {}", csv.display());
+    } else {
+        println!(
+            "stopped with {}/{} cells done; rerun `smartmem-cli sweep {} --resume {}` to continue",
+            outcome.records.len(),
+            outcome.total,
+            path.display(),
+            dir.display()
+        );
+    }
+    Ok(())
+}
+
 fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
     match cmd {
         "table2" => {
@@ -1121,6 +1232,25 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             let a = parse_flags(rest)?;
             trace_cmd(kind, policy, &a)
         }
+        "run-file" => {
+            let (file, rest) = rest
+                .split_first()
+                .ok_or("run-file needs a scenario .toml file")?;
+            let split = rest
+                .iter()
+                .position(|s| s.starts_with("--"))
+                .unwrap_or(rest.len());
+            let (policies, flags) = rest.split_at(split);
+            let a = parse_flags(flags)?;
+            run_file_cmd(Path::new(file), policies, flags, &a)
+        }
+        "sweep" => {
+            let (file, rest) = rest
+                .split_first()
+                .ok_or("sweep needs a manifest .toml file")?;
+            let a = parse_flags(rest)?;
+            sweep_cmd(Path::new(file), &a)
+        }
         "inspect" => match rest {
             [path] => inspect_cmd(Path::new(path)),
             [] => Err("inspect needs a trace file (as written by `trace --out`)".into()),
@@ -1134,46 +1264,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             let a = parse_flags(rest)?;
             let cfg = run_config(&a)?;
             let r = run_scenario(kind, policy, &cfg);
-            println!(
-                "{} / {}: end={} events={} disk_reads={} read_wait={} throttle={} mm_tx={}/{}",
-                r.scenario,
-                r.policy,
-                r.end_time,
-                r.events,
-                r.disk_reads,
-                r.disk_read_wait,
-                r.disk_throttle,
-                r.mm_transmissions,
-                r.mm_cycles
-            );
-            for vm in &r.vm_results {
-                let runs: Vec<String> = vm
-                    .runs
-                    .iter()
-                    .map(|rr| {
-                        let tail = format!(
-                            " (df={} tf={} fp={})",
-                            rr.stat_delta(|s| s.disk_faults).unwrap_or(0),
-                            rr.stat_delta(|s| s.tmem_faults).unwrap_or(0),
-                            rr.stat_delta(|s| s.failed_puts).unwrap_or(0),
-                        );
-                        match rr.duration() {
-                            Some(d) => format!("{}={d}{tail}", rr.workload),
-                            None => format!("{}=stopped{tail}", rr.workload),
-                        }
-                    })
-                    .collect();
-                println!(
-                    "  {}: {} | tmem_ev={} disk_ev={} tmem_faults={} disk_faults={} failed_puts={}",
-                    vm.name,
-                    runs.join(", "),
-                    vm.kernel_stats.evictions_to_tmem,
-                    vm.kernel_stats.evictions_to_disk,
-                    vm.kernel_stats.tmem_faults,
-                    vm.kernel_stats.disk_faults,
-                    vm.kernel_stats.failed_puts,
-                );
-            }
+            print_result(&r);
             Ok(())
         }
         other => Err(format!("unknown command '{other}'")),
@@ -1183,6 +1274,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scenarios::spec::{Arrival, WorkloadMix};
 
     fn args(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()
@@ -1243,7 +1335,7 @@ mod tests {
     #[test]
     fn chaos_flag_accepts_only_shipped_profiles() {
         let a = parse_flags(&args(&["--chaos", "sample-loss"])).unwrap();
-        assert_eq!(a.chaos.map(|p| p.name), Some("sample-loss"));
+        assert_eq!(a.chaos.map(|p| p.name).as_deref(), Some("sample-loss"));
         let err = parse_flags(&args(&["--chaos", "meteor-strike"])).unwrap_err();
         assert!(err.contains("shipped:"), "unhelpful message: {err}");
     }

@@ -1,0 +1,812 @@
+//! Resumable batch sweeps: run a manifest's cell matrix with per-cell
+//! checkpointing, survive interrupts, and resume without redoing work.
+//!
+//! A sweep is the matrix [`dsl::expand_cells`] builds from a manifest's
+//! axes. Each completed cell appends one self-verifying record to a
+//! journal (`journal.smj`) in the sweep directory:
+//!
+//! ```text
+//! SMJ1 <payload-len> <fnv1a-64-hex> <payload>
+//! ```
+//!
+//! The payload is tab-separated; the first record is a `header` pinning
+//! the sweep's identity — an FNV-1a digest over the manifest source and
+//! every referenced scenario/chaos file — so a journal can never silently
+//! resume a *different* sweep. Cell records carry the full result summary
+//! plus a digest of the canonical [`RunResult`] encoding
+//! ([`result_digest`]), which is what the resume-equivalence suite pins.
+//!
+//! On restart, [`run_sweep`] replays the journal: framed records that
+//! fail the length or digest check (a mid-record kill, disk corruption)
+//! are reported as warnings and their cells simply re-run — a torn
+//! checkpoint costs one cell, never the sweep. Because every cell is
+//! deterministic (seed derived from the cell label, execution through
+//! [`crate::par::run_indexed`]), the final report and CSV are
+//! byte-identical whether the sweep ran uninterrupted or was killed and
+//! resumed any number of times, at any `--jobs` count.
+
+use crate::config::RunConfig;
+use crate::dsl::{self, expand_cells, CellId, Manifest};
+use crate::par::run_indexed;
+use crate::runner::{run_spec, RunResult};
+use crate::spec::{build_scenario, ScenarioSpec};
+use sim_core::faults::FaultProfile;
+use sim_core::rng::SplitMix64;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Journal file name inside a sweep directory.
+pub const JOURNAL_FILE: &str = "journal.smj";
+/// Human-readable report file name.
+pub const REPORT_FILE: &str = "report.txt";
+/// Per-cell CSV file name.
+pub const CSV_FILE: &str = "cells.csv";
+
+const MAGIC: &str = "SMJ1";
+
+/// FNV-1a 64-bit hash — the journal's framing digest and the base of
+/// every identity digest in this module.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Digest a [`RunResult`] over a canonical text encoding of every
+/// deterministic field (times as nanoseconds, floats as IEEE-754 bit
+/// patterns). Two runs of the same cell produce the same digest; the
+/// resume-equivalence suite pins this across interrupts and job counts.
+pub fn result_digest(r: &RunResult) -> u64 {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}",
+        r.scenario,
+        r.policy,
+        r.end_time.as_nanos(),
+        r.events,
+        r.truncated,
+        r.mm_cycles,
+        r.mm_transmissions,
+        r.disk_reads,
+        r.disk_writes,
+        r.disk_read_wait.as_nanos(),
+        r.disk_throttle.as_nanos(),
+    );
+    for used in &r.final_tmem_used {
+        let _ = write!(s, "\x1fu{used}");
+    }
+    for vm in &r.vm_results {
+        let _ = write!(s, "\x1fvm:{}:{}:{}", vm.name, vm.vm_id.0, vm.stopped_early);
+        for run in &vm.runs {
+            let _ = write!(
+                s,
+                "\x1fr:{}:{}:{}",
+                run.workload,
+                run.start.as_nanos(),
+                run.end.map_or(-1i128, |e| i128::from(e.as_nanos()))
+            );
+        }
+        for (label, t) in &vm.milestones {
+            let _ = write!(s, "\x1fm:{label}:{}", t.as_nanos());
+        }
+        let k = &vm.kernel_stats;
+        let _ = write!(
+            s,
+            "\x1fk:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}",
+            k.minor_faults,
+            k.tmem_faults,
+            k.disk_faults,
+            k.readahead_pages,
+            k.evictions_to_tmem,
+            k.evictions_to_disk,
+            k.evictions_free,
+            k.failed_puts,
+            k.tmem_flushes,
+            k.reclaimed_pages,
+        );
+    }
+    let l = &r.faults;
+    let _ = write!(
+        s,
+        "\x1fl:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}",
+        l.samples_delivered,
+        l.samples_dropped,
+        l.samples_delayed,
+        l.samples_duplicated,
+        l.netlink_dropped,
+        l.netlink_reordered,
+        l.hypercalls_failed,
+        l.hypercall_retries,
+        l.hypercalls_abandoned,
+        l.hypercalls_superseded,
+        l.mm_crashes,
+        l.mm_restarts,
+        l.seq_gaps,
+        l.snapshots_discarded,
+        l.stale_intervals,
+        l.invariant_checks,
+        l.invariant_violations,
+    );
+    if let Some(series) = &r.series {
+        for (tag, group) in [("su", &series.used), ("st", &series.target)] {
+            for ts in group {
+                let _ = write!(s, "\x1f{tag}");
+                for (t, v) in ts.points() {
+                    let _ = write!(s, ":{}:{:016x}", t.as_nanos(), v.to_bits());
+                }
+            }
+        }
+    }
+    fnv1a(s.as_bytes())
+}
+
+/// A fully-resolved sweep: the manifest, its scenario and chaos axes
+/// loaded and validated, the per-cell run configuration, and the identity
+/// digest that pins journals to this exact input set.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// The manifest as parsed.
+    pub manifest: Manifest,
+    /// Resolved scenario axis: `(label, spec)`, labels unique.
+    pub scenarios: Vec<(String, ScenarioSpec)>,
+    /// Resolved chaos axis: `(label, profile)`, `None` = fault-free.
+    pub chaos: Vec<(String, Option<FaultProfile>)>,
+    /// Per-cell base configuration (manifest scale/seed; caller's jobs).
+    pub cfg: RunConfig,
+    /// FNV-1a digest over the manifest source and every referenced file.
+    pub digest: u64,
+}
+
+impl SweepPlan {
+    /// The expanded cell matrix, in journal/report order.
+    pub fn cells(&self) -> Vec<CellId> {
+        expand_cells(
+            self.scenarios.len(),
+            self.manifest.policies.len(),
+            self.chaos.len(),
+            self.manifest.reps,
+        )
+    }
+
+    /// The canonical `scenario/policy/chaos/repN` label of one cell — the
+    /// journal key and the per-cell seed-derivation label.
+    pub fn cell_label(&self, cell: CellId) -> String {
+        format!(
+            "{}/{}/{}/rep{}",
+            self.scenarios[cell.scenario].0,
+            self.manifest.policies[cell.policy],
+            self.chaos[cell.chaos].0,
+            cell.rep
+        )
+    }
+}
+
+fn label_ok(label: &str) -> Result<(), String> {
+    if label.contains(['\t', '\n', '/']) {
+        return Err(format!(
+            "label '{label}' contains a tab, newline or '/'; journal labels cannot"
+        ));
+    }
+    Ok(())
+}
+
+/// Load a manifest from `path` and resolve every axis. `jobs` is the
+/// parallelism the sweep will run with (execution-only: it never affects
+/// results).
+pub fn load_plan(path: &Path, jobs: usize) -> Result<SweepPlan, String> {
+    let src = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let manifest = dsl::parse_manifest_src(&src).map_err(|e| format!("{}: {e}", path.display()))?;
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    resolve_plan(manifest, &src, dir, jobs)
+}
+
+/// Resolve a parsed manifest against `dir` (the directory scenario/chaos
+/// paths are relative to). The identity digest covers `manifest_src` plus
+/// the bytes of every referenced file, so editing any input invalidates
+/// old journals instead of silently mixing results.
+pub fn resolve_plan(
+    manifest: Manifest,
+    manifest_src: &str,
+    dir: &Path,
+    jobs: usize,
+) -> Result<SweepPlan, String> {
+    let cfg = RunConfig {
+        scale: manifest.scale,
+        seed: manifest.seed,
+        jobs,
+        ..RunConfig::default()
+    };
+    cfg.validate()?;
+
+    let mut identity = String::new();
+    let _ = write!(identity, "manifest\x1f{manifest_src}");
+
+    let mut scenarios = Vec::with_capacity(manifest.scenarios.len());
+    for entry in &manifest.scenarios {
+        let spec = if entry.ends_with(".toml") {
+            let path = dir.join(entry);
+            let src = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let _ = write!(identity, "\x1fscenario\x1f{src}");
+            dsl::parse_scenario_src(&src, &cfg)
+                .map_err(|e| format!("{}: {e}", path.display()))?
+                .spec
+        } else {
+            let _ = write!(identity, "\x1fscenario\x1f{entry}");
+            build_scenario(dsl::parse_kind(entry)?, &cfg)
+        };
+        let label = spec.name.clone();
+        label_ok(&label)?;
+        if scenarios.iter().any(|(l, _)| l == &label) {
+            return Err(format!(
+                "two scenario axis entries resolve to the same name '{label}'; \
+                 journal cells would collide"
+            ));
+        }
+        scenarios.push((label, spec));
+    }
+
+    let mut chaos = Vec::with_capacity(manifest.chaos.len());
+    for entry in &manifest.chaos {
+        let resolved = dsl::resolve_chaos(entry, dir)?;
+        let label = match &resolved {
+            None => "baseline".to_string(),
+            Some(p) => p.name.clone(),
+        };
+        label_ok(&label)?;
+        if entry.ends_with(".toml") {
+            let src = fs::read_to_string(dir.join(entry)).expect("read by resolve_chaos");
+            let _ = write!(identity, "\x1fchaos\x1f{src}");
+        } else {
+            let _ = write!(identity, "\x1fchaos\x1f{entry}");
+        }
+        if chaos.iter().any(|(l, _)| l == &label) {
+            return Err(format!(
+                "two chaos axis entries resolve to the same name '{label}'"
+            ));
+        }
+        chaos.push((label, resolved.map(|p| p.profile)));
+    }
+
+    Ok(SweepPlan {
+        digest: fnv1a(identity.as_bytes()),
+        manifest,
+        scenarios,
+        chaos,
+        cfg,
+    })
+}
+
+/// One journaled cell: the label, the result digest, and the summary the
+/// report/CSV are rebuilt from without re-running anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellRecord {
+    /// Position in the expanded matrix.
+    pub index: usize,
+    /// Scenario label.
+    pub scenario: String,
+    /// Policy display name.
+    pub policy: String,
+    /// Chaos label (`baseline` when fault-free).
+    pub chaos: String,
+    /// Repetition, 0-based.
+    pub rep: u32,
+    /// [`result_digest`] of the cell's `RunResult`.
+    pub digest: u64,
+    /// Scenario end time, nanoseconds.
+    pub end_ns: u64,
+    /// Events dispatched (determinism fingerprint).
+    pub events: u64,
+    /// MM cycles executed.
+    pub mm_cycles: u64,
+    /// Target transmissions sent.
+    pub mm_transmissions: u64,
+    /// Disk reads served.
+    pub disk_reads: u64,
+    /// Disk writes absorbed.
+    pub disk_writes: u64,
+    /// Faults injected ([`sim_core::faults::FaultLedger::injected`]).
+    pub injected: u64,
+    /// tmem invariant violations (must stay 0).
+    pub invariant_violations: u64,
+    /// Per-VM total completed-run time, nanoseconds (0 for VMs whose runs
+    /// were all stopped externally).
+    pub vm_ns: Vec<u64>,
+}
+
+fn frame(payload: &str) -> String {
+    debug_assert!(!payload.contains('\n'));
+    format!(
+        "{MAGIC} {} {:016x} {payload}\n",
+        payload.len(),
+        fnv1a(payload.as_bytes())
+    )
+}
+
+fn unframe(line: &str) -> Result<&str, String> {
+    let rest = line
+        .strip_prefix(MAGIC)
+        .and_then(|r| r.strip_prefix(' '))
+        .ok_or("not an SMJ1 record")?;
+    let (len_s, rest) = rest.split_once(' ').ok_or("missing length field")?;
+    let (fnv_s, payload) = rest.split_once(' ').ok_or("missing digest field")?;
+    let len: usize = len_s
+        .parse()
+        .map_err(|_| format!("bad length field '{len_s}'"))?;
+    if payload.len() != len {
+        return Err(format!(
+            "length mismatch: header says {len} bytes, found {} (truncated record?)",
+            payload.len()
+        ));
+    }
+    let fnv = u64::from_str_radix(fnv_s, 16).map_err(|_| format!("bad digest field '{fnv_s}'"))?;
+    let actual = fnv1a(payload.as_bytes());
+    if fnv != actual {
+        return Err(format!(
+            "digest mismatch: record says {fnv:016x}, payload hashes to {actual:016x} \
+             (corrupted record?)"
+        ));
+    }
+    Ok(payload)
+}
+
+fn encode_cell(c: &CellRecord) -> String {
+    let vm_ns: Vec<String> = c.vm_ns.iter().map(u64::to_string).collect();
+    format!(
+        "cell\t{}\t{}\t{}\t{}\t{}\t{:016x}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        c.index,
+        c.scenario,
+        c.policy,
+        c.chaos,
+        c.rep,
+        c.digest,
+        c.end_ns,
+        c.events,
+        c.mm_cycles,
+        c.mm_transmissions,
+        c.disk_reads,
+        c.disk_writes,
+        c.injected,
+        c.invariant_violations,
+        vm_ns.join(","),
+    )
+}
+
+fn decode_cell(payload: &str) -> Result<CellRecord, String> {
+    let f: Vec<&str> = payload.split('\t').collect();
+    if f.len() != 16 || f[0] != "cell" {
+        return Err(format!("malformed cell record ({} fields)", f.len()));
+    }
+    let int = |s: &str, what: &str| -> Result<u64, String> {
+        s.parse().map_err(|_| format!("bad {what} '{s}'"))
+    };
+    Ok(CellRecord {
+        index: int(f[1], "index")? as usize,
+        scenario: f[2].to_string(),
+        policy: f[3].to_string(),
+        chaos: f[4].to_string(),
+        rep: int(f[5], "rep")? as u32,
+        digest: u64::from_str_radix(f[6], 16).map_err(|_| format!("bad digest '{}'", f[6]))?,
+        end_ns: int(f[7], "end_ns")?,
+        events: int(f[8], "events")?,
+        mm_cycles: int(f[9], "mm_cycles")?,
+        mm_transmissions: int(f[10], "mm_transmissions")?,
+        disk_reads: int(f[11], "disk_reads")?,
+        disk_writes: int(f[12], "disk_writes")?,
+        injected: int(f[13], "injected")?,
+        invariant_violations: int(f[14], "invariant_violations")?,
+        vm_ns: if f[15].is_empty() {
+            Vec::new()
+        } else {
+            f[15]
+                .split(',')
+                .map(|s| int(s, "vm time"))
+                .collect::<Result<_, _>>()?
+        },
+    })
+}
+
+fn encode_header(plan: &SweepPlan, total: usize) -> String {
+    format!(
+        "header\t{}\t{:016x}\t{}\t{}\t{:016x}",
+        plan.manifest.name,
+        plan.digest,
+        total,
+        plan.manifest.seed,
+        plan.manifest.scale.to_bits(),
+    )
+}
+
+/// Journal replay: completed cells keyed by index, plus warnings for
+/// every record that failed verification (those cells re-run).
+struct Replay {
+    done: BTreeMap<usize, CellRecord>,
+    warnings: Vec<String>,
+    /// The journal has a valid header for *this* sweep; append to it.
+    header_ok: bool,
+}
+
+fn read_journal(path: &Path, plan: &SweepPlan, total: usize) -> Result<Replay, String> {
+    let mut replay = Replay {
+        done: BTreeMap::new(),
+        warnings: Vec::new(),
+        header_ok: false,
+    };
+    let src = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(replay),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let expected_header = encode_header(plan, total);
+    for (i, line) in src.lines().enumerate() {
+        let lineno = i + 1;
+        let payload = match unframe(line) {
+            Ok(p) => p,
+            Err(e) => {
+                replay.warnings.push(format!(
+                    "journal line {lineno}: {e}; treating its cell as not done"
+                ));
+                continue;
+            }
+        };
+        if i == 0 {
+            if payload == expected_header {
+                replay.header_ok = true;
+                continue;
+            }
+            if let Some(rest) = payload.strip_prefix("header\t") {
+                // A valid header for something else: refuse to mix sweeps.
+                return Err(format!(
+                    "{}: journal belongs to a different sweep or input set \
+                     (header '{rest}'); use a fresh --resume directory or \
+                     delete the stale journal",
+                    path.display()
+                ));
+            }
+            replay.warnings.push(format!(
+                "journal line {lineno}: expected a header record; restarting the journal"
+            ));
+            return Ok(replay);
+        }
+        if !replay.header_ok {
+            unreachable!("loop returns on line 1 unless the header matched");
+        }
+        match decode_cell(payload) {
+            Ok(rec) if rec.index < total => {
+                if let Some(prev) = replay.done.get(&rec.index) {
+                    if *prev != rec {
+                        replay.warnings.push(format!(
+                            "journal line {lineno}: conflicting duplicate for cell \
+                             {}; keeping the first record",
+                            rec.index
+                        ));
+                    }
+                } else {
+                    replay.done.insert(rec.index, rec);
+                }
+            }
+            Ok(rec) => replay.warnings.push(format!(
+                "journal line {lineno}: cell index {} is outside this sweep's \
+                 {total}-cell matrix; ignoring it",
+                rec.index
+            )),
+            Err(e) => replay.warnings.push(format!(
+                "journal line {lineno}: {e}; treating its cell as not done"
+            )),
+        }
+    }
+    Ok(replay)
+}
+
+/// Outcome of one [`run_sweep`] invocation.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Every known-complete cell, in matrix order. Covers the whole
+    /// matrix iff [`SweepOutcome::complete`].
+    pub records: Vec<CellRecord>,
+    /// Cells executed by this invocation.
+    pub ran: usize,
+    /// Cells skipped because the journal already had them.
+    pub resumed: usize,
+    /// Matrix size.
+    pub total: usize,
+    /// Journal-replay warnings (corrupt/foreign records).
+    pub warnings: Vec<String>,
+}
+
+impl SweepOutcome {
+    /// Every cell of the matrix is done.
+    pub fn complete(&self) -> bool {
+        self.records.len() == self.total
+    }
+}
+
+/// Run (or resume) a sweep in `dir`. Cells already journaled are skipped;
+/// newly completed cells are appended and flushed one record at a time,
+/// so a kill at any instant loses at most the cells in flight.
+/// `stop_after` caps how many cells this invocation runs (the test
+/// suite's in-process stand-in for a kill); `None` runs to completion.
+pub fn run_sweep(
+    plan: &SweepPlan,
+    dir: &Path,
+    stop_after: Option<usize>,
+) -> Result<SweepOutcome, String> {
+    fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let jpath = dir.join(JOURNAL_FILE);
+    let cells = plan.cells();
+    let total = cells.len();
+    let replay = read_journal(&jpath, plan, total)?;
+    let mut done = replay.done;
+    let warnings = replay.warnings;
+
+    let file = if replay.header_ok {
+        fs::OpenOptions::new()
+            .append(true)
+            .open(&jpath)
+            .map_err(|e| format!("{}: {e}", jpath.display()))?
+    } else {
+        // Fresh (or unusable) journal: start over with a header record.
+        done.clear();
+        let mut f = fs::File::create(&jpath).map_err(|e| format!("{}: {e}", jpath.display()))?;
+        f.write_all(frame(&encode_header(plan, total)).as_bytes())
+            .map_err(|e| format!("{}: {e}", jpath.display()))?;
+        f
+    };
+    let resumed = done.len();
+
+    let grid: Vec<(usize, CellId)> = cells
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !done.contains_key(i))
+        .take(stop_after.unwrap_or(usize::MAX))
+        .collect();
+    let ran = grid.len();
+
+    let sink = Mutex::new((file, Vec::<String>::new()));
+    let results = run_indexed(grid, plan.cfg.jobs, |_, (index, cell)| {
+        let rec = run_cell(plan, index, cell);
+        let line = frame(&encode_cell(&rec));
+        let mut guard = sink.lock().expect("journal writer poisoned");
+        let (f, errs) = &mut *guard;
+        if let Err(e) = f.write_all(line.as_bytes()).and_then(|_| f.flush()) {
+            errs.push(format!("journal append for cell {index}: {e}"));
+        }
+        rec
+    });
+    let (_, io_errors) = sink.into_inner().expect("journal writer poisoned");
+    if let Some(e) = io_errors.into_iter().next() {
+        return Err(e);
+    }
+    for rec in results {
+        done.insert(rec.index, rec);
+    }
+
+    Ok(SweepOutcome {
+        records: done.into_values().collect(),
+        ran,
+        resumed,
+        total,
+        warnings,
+    })
+}
+
+fn run_cell(plan: &SweepPlan, index: usize, cell: CellId) -> CellRecord {
+    let (scenario_label, spec) = &plan.scenarios[cell.scenario];
+    let policy = plan.manifest.policies[cell.policy];
+    let (chaos_label, faults) = &plan.chaos[cell.chaos];
+    let label = plan.cell_label(cell);
+    let mut cfg = plan.cfg.clone();
+    cfg.seed = SplitMix64::new(plan.cfg.seed).derive(&label).next();
+    cfg.faults = faults.clone().unwrap_or_else(FaultProfile::none);
+    let r = run_spec(spec.clone(), policy, &cfg);
+    CellRecord {
+        index,
+        scenario: scenario_label.clone(),
+        policy: policy.to_string(),
+        chaos: chaos_label.clone(),
+        rep: cell.rep,
+        digest: result_digest(&r),
+        end_ns: r.end_time.as_nanos(),
+        events: r.events,
+        mm_cycles: r.mm_cycles,
+        mm_transmissions: r.mm_transmissions,
+        disk_reads: r.disk_reads,
+        disk_writes: r.disk_writes,
+        injected: r.faults.injected(),
+        invariant_violations: r.faults.invariant_violations,
+        vm_ns: r
+            .vm_results
+            .iter()
+            .map(|vm| vm.completions().iter().map(|d| d.as_nanos()).sum())
+            .collect(),
+    }
+}
+
+/// Render the human-readable sweep report from journaled records only
+/// (nothing re-runs). Byte-identical for identical record sets.
+pub fn render_report(plan: &SweepPlan, out: &SweepOutcome) -> String {
+    let m = &plan.manifest;
+    let mut s = format!(
+        "sweep {} ({} cells: {} scenarios x {} policies x {} chaos x {} reps, \
+         scale {}, seed {})\n",
+        m.name,
+        out.total,
+        plan.scenarios.len(),
+        m.policies.len(),
+        plan.chaos.len(),
+        m.reps,
+        m.scale,
+        m.seed,
+    );
+    for rec in &out.records {
+        let vm_total: u64 = rec.vm_ns.iter().sum();
+        let _ = writeln!(
+            s,
+            "[{:>3}] {}/{}/{}/rep{}: end={:.6}s vm_time={:.6}s events={} \
+             injected={} digest={:016x}",
+            rec.index,
+            rec.scenario,
+            rec.policy,
+            rec.chaos,
+            rec.rep,
+            rec.end_ns as f64 / 1e9,
+            vm_total as f64 / 1e9,
+            rec.events,
+            rec.injected,
+            rec.digest,
+        );
+    }
+    let _ = writeln!(
+        s,
+        "cells: {}/{} complete{}",
+        out.records.len(),
+        out.total,
+        if out.complete() { "" } else { " (resumable)" }
+    );
+    s
+}
+
+/// Render the per-cell CSV from journaled records.
+pub fn render_csv(out: &SweepOutcome) -> String {
+    let mut s = String::from(
+        "index,scenario,policy,chaos,rep,digest,end_s,vm_time_s,events,mm_cycles,\
+         mm_transmissions,disk_reads,disk_writes,injected,invariant_violations\n",
+    );
+    for rec in &out.records {
+        let vm_total: u64 = rec.vm_ns.iter().sum();
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{:016x},{:.6},{:.6},{},{},{},{},{},{},{}",
+            rec.index,
+            rec.scenario,
+            rec.policy,
+            rec.chaos,
+            rec.rep,
+            rec.digest,
+            rec.end_ns as f64 / 1e9,
+            vm_total as f64 / 1e9,
+            rec.events,
+            rec.mm_cycles,
+            rec.mm_transmissions,
+            rec.disk_reads,
+            rec.disk_writes,
+            rec.injected,
+            rec.invariant_violations,
+        );
+    }
+    s
+}
+
+/// Write `report.txt` and `cells.csv` into the sweep directory, returning
+/// their paths. Call only when the sweep is complete (asserted).
+pub fn write_outputs(
+    plan: &SweepPlan,
+    dir: &Path,
+    out: &SweepOutcome,
+) -> Result<(PathBuf, PathBuf), String> {
+    assert!(
+        out.complete(),
+        "outputs are only written for complete sweeps"
+    );
+    let report = dir.join(REPORT_FILE);
+    let csv = dir.join(CSV_FILE);
+    fs::write(&report, render_report(plan, out))
+        .map_err(|e| format!("{}: {e}", report.display()))?;
+    fs::write(&csv, render_csv(out)).map_err(|e| format!("{}: {e}", csv.display()))?;
+    Ok((report, csv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vector() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn frame_round_trips_and_detects_tampering() {
+        let line = frame("cell\t0\tx");
+        let payload = unframe(line.trim_end()).unwrap();
+        assert_eq!(payload, "cell\t0\tx");
+
+        // Truncation (a torn write) fails the length check.
+        let torn = &line[..line.len() - 3];
+        assert!(unframe(torn.trim_end())
+            .unwrap_err()
+            .contains("length mismatch"));
+
+        // A flipped payload byte fails the digest check.
+        let corrupt = line.trim_end().replace("\tx", "\ty");
+        assert!(unframe(&corrupt).unwrap_err().contains("digest mismatch"));
+
+        assert!(unframe("garbage").unwrap_err().contains("not an SMJ1"));
+    }
+
+    #[test]
+    fn cell_records_encode_and_decode_exactly() {
+        let rec = CellRecord {
+            index: 7,
+            scenario: "scenario1".into(),
+            policy: "smart-alloc(2%)".into(),
+            chaos: "sample-loss".into(),
+            rep: 3,
+            digest: 0xdead_beef_0123_4567,
+            end_ns: 12_345_678_901,
+            events: 99,
+            mm_cycles: 10,
+            mm_transmissions: 8,
+            disk_reads: 1000,
+            disk_writes: 2000,
+            injected: 17,
+            invariant_violations: 0,
+            vm_ns: vec![1, 2, 3],
+        };
+        assert_eq!(decode_cell(&encode_cell(&rec)).unwrap(), rec);
+
+        let empty_vms = CellRecord {
+            vm_ns: Vec::new(),
+            ..rec
+        };
+        assert_eq!(decode_cell(&encode_cell(&empty_vms)).unwrap(), empty_vms);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        assert!(decode_cell("cell\t1\tonly")
+            .unwrap_err()
+            .contains("malformed"));
+        assert!(decode_cell("header\ta\tb")
+            .unwrap_err()
+            .contains("malformed"));
+        let good = encode_cell(&CellRecord {
+            index: 0,
+            scenario: "s".into(),
+            policy: "p".into(),
+            chaos: "c".into(),
+            rep: 0,
+            digest: 1,
+            end_ns: 2,
+            events: 3,
+            mm_cycles: 4,
+            mm_transmissions: 5,
+            disk_reads: 6,
+            disk_writes: 7,
+            injected: 8,
+            invariant_violations: 9,
+            vm_ns: vec![10],
+        });
+        let bad = good.replace("\t2\t", "\tnope\t");
+        assert!(decode_cell(&bad).is_err());
+    }
+}

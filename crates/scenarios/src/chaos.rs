@@ -37,10 +37,10 @@ use smartmem_core::PolicyKind;
 pub const DEGRADATION_BOUND: f64 = 3.0;
 
 /// A named fault profile shipped with the chaos suite.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChaosProfile {
     /// Report name ("sample-loss", ...).
-    pub name: &'static str,
+    pub name: String,
     /// The injected fault mix.
     pub profile: FaultProfile,
 }
@@ -59,7 +59,7 @@ pub struct ChaosProfile {
 pub fn shipped_profiles() -> Vec<ChaosProfile> {
     vec![
         ChaosProfile {
-            name: "sample-loss",
+            name: "sample-loss".to_string(),
             profile: FaultProfile {
                 virq_drop: 0.30,
                 virq_delay: 0.05,
@@ -70,14 +70,14 @@ pub fn shipped_profiles() -> Vec<ChaosProfile> {
             },
         },
         ChaosProfile {
-            name: "flaky-hypercalls",
+            name: "flaky-hypercalls".to_string(),
             profile: FaultProfile {
                 hypercall_fail: 0.25,
                 ..FaultProfile::none()
             },
         },
         ChaosProfile {
-            name: "mm-crash",
+            name: "mm-crash".to_string(),
             profile: FaultProfile {
                 mm_crash_at_cycle: Some(5),
                 mm_restart_after: 3,
@@ -186,7 +186,7 @@ pub fn run_chaos(
             .as_ref()
             .map(|p| p.profile.clone())
             .unwrap_or_else(FaultProfile::none);
-        let name = profile.map(|p| p.name.to_string());
+        let name = profile.map(|p| p.name);
         let r = run_scenario(scenario, policy, &cell_cfg);
         // With the flight recorder on, every cell replays its own trace:
         // chaos runs are exactly where emission sites are easiest to get

@@ -1,0 +1,1075 @@
+//! The declarative scenario format: `.toml` scenarios, chaos profiles and
+//! sweep manifests (ROADMAP item 2).
+//!
+//! Three file kinds share the [`crate::toml`] subset, all version-gated
+//! with a root `version = 1`:
+//!
+//! **Scenario files** express everything [`ScenarioSpec`] can — VM sets
+//! with programs and start rules, tmem capacity, cross-VM milestone
+//! triggers — or, alternatively, a `[fleet]` cell by its
+//! [`FleetParams`]. Sizes (`"512MiB"`) and durations (`"30s"`) are scaled
+//! by the active [`RunConfig`] exactly like the built-in constructors, so
+//! a shipped file parses to *the same spec* as its Rust constructor at
+//! every scale (pinned by the differential tests).
+//!
+//! ```toml
+//! version = 1
+//! [scenario]
+//! name = "scenario2"
+//! tmem = "1GiB"
+//! [[vm]]
+//! count = 2
+//! ram = "512MiB"
+//! program = ["run graph 896MiB"]
+//! [[vm]]
+//! ram = "512MiB"
+//! start = "30s"
+//! program = ["run graph 896MiB"]
+//! ```
+//!
+//! Program steps are strings: `run inmem <size>`, `run graph <size>`,
+//! `run fileserver <size> <requests>`, `run usemem paper`,
+//! `run usemem <start> <step> <max> [passes]`, `sleep <duration>`.
+//! Cross-VM rules are `start_on = ["vm1 block 5", ...]` (the label of the
+//! named VM's k-th usemem allocation, computed scale-aware) or
+//! `"vmN label <milestone>"` for a literal label; `[scenario]` may carry a
+//! matching `stop_on`.
+//!
+//! **Chaos files** name a [`FaultProfile`] field-by-field (the schema *is*
+//! [`FaultProfile::PROB_FIELDS`] plus the crash pair).
+//!
+//! **Manifests** declare a sweep as axes that expand to a deterministic
+//! permutation matrix, scenario-major to rep-minor ([`expand_cells`]);
+//! the batch driver ([`crate::batch`]) journals one record per cell.
+//!
+//! Validation is strict: unknown tables and fields, bad literals,
+//! duplicate axis entries and unsatisfiable milestone references are all
+//! rejected with `line N:`-anchored messages, never panics.
+
+use crate::chaos::{shipped_profiles, ChaosProfile};
+use crate::config::RunConfig;
+use crate::spec::{
+    build_scenario, usemem_alloc_label, Arrival, FleetParams, ProgramStep, ScenarioKind,
+    ScenarioSpec, StartRule, VmSpec, WorkloadMix, WorkloadSpec,
+};
+use crate::toml::{self, Table, TableReader, Value};
+use sim_core::faults::FaultProfile;
+use sim_core::time::SimDuration;
+use smartmem_core::PolicyKind;
+use std::path::Path;
+use tmem::key::VmId;
+use workloads::fileserver::FileServerConfig;
+use workloads::graph::GraphAnalyticsConfig;
+use workloads::inmem::InMemoryAnalyticsConfig;
+use workloads::usemem::UsememConfig;
+use xen_sim::vm::VmConfig;
+
+/// The one on-disk format version this build reads and writes.
+pub const FORMAT_VERSION: i64 = 1;
+
+// ---------------------------------------------------------------------------
+// Shared vocabulary (also used by the CLI's positional arguments).
+// ---------------------------------------------------------------------------
+
+/// Parse a policy name (`no-tmem`, `greedy`, `static-alloc`,
+/// `reconf-static`, `predictive`, `smart-alloc:<P>`).
+pub fn parse_policy(s: &str) -> Result<PolicyKind, String> {
+    match s {
+        "no-tmem" => Ok(PolicyKind::NoTmem),
+        "greedy" => Ok(PolicyKind::Greedy),
+        "static-alloc" => Ok(PolicyKind::StaticAlloc),
+        "reconf-static" => Ok(PolicyKind::ReconfStatic),
+        "predictive" => Ok(PolicyKind::Predictive),
+        _ => {
+            if let Some(p) = s.strip_prefix("smart-alloc:") {
+                let p: f64 = p.parse().map_err(|e| format!("smart-alloc P: {e}"))?;
+                Ok(PolicyKind::SmartAlloc { p })
+            } else {
+                Err(format!(
+                    "unknown policy '{s}' (no-tmem, greedy, static-alloc, \
+                     reconf-static, smart-alloc:<P>, predictive)"
+                ))
+            }
+        }
+    }
+}
+
+/// Parse a workload-mix name.
+pub fn parse_mix(s: &str) -> Result<WorkloadMix, String> {
+    match s {
+        "balanced" => Ok(WorkloadMix::Balanced),
+        "analytics" => Ok(WorkloadMix::Analytics),
+        "serving" => Ok(WorkloadMix::Serving),
+        "paging" => Ok(WorkloadMix::Paging),
+        _ => Err(format!(
+            "unknown workload mix '{s}' (balanced, analytics, serving, paging)"
+        )),
+    }
+}
+
+/// `fleet:<vms>[:<footprint_mb>[:<mix>[:<gap_ms>]]]` — unspecified parts
+/// fall back to the headline defaults (512 MiB, balanced, 250 ms).
+pub fn parse_fleet(s: &str) -> Result<FleetParams, String> {
+    let mut p = FleetParams::default();
+    let mut parts = s.split(':');
+    let vms = parts.next().ok_or("fleet: needs a VM count")?;
+    p.vms = vms
+        .parse()
+        .map_err(|e| format!("fleet VM count '{vms}': {e}"))?;
+    if p.vms == 0 {
+        return Err("fleet VM count must be at least 1".into());
+    }
+    if let Some(mb) = parts.next() {
+        p.footprint_mb = mb
+            .parse()
+            .map_err(|e| format!("fleet footprint MiB '{mb}': {e}"))?;
+        if p.footprint_mb == 0 {
+            return Err("fleet footprint must be at least 1 MiB".into());
+        }
+    }
+    if let Some(mix) = parts.next() {
+        p.mix = parse_mix(mix)?;
+    }
+    if let Some(gap) = parts.next() {
+        let gap_ms: u32 = gap
+            .parse()
+            .map_err(|e| format!("fleet arrival gap ms '{gap}': {e}"))?;
+        p.arrival = if gap_ms == 0 {
+            Arrival::Simultaneous
+        } else {
+            Arrival::Staggered { gap_ms }
+        };
+    }
+    if let Some(extra) = parts.next() {
+        return Err(format!(
+            "fleet spec has a trailing part '{extra}' \
+             (syntax: fleet:<vms>[:<footprint_mb>[:<mix>[:<gap_ms>]]])"
+        ));
+    }
+    Ok(p)
+}
+
+/// Parse a built-in scenario name (`scenario1`, `scenario2`, `usemem`,
+/// `scenario3`, `fleet[:params]`).
+pub fn parse_kind(s: &str) -> Result<ScenarioKind, String> {
+    match s {
+        "scenario1" => Ok(ScenarioKind::Scenario1),
+        "scenario2" => Ok(ScenarioKind::Scenario2),
+        "usemem" => Ok(ScenarioKind::UsememScenario),
+        "scenario3" => Ok(ScenarioKind::Scenario3),
+        "scenario5" | "fleet" => Ok(ScenarioKind::Scenario5(FleetParams::default())),
+        _ => {
+            if let Some(params) = s.strip_prefix("fleet:") {
+                Ok(ScenarioKind::Scenario5(parse_fleet(params)?))
+            } else {
+                Err(format!("unknown scenario '{s}'"))
+            }
+        }
+    }
+}
+
+/// Parse a size literal: an integer with an optional binary-unit suffix
+/// (`B`, `KiB`, `MiB`, `GiB`, `TiB`); no suffix means bytes.
+pub fn parse_size(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let (digits, mult) = if let Some(d) = s.strip_suffix("KiB") {
+        (d, 1u64 << 10)
+    } else if let Some(d) = s.strip_suffix("MiB") {
+        (d, 1 << 20)
+    } else if let Some(d) = s.strip_suffix("GiB") {
+        (d, 1 << 30)
+    } else if let Some(d) = s.strip_suffix("TiB") {
+        (d, 1 << 40)
+    } else if let Some(d) = s.strip_suffix('B') {
+        (d, 1)
+    } else {
+        (s, 1)
+    };
+    let n: u64 = digits.trim().replace('_', "").parse().map_err(|_| {
+        format!("cannot parse size '{s}' (examples: \"512MiB\", \"1GiB\", \"4096\")")
+    })?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("size '{s}' overflows"))
+}
+
+/// Parse a duration literal: an integer with a unit (`ns`, `us`, `ms`,
+/// `s`).
+pub fn parse_duration(s: &str) -> Result<SimDuration, String> {
+    let s = s.trim();
+    let (digits, unit): (&str, fn(u64) -> SimDuration) = if let Some(d) = s.strip_suffix("ns") {
+        (d, SimDuration::from_nanos)
+    } else if let Some(d) = s.strip_suffix("us") {
+        (d, SimDuration::from_micros)
+    } else if let Some(d) = s.strip_suffix("ms") {
+        (d, SimDuration::from_millis)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, SimDuration::from_secs)
+    } else {
+        return Err(format!(
+            "duration '{s}' needs a unit (examples: \"5s\", \"250ms\", \"2us\")"
+        ));
+    };
+    let n: u64 = digits
+        .trim()
+        .replace('_', "")
+        .parse()
+        .map_err(|_| format!("cannot parse duration '{s}'"))?;
+    Ok(unit(n))
+}
+
+// ---------------------------------------------------------------------------
+// Scenario files.
+// ---------------------------------------------------------------------------
+
+/// Optional `[run]` directives a scenario file may carry: defaults the
+/// `run-file` subcommand applies when the matching CLI flag is absent.
+/// (Sweep manifests pin their own axes and ignore these.)
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunDirectives {
+    /// Policies to run, in order.
+    pub policies: Option<Vec<PolicyKind>>,
+    /// Repetitions per policy.
+    pub reps: Option<u32>,
+    /// Base seed.
+    pub seed: Option<u64>,
+    /// Memory scale.
+    pub scale: Option<f64>,
+    /// Chaos profile: a shipped name or a `.toml` path, `"none"` for off.
+    pub chaos: Option<String>,
+}
+
+/// A parsed scenario file: the spec plus its run directives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioDoc {
+    /// The scenario, built against the `RunConfig` the parse was given.
+    pub spec: ScenarioSpec,
+    /// `[run]` table contents (all `None` when absent).
+    pub run: RunDirectives,
+}
+
+fn check_version(reader: &mut TableReader<'_>) -> Result<(), String> {
+    let v = reader.req("version")?;
+    match v.value {
+        Value::Int(n) if n == FORMAT_VERSION => Ok(()),
+        Value::Int(n) => Err(format!(
+            "line {}: unsupported format version {n} (this build reads version {FORMAT_VERSION})",
+            v.line
+        )),
+        ref other => Err(format!(
+            "line {}: version: expected an integer, got {}",
+            v.line,
+            other.type_name()
+        )),
+    }
+}
+
+fn known_tables(doc: &toml::Document, tables: &[&str], arrays: &[&str]) -> Result<(), String> {
+    for (name, t) in &doc.tables {
+        if !tables.contains(&name.as_str()) {
+            return Err(format!("line {}: unknown table [{name}]", t.line));
+        }
+    }
+    for (name, group) in &doc.arrays {
+        if !arrays.contains(&name.as_str()) {
+            let line = group.first().map_or(0, |t| t.line);
+            return Err(format!("line {line}: unknown table [[{name}]]"));
+        }
+    }
+    Ok(())
+}
+
+fn parse_run_table(doc: &toml::Document) -> Result<RunDirectives, String> {
+    let Some(t) = doc.table("run") else {
+        return Ok(RunDirectives::default());
+    };
+    let mut r = TableReader::new("[run]", t);
+    let mut run = RunDirectives::default();
+    if let Some(names) = r.opt_str_array("policies")? {
+        let mut policies = Vec::with_capacity(names.len());
+        for n in &names {
+            let p = parse_policy(n).map_err(|e| r.field_err("policies", e))?;
+            if policies.contains(&p) {
+                return Err(r.field_err("policies", format!("duplicate policy '{n}'")));
+            }
+            policies.push(p);
+        }
+        if policies.is_empty() {
+            return Err(r.field_err("policies", "policy list is empty"));
+        }
+        run.policies = Some(policies);
+    }
+    run.reps = match r.opt_u64("reps")? {
+        Some(0) => return Err(r.field_err("reps", "must be at least 1")),
+        Some(n) => Some(u32::try_from(n).map_err(|_| r.field_err("reps", "too large"))?),
+        None => None,
+    };
+    run.seed = r.opt_u64("seed")?;
+    if let Some(s) = r.opt_f64("scale")? {
+        if !(s.is_finite() && s > 0.0) {
+            return Err(r.field_err(
+                "scale",
+                format!("must be a positive finite number, got {s}"),
+            ));
+        }
+        run.scale = Some(s);
+    }
+    run.chaos = r.opt_str("chaos")?;
+    r.finish()?;
+    Ok(run)
+}
+
+fn fleet_table(t: &Table) -> Result<FleetParams, String> {
+    let mut r = TableReader::new("[fleet]", t);
+    let vms = r.req_u64("vms")?;
+    if vms == 0 {
+        return Err(r.field_err("vms", "a fleet needs at least 1 VM"));
+    }
+    let vms = u32::try_from(vms).map_err(|_| r.field_err("vms", "too many VMs"))?;
+    let footprint_mb = match r.opt_u64("footprint_mb")? {
+        Some(0) => return Err(r.field_err("footprint_mb", "must be at least 1 MiB")),
+        Some(n) => u32::try_from(n).map_err(|_| r.field_err("footprint_mb", "too large"))?,
+        None => FleetParams::default().footprint_mb,
+    };
+    let mix = match r.opt_str("mix")? {
+        Some(s) => parse_mix(&s).map_err(|e| r.field_err("mix", e))?,
+        None => WorkloadMix::Balanced,
+    };
+    let arrival = match r.opt_u64("gap_ms")? {
+        Some(0) => Arrival::Simultaneous,
+        Some(n) => Arrival::Staggered {
+            gap_ms: u32::try_from(n).map_err(|_| r.field_err("gap_ms", "too large"))?,
+        },
+        None => FleetParams::default().arrival,
+    };
+    r.finish()?;
+    Ok(FleetParams {
+        vms,
+        footprint_mb,
+        mix,
+        arrival,
+    })
+}
+
+/// One expanded VM awaiting milestone resolution: milestone start rules
+/// reference other VMs, so they resolve after every VM exists.
+struct PendingVm {
+    config: VmConfig,
+    program: Vec<ProgramStep>,
+    /// `Ok` = resolved; `Err((rules, ctx))` = milestone strings to resolve.
+    start: Result<StartRule, (Vec<String>, String)>,
+}
+
+fn program_step(
+    step: &str,
+    scale_b: &dyn Fn(u64) -> u64,
+    scale_t: &dyn Fn(SimDuration) -> SimDuration,
+    cfg: &RunConfig,
+) -> Result<ProgramStep, String> {
+    let toks: Vec<&str> = step.split_whitespace().collect();
+    match toks.as_slice() {
+        ["sleep", d] => Ok(ProgramStep::Sleep(scale_t(parse_duration(d)?))),
+        ["run", "inmem", size] => Ok(ProgramStep::Run(WorkloadSpec::InMem(
+            InMemoryAnalyticsConfig::with_footprint(scale_b(parse_size(size)?), 0),
+        ))),
+        ["run", "graph", size] => Ok(ProgramStep::Run(WorkloadSpec::Graph(
+            GraphAnalyticsConfig::with_footprint(scale_b(parse_size(size)?), 0),
+        ))),
+        ["run", "fileserver", size, requests] => {
+            let requests: u64 = requests
+                .parse()
+                .map_err(|_| format!("cannot parse request count '{requests}'"))?;
+            Ok(ProgramStep::Run(WorkloadSpec::FileServer(
+                FileServerConfig::with_footprint(scale_b(parse_size(size)?), requests, 0),
+            )))
+        }
+        // The paper's exact usemem (128 MiB steps to 1 GiB, runs until
+        // stopped), with its own MiB-granular scaling — byte-identical to
+        // `UsememConfig::paper` at every scale.
+        ["run", "usemem", "paper"] => Ok(ProgramStep::Run(WorkloadSpec::Usemem(
+            UsememConfig::paper(cfg.scale),
+        ))),
+        ["run", "usemem", start, step_sz, max] | ["run", "usemem", start, step_sz, max, _] => {
+            let passes = match toks.as_slice() {
+                [.., p] if toks.len() == 6 => p
+                    .parse()
+                    .map_err(|_| format!("cannot parse steady-pass count '{p}'"))?,
+                _ => u64::MAX,
+            };
+            Ok(ProgramStep::Run(WorkloadSpec::Usemem(UsememConfig {
+                start_bytes: scale_b(parse_size(start)?),
+                step_bytes: scale_b(parse_size(step_sz)?),
+                max_bytes: scale_b(parse_size(max)?),
+                compute_per_page: SimDuration::from_micros(2),
+                max_steady_passes: passes,
+            })))
+        }
+        _ => Err(format!(
+            "cannot parse program step '{step}' (steps: \"run inmem <size>\", \
+             \"run graph <size>\", \"run fileserver <size> <requests>\", \
+             \"run usemem paper\", \"run usemem <start> <step> <max> [passes]\", \
+             \"sleep <duration>\")"
+        )),
+    }
+}
+
+/// Resolve one milestone rule string against the deployed VMs.
+fn milestone(rule: &str, vms: &[PendingVm]) -> Result<(usize, String), String> {
+    let toks: Vec<&str> = rule.split_whitespace().collect();
+    let vm_tok = toks
+        .first()
+        .ok_or_else(|| "empty milestone rule".to_string())?;
+    let n: usize = vm_tok
+        .strip_prefix("vm")
+        .and_then(|d| d.parse().ok())
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| format!("milestone rule '{rule}' must start with vm<N> (1-based)"))?;
+    if n > vms.len() {
+        return Err(format!(
+            "milestone rule '{rule}' references vm{n}, but only {} VMs are deployed",
+            vms.len()
+        ));
+    }
+    let idx = n - 1;
+    match toks.as_slice() {
+        [_, "block", k] => {
+            let k: u64 = k
+                .parse()
+                .ok()
+                .filter(|&k| k >= 1)
+                .ok_or_else(|| format!("'{rule}': block number must be a 1-based integer"))?;
+            let ucfg = vms[idx].program.iter().find_map(|s| match s {
+                ProgramStep::Run(WorkloadSpec::Usemem(c)) => Some(c),
+                _ => None,
+            });
+            match ucfg {
+                Some(c) => Ok((idx, usemem_alloc_label(c, k))),
+                None => Err(format!(
+                    "'{rule}': vm{n} runs no usemem, so it emits no block milestones \
+                     (use \"vm{n} label <milestone>\" for other workloads)"
+                )),
+            }
+        }
+        [_, "label", l] => Ok((idx, (*l).to_string())),
+        _ => Err(format!(
+            "cannot parse milestone rule '{rule}' \
+             (forms: \"vm<N> block <k>\", \"vm<N> label <milestone>\")"
+        )),
+    }
+}
+
+fn vm_scenario(doc: &toml::Document, cfg: &RunConfig) -> Result<ScenarioSpec, String> {
+    let scenario_t = doc
+        .table("scenario")
+        .ok_or("scenario file needs a [scenario] table (or a [fleet] table)")?;
+    let mut sr = TableReader::new("[scenario]", scenario_t);
+    let name = sr.req_str("name")?;
+    let tmem_str = sr.req_str("tmem")?;
+    let scaled = sr.opt_bool("scaled")?.unwrap_or(true);
+    let stop_on = sr.opt_str("stop_on")?;
+    sr.finish()?;
+
+    let scale_b = move |b: u64| if scaled { cfg.scale_bytes(b) } else { b };
+    let scale_t = move |d: SimDuration| if scaled { cfg.scale_time(d) } else { d };
+    let tmem_bytes = scale_b(
+        parse_size(&tmem_str)
+            .map_err(|e| format!("line {}: [scenario]: tmem: {e}", scenario_t.line))?,
+    );
+
+    let groups = doc.array("vm");
+    if groups.is_empty() {
+        return Err(format!(
+            "line {}: [scenario] deploys no VMs (add [[vm]] tables)",
+            scenario_t.line
+        ));
+    }
+    let mut vms: Vec<PendingVm> = Vec::new();
+    for (g, t) in groups.iter().enumerate() {
+        let mut r = TableReader::new(format!("[[vm]] #{}", g + 1), t);
+        let count = match r.opt_u64("count")? {
+            Some(0) => return Err(r.field_err("count", "must be at least 1")),
+            Some(n) => n,
+            None => 1,
+        };
+        let ram = scale_b(parse_size(&r.req_str("ram")?).map_err(|e| r.field_err("ram", e))?);
+        let vcpus = match r.opt_u64("vcpus")? {
+            Some(0) => return Err(r.field_err("vcpus", "must be at least 1")),
+            Some(n) => u32::try_from(n).map_err(|_| r.field_err("vcpus", "too large"))?,
+            None => 1,
+        };
+        let custom_name = r.opt_str("name")?;
+        if custom_name.is_some() && count > 1 {
+            return Err(r.field_err(
+                "name",
+                "cannot name a multi-VM group (expanded VMs auto-name as VM<index>)",
+            ));
+        }
+        let steps = r.req_str_array("program")?;
+        if steps.is_empty() {
+            return Err(r.field_err("program", "program is empty; the VM would never finish"));
+        }
+        let mut program = Vec::with_capacity(steps.len());
+        for (i, s) in steps.iter().enumerate() {
+            program.push(
+                program_step(s, &scale_b, &scale_t, cfg)
+                    .map_err(|e| r.field_err("program", format!("step {}: {e}", i + 1)))?,
+            );
+        }
+        let start_at = r.opt_str("start")?;
+        let start_on = r.opt_str_array("start_on")?;
+        if start_at.is_some() && start_on.is_some() {
+            return Err(r.field_err("start", "give 'start' or 'start_on', not both"));
+        }
+        let start = match (start_at, start_on) {
+            (Some(d), None) => Ok(StartRule::At(scale_t(
+                parse_duration(&d).map_err(|e| r.field_err("start", e))?,
+            ))),
+            (None, Some(rules)) => {
+                if rules.is_empty() {
+                    return Err(r.field_err("start_on", "milestone list is empty"));
+                }
+                Err((rules, r.field_err("start_on", "")))
+            }
+            (None, None) => Ok(StartRule::At(SimDuration::ZERO)),
+            (Some(_), Some(_)) => unreachable!("rejected above"),
+        };
+        r.finish()?;
+        for i in 0..count {
+            let n = vms.len() as u32 + 1;
+            let vm_name = match (&custom_name, i) {
+                (Some(s), _) => s.clone(),
+                _ => format!("VM{n}"),
+            };
+            vms.push(PendingVm {
+                config: VmConfig::new(VmId(n), vm_name, ram, vcpus),
+                program: program.clone(),
+                start: start.clone(),
+            });
+        }
+    }
+
+    // Second pass: milestone rules can now see every deployed VM.
+    let mut resolved = Vec::with_capacity(vms.len());
+    for i in 0..vms.len() {
+        let start = match &vms[i].start {
+            Ok(rule) => rule.clone(),
+            Err((rules, anchor)) => {
+                let mut reqs = Vec::with_capacity(rules.len());
+                for rule in rules {
+                    reqs.push(milestone(rule, &vms).map_err(|e| format!("{anchor}{e}"))?);
+                }
+                StartRule::OnMilestonesAll(reqs)
+            }
+        };
+        resolved.push(start);
+    }
+    let vms: Vec<VmSpec> = vms
+        .into_iter()
+        .zip(resolved)
+        .map(|(vm, start)| VmSpec {
+            config: vm.config,
+            program: vm.program,
+            start,
+        })
+        .collect();
+
+    let stop_all_on = match stop_on {
+        None => None,
+        Some(rule) => {
+            // `milestone` borrows PendingVm, so rebuild the minimal view.
+            let view: Vec<PendingVm> = vms
+                .iter()
+                .map(|vm| PendingVm {
+                    config: vm.config.clone(),
+                    program: vm.program.clone(),
+                    start: Ok(StartRule::At(SimDuration::ZERO)),
+                })
+                .collect();
+            Some(
+                milestone(&rule, &view)
+                    .map_err(|e| format!("line {}: [scenario]: stop_on: {e}", scenario_t.line))?,
+            )
+        }
+    };
+
+    Ok(ScenarioSpec {
+        kind: None,
+        name,
+        tmem_bytes,
+        vms,
+        stop_all_on,
+    })
+}
+
+/// Parse a scenario file from source. Sizes and durations are scaled by
+/// `cfg` (like the built-in constructors) unless the file opts out with
+/// `scaled = false`. The spec is fully validated; all errors are
+/// line-anchored.
+pub fn parse_scenario_src(src: &str, cfg: &RunConfig) -> Result<ScenarioDoc, String> {
+    let doc = toml::parse(src)?;
+    let mut root = TableReader::new("top level", &doc.root);
+    check_version(&mut root)?;
+    root.finish()?;
+    known_tables(&doc, &["scenario", "fleet", "run"], &["vm"])?;
+    let run = parse_run_table(&doc)?;
+
+    let spec = match doc.table("fleet") {
+        Some(t) => {
+            if doc.table("scenario").is_some() || !doc.array("vm").is_empty() {
+                return Err(format!(
+                    "line {}: a file declares either [fleet] or [scenario] + [[vm]], not both",
+                    t.line
+                ));
+            }
+            build_scenario(ScenarioKind::Scenario5(fleet_table(t)?), cfg)
+        }
+        None => vm_scenario(&doc, cfg)?,
+    };
+    spec.validate()?;
+    Ok(ScenarioDoc { spec, run })
+}
+
+/// Read and parse a scenario file; errors are prefixed with the path.
+pub fn load_scenario(path: &Path, cfg: &RunConfig) -> Result<ScenarioDoc, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_scenario_src(&src, cfg).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------------
+// Chaos-profile files.
+// ---------------------------------------------------------------------------
+
+/// Parse a chaos-profile file: a `[chaos]` table whose fields are
+/// [`FaultProfile::PROB_FIELDS`] plus `mm_crash_at_cycle` /
+/// `mm_restart_after`, all optional.
+pub fn parse_chaos_src(src: &str) -> Result<ChaosProfile, String> {
+    let doc = toml::parse(src)?;
+    let mut root = TableReader::new("top level", &doc.root);
+    check_version(&mut root)?;
+    root.finish()?;
+    known_tables(&doc, &["chaos"], &[])?;
+    let t = doc
+        .table("chaos")
+        .ok_or("chaos file needs a [chaos] table")?;
+    let mut r = TableReader::new("[chaos]", t);
+    let name = r.req_str("name")?;
+    if name.is_empty() {
+        return Err(r.field_err("name", "profile name is empty"));
+    }
+    let mut profile = FaultProfile::none();
+    for field in FaultProfile::PROB_FIELDS {
+        if let Some(v) = r.opt_f64(field)? {
+            profile
+                .set_prob(field, v)
+                .map_err(|e| r.field_err(field, e))?;
+        }
+    }
+    if let Some(c) = r.opt_u64("mm_crash_at_cycle")? {
+        profile.mm_crash_at_cycle = Some(c);
+    }
+    if let Some(n) = r.opt_u64("mm_restart_after")? {
+        profile.mm_restart_after = n;
+    }
+    profile
+        .validate()
+        .map_err(|e| format!("line {}: [chaos]: {e}", t.line))?;
+    r.finish()?;
+    Ok(ChaosProfile { name, profile })
+}
+
+/// Render a profile back to file form (round-trips through
+/// [`parse_chaos_src`]).
+pub fn chaos_to_toml(p: &ChaosProfile) -> String {
+    format!(
+        "version = {FORMAT_VERSION}\n\n[chaos]\nname = \"{}\"\n{}",
+        p.name,
+        p.profile.to_toml()
+    )
+}
+
+/// Resolve a chaos axis entry: `none`/`off`/`baseline` → no faults, a
+/// shipped profile name, or a `.toml` path (relative to `base_dir`).
+pub fn resolve_chaos(entry: &str, base_dir: &Path) -> Result<Option<ChaosProfile>, String> {
+    if matches!(entry, "none" | "off" | "baseline") {
+        return Ok(None);
+    }
+    if let Some(p) = shipped_profiles().into_iter().find(|p| p.name == entry) {
+        return Ok(Some(p));
+    }
+    if entry.ends_with(".toml") {
+        let path = base_dir.join(entry);
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        return parse_chaos_src(&src)
+            .map(Some)
+            .map_err(|e| format!("{}: {e}", path.display()));
+    }
+    Err(format!(
+        "unknown chaos profile '{entry}' (use 'none', a shipped profile [{}], or a .toml path)",
+        shipped_profiles()
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Sweep manifests.
+// ---------------------------------------------------------------------------
+
+/// A parsed sweep manifest: axes as written, nothing resolved yet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Sweep name: journal identity and report header.
+    pub name: String,
+    /// Scenario axis: `.toml` paths (relative to the manifest) or built-in
+    /// names ([`parse_kind`]).
+    pub scenarios: Vec<String>,
+    /// Policy axis.
+    pub policies: Vec<PolicyKind>,
+    /// Chaos axis entries ([`resolve_chaos`] vocabulary). Defaults to
+    /// `["none"]`.
+    pub chaos: Vec<String>,
+    /// Repetitions per (scenario, policy, chaos) cell.
+    pub reps: u32,
+    /// Base seed; each cell derives its own.
+    pub seed: u64,
+    /// Memory scale for every cell.
+    pub scale: f64,
+}
+
+/// Parse a manifest from source.
+pub fn parse_manifest_src(src: &str) -> Result<Manifest, String> {
+    let doc = toml::parse(src)?;
+    let mut root = TableReader::new("top level", &doc.root);
+    check_version(&mut root)?;
+    root.finish()?;
+    known_tables(&doc, &["sweep"], &[])?;
+    let t = doc.table("sweep").ok_or("manifest needs a [sweep] table")?;
+    let mut r = TableReader::new("[sweep]", t);
+    let name = r.req_str("name")?;
+    if name.is_empty() {
+        return Err(r.field_err("name", "sweep name is empty"));
+    }
+    let scenarios = r.req_str_array("scenarios")?;
+    if scenarios.is_empty() {
+        return Err(r.field_err("scenarios", "scenario axis is empty"));
+    }
+    for (i, s) in scenarios.iter().enumerate() {
+        if scenarios[..i].contains(s) {
+            return Err(r.field_err("scenarios", format!("duplicate scenario '{s}'")));
+        }
+        if !s.ends_with(".toml") {
+            parse_kind(s).map_err(|e| r.field_err("scenarios", e))?;
+        }
+    }
+    let policy_names = r.req_str_array("policies")?;
+    if policy_names.is_empty() {
+        return Err(r.field_err("policies", "policy axis is empty"));
+    }
+    let mut policies = Vec::with_capacity(policy_names.len());
+    for n in &policy_names {
+        let p = parse_policy(n).map_err(|e| r.field_err("policies", e))?;
+        if policies.contains(&p) {
+            return Err(r.field_err("policies", format!("duplicate policy '{n}'")));
+        }
+        policies.push(p);
+    }
+    let chaos = match r.opt_str_array("chaos")? {
+        Some(v) if v.is_empty() => {
+            return Err(r.field_err("chaos", "chaos axis is empty (omit it for fault-free)"))
+        }
+        Some(v) => {
+            for (i, c) in v.iter().enumerate() {
+                if v[..i].contains(c) {
+                    return Err(r.field_err("chaos", format!("duplicate chaos entry '{c}'")));
+                }
+            }
+            v
+        }
+        None => vec!["none".to_string()],
+    };
+    let reps = match r.opt_u64("reps")? {
+        Some(0) => return Err(r.field_err("reps", "must be at least 1")),
+        Some(n) => u32::try_from(n).map_err(|_| r.field_err("reps", "too large"))?,
+        None => 1,
+    };
+    let seed = r.opt_u64("seed")?.unwrap_or(RunConfig::default().seed);
+    let scale = match r.opt_f64("scale")? {
+        Some(s) if s.is_finite() && s > 0.0 => s,
+        Some(s) => {
+            return Err(r.field_err(
+                "scale",
+                format!("must be a positive finite number, got {s}"),
+            ))
+        }
+        None => RunConfig::default().scale,
+    };
+    r.finish()?;
+    Ok(Manifest {
+        name,
+        scenarios,
+        policies,
+        chaos,
+        reps,
+        seed,
+        scale,
+    })
+}
+
+/// Read and parse a manifest; errors are prefixed with the path.
+pub fn load_manifest(path: &Path) -> Result<Manifest, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_manifest_src(&src).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// One cell of the expanded sweep matrix: indices into the manifest's
+/// axes plus the repetition number (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CellId {
+    /// Scenario axis index.
+    pub scenario: usize,
+    /// Policy axis index.
+    pub policy: usize,
+    /// Chaos axis index.
+    pub chaos: usize,
+    /// Repetition, 0-based.
+    pub rep: u32,
+}
+
+/// Expand axis lengths to the full permutation matrix, scenario-major /
+/// policy / chaos / rep-minor. The ordering is the journal's cell
+/// numbering, so it must never change behind a format-version bump.
+pub fn expand_cells(scenarios: usize, policies: usize, chaos: usize, reps: u32) -> Vec<CellId> {
+    let mut cells = Vec::with_capacity(scenarios * policies * chaos * reps as usize);
+    for scenario in 0..scenarios {
+        for policy in 0..policies {
+            for c in 0..chaos {
+                for rep in 0..reps {
+                    cells.push(CellId {
+                        scenario,
+                        policy,
+                        chaos: c,
+                        rep,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            scale: 1.0,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn size_and_duration_literals() {
+        assert_eq!(parse_size("4096").unwrap(), 4096);
+        assert_eq!(parse_size("4KiB").unwrap(), 4096);
+        assert_eq!(parse_size("512MiB").unwrap(), 512 << 20);
+        assert_eq!(parse_size("1GiB").unwrap(), 1 << 30);
+        assert_eq!(parse_size("1_280MiB").unwrap(), 1280 << 20);
+        assert!(parse_size("1.5GiB").unwrap_err().contains("cannot parse"));
+        assert_eq!(parse_duration("5s").unwrap(), SimDuration::from_secs(5));
+        assert_eq!(
+            parse_duration("250ms").unwrap(),
+            SimDuration::from_millis(250)
+        );
+        assert!(parse_duration("5").unwrap_err().contains("needs a unit"));
+    }
+
+    #[test]
+    fn minimal_scenario_parses() {
+        let doc = parse_scenario_src(
+            r#"
+version = 1
+[scenario]
+name = "mini"
+tmem = "64MiB"
+[[vm]]
+count = 2
+ram = "32MiB"
+program = ["run usemem 8MiB 8MiB 48MiB 2"]
+"#,
+            &cfg(),
+        )
+        .unwrap();
+        assert_eq!(doc.spec.name, "mini");
+        assert_eq!(doc.spec.kind, None);
+        assert_eq!(doc.spec.tmem_bytes, 64 << 20);
+        assert_eq!(doc.spec.vms.len(), 2);
+        assert_eq!(doc.spec.vms[1].config.name, "VM2");
+        assert!(doc.spec.validate().is_ok());
+    }
+
+    #[test]
+    fn fleet_scenario_equals_constructor() {
+        let doc = parse_scenario_src(
+            "version = 1\n[fleet]\nvms = 8\nfootprint_mb = 64\nmix = \"balanced\"\ngap_ms = 250\n",
+            &cfg(),
+        )
+        .unwrap();
+        let p = FleetParams {
+            vms: 8,
+            footprint_mb: 64,
+            mix: WorkloadMix::Balanced,
+            arrival: Arrival::Staggered { gap_ms: 250 },
+        };
+        assert_eq!(doc.spec, build_scenario(ScenarioKind::Scenario5(p), &cfg()));
+    }
+
+    #[test]
+    fn milestone_rules_resolve_against_usemem_blocks() {
+        let doc = parse_scenario_src(
+            r#"
+version = 1
+[scenario]
+name = "trigger"
+tmem = "384MiB"
+stop_on = "vm3 block 6"
+[[vm]]
+count = 2
+ram = "512MiB"
+program = ["run usemem paper"]
+[[vm]]
+ram = "512MiB"
+start_on = ["vm1 block 5", "vm2 block 5"]
+program = ["run usemem paper"]
+"#,
+            &cfg(),
+        )
+        .unwrap();
+        match &doc.spec.vms[2].start {
+            StartRule::OnMilestonesAll(reqs) => assert_eq!(
+                reqs,
+                &vec![(0, "alloc:640".to_string()), (1, "alloc:640".to_string())]
+            ),
+            other => panic!("unexpected start rule {other:?}"),
+        }
+        assert_eq!(doc.spec.stop_all_on, Some((2, "alloc:768".to_string())));
+    }
+
+    #[test]
+    fn rejections_are_field_anchored() {
+        let c = cfg();
+        for (src, needle) in [
+            ("[scenario]\nname = \"x\"", "missing 'version'"),
+            ("version = 2\n[scenario]\nname = \"x\"", "unsupported format version 2"),
+            (
+                "version = 1\n[scenario]\nname = \"x\"\ntmem = \"1GiB\"\nbogus = 1\n[[vm]]\nram = \"1GiB\"\nprogram = [\"sleep 1s\"]",
+                "unknown field 'bogus'",
+            ),
+            (
+                "version = 1\n[fleet]\nvms = 0",
+                "vms: a fleet needs at least 1 VM",
+            ),
+            (
+                "version = 1\n[fleet]\nvms = 4\nmix = \"chaotic\"",
+                "unknown workload mix 'chaotic'",
+            ),
+            (
+                "version = 1\n[scenario]\nname = \"x\"\ntmem = \"1GiB\"\n[[vm]]\ncount = 0\nram = \"1GiB\"\nprogram = [\"sleep 1s\"]",
+                "count: must be at least 1",
+            ),
+            (
+                "version = 1\n[scenario]\nname = \"x\"\ntmem = \"1GiB\"\n[[vm]]\nram = \"1GiB\"\nprogram = [\"dance\"]",
+                "cannot parse program step 'dance'",
+            ),
+            (
+                "version = 1\n[scenario]\nname = \"x\"\ntmem = \"1GiB\"\n[[vm]]\nram = \"1GiB\"\nprogram = [\"sleep 1s\"]\nstart_on = [\"vm9 block 1\"]",
+                "references vm9",
+            ),
+            (
+                "version = 1\n[scenario]\nname = \"x\"\ntmem = \"1GiB\"\n[[vm]]\nram = \"1GiB\"\nprogram = [\"sleep 1s\"]\nstart_on = [\"vm1 block 1\"]",
+                "runs no usemem",
+            ),
+            (
+                "version = 1\n[mystery]\nx = 1",
+                "unknown table [mystery]",
+            ),
+        ] {
+            let e = parse_scenario_src(src, &c).unwrap_err();
+            assert!(e.contains(needle), "for {src:?}:\n  got: {e}");
+            assert!(e.contains("line "), "not line-anchored for {src:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn chaos_files_round_trip_shipped_profiles() {
+        for p in shipped_profiles() {
+            let rendered = chaos_to_toml(&p);
+            let parsed = parse_chaos_src(&rendered).unwrap();
+            assert_eq!(parsed.name, p.name, "\n{rendered}");
+            assert_eq!(parsed.profile, p.profile, "\n{rendered}");
+        }
+    }
+
+    #[test]
+    fn chaos_rejects_unknown_fields_and_bad_probabilities() {
+        let e =
+            parse_chaos_src("version = 1\n[chaos]\nname = \"x\"\nvirq_flood = 0.5\n").unwrap_err();
+        assert!(e.contains("unknown field 'virq_flood'"), "{e}");
+        let e =
+            parse_chaos_src("version = 1\n[chaos]\nname = \"x\"\nvirq_drop = 1.5\n").unwrap_err();
+        assert!(e.contains("virq_drop"), "{e}");
+        assert!(e.contains("line 4"), "{e}");
+    }
+
+    #[test]
+    fn manifest_parses_and_rejects_duplicates() {
+        let m = parse_manifest_src(
+            r#"
+version = 1
+[sweep]
+name = "smoke"
+scenarios = ["scenario1", "mini.toml"]
+policies = ["greedy", "smart-alloc:2"]
+chaos = ["none", "sample-loss"]
+reps = 2
+seed = 7
+scale = 0.05
+"#,
+        )
+        .unwrap();
+        assert_eq!(m.name, "smoke");
+        assert_eq!(m.policies.len(), 2);
+        assert_eq!(m.reps, 2);
+        assert_eq!(m.seed, 7);
+
+        let e = parse_manifest_src(
+            "version = 1\n[sweep]\nname = \"x\"\nscenarios = [\"scenario1\"]\n\
+             policies = [\"greedy\", \"greedy\"]\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("duplicate policy 'greedy'"), "{e}");
+        assert!(e.contains("line 5"), "{e}");
+    }
+
+    #[test]
+    fn expansion_is_the_full_ordered_matrix() {
+        let cells = expand_cells(2, 3, 2, 2);
+        assert_eq!(cells.len(), 24);
+        let mut sorted = cells.clone();
+        sorted.sort();
+        assert_eq!(cells, sorted, "expansion is ordered");
+        sorted.dedup();
+        assert_eq!(sorted.len(), 24, "no duplicates");
+        assert_eq!(
+            cells[0],
+            CellId {
+                scenario: 0,
+                policy: 0,
+                chaos: 0,
+                rep: 0
+            }
+        );
+        assert_eq!(cells[1].rep, 1, "rep is the minor axis");
+    }
+}

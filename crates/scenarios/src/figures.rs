@@ -415,7 +415,7 @@ pub fn table2_rows(cfg: &RunConfig) -> Vec<(String, Vec<String>)> {
                 })
                 .collect();
             (
-                format!("{} (tmem {} MiB)", spec.kind.name(), spec.tmem_bytes >> 20),
+                format!("{} (tmem {} MiB)", spec.name, spec.tmem_bytes >> 20),
                 rows,
             )
         })

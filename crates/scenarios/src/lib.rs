@@ -29,13 +29,16 @@
 //! — the quantity that determines how far a policy's targets can travel —
 //! stays fixed. See `RunConfig::time_scale`.
 
+pub mod batch;
 pub mod chaos;
 pub mod config;
+pub mod dsl;
 pub mod figures;
 pub mod par;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod toml;
 pub mod trace_check;
 
 pub use chaos::{run_chaos, ChaosProfile, ChaosReport, DEGRADATION_BOUND};

@@ -303,7 +303,7 @@ pub fn run_spec(spec: crate::spec::ScenarioSpec, policy: PolicyKind, cfg: &RunCo
         }),
         sampling: cfg.sampling_interval(),
         seed_root: SplitMix64::new(cfg.seed),
-        scenario_name: spec.kind.name(),
+        scenario_name: spec.name.clone(),
         policy_name,
         policy_kind: policy,
         cfg: cfg.clone(),

@@ -148,7 +148,7 @@ impl ScenarioKind {
 }
 
 /// What a VM executes, in order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ProgramStep {
     /// Run a workload to completion.
     Run(WorkloadSpec),
@@ -157,7 +157,7 @@ pub enum ProgramStep {
 }
 
 /// Workload constructor parameters (kept as data so repetitions can reseed).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadSpec {
     /// The usemem micro-benchmark.
     Usemem(UsememConfig),
@@ -195,7 +195,7 @@ impl WorkloadSpec {
 }
 
 /// When a VM's program begins.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StartRule {
     /// At a fixed instant.
     At(SimDuration),
@@ -204,7 +204,7 @@ pub enum StartRule {
 }
 
 /// One VM of a scenario.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VmSpec {
     /// Hypervisor-facing configuration (RAM, vCPUs).
     pub config: VmConfig,
@@ -215,10 +215,15 @@ pub struct VmSpec {
 }
 
 /// A fully-specified scenario.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
-    /// Scenario identity.
-    pub kind: ScenarioKind,
+    /// Built-in identity, when this spec corresponds to one of the
+    /// enumerable scenario kinds; `None` for custom scenarios loaded from
+    /// `.toml` files ([`crate::dsl`]).
+    pub kind: Option<ScenarioKind>,
+    /// Report name — `kind.name()` for built-ins, the file's declared name
+    /// for custom scenarios.
+    pub name: String,
     /// tmem capacity enabled on the node, in bytes (already scaled).
     pub tmem_bytes: u64,
     /// The deployed VMs — 3 for the Table II scenarios, 8–128 for the
@@ -256,6 +261,9 @@ impl ScenarioSpec {
     /// customized specs (capacity sweeps, user-authored scenarios) before
     /// a runner consumes them.
     pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("scenario has an empty name; reports need one".into());
+        }
         if self.vms.is_empty() {
             return Err("scenario deploys zero VMs; nothing would run".into());
         }
@@ -380,8 +388,10 @@ fn build_fleet(p: FleetParams, cfg: &RunConfig) -> ScenarioSpec {
             }
         })
         .collect();
+    let kind = ScenarioKind::Scenario5(p);
     ScenarioSpec {
-        kind: ScenarioKind::Scenario5(p),
+        name: kind.name(),
+        kind: Some(kind),
         tmem_bytes: (u64::from(n) * fp / 4).max(4 * 4096),
         vms,
         stop_all_on: None,
@@ -419,7 +429,8 @@ pub fn build_scenario(kind: ScenarioKind, cfg: &RunConfig) -> ScenarioSpec {
                 })
                 .collect();
             ScenarioSpec {
-                kind,
+                name: kind.name(),
+                kind: Some(kind),
                 tmem_bytes: cfg.scale_bytes(GIB),
                 vms,
                 stop_all_on: None,
@@ -445,7 +456,8 @@ pub fn build_scenario(kind: ScenarioKind, cfg: &RunConfig) -> ScenarioSpec {
                 })
                 .collect();
             ScenarioSpec {
-                kind,
+                name: kind.name(),
+                kind: Some(kind),
                 tmem_bytes: cfg.scale_bytes(GIB),
                 vms,
                 stop_all_on: None,
@@ -478,7 +490,8 @@ pub fn build_scenario(kind: ScenarioKind, cfg: &RunConfig) -> ScenarioSpec {
                 })
                 .collect();
             ScenarioSpec {
-                kind,
+                name: kind.name(),
+                kind: Some(kind),
                 tmem_bytes: cfg.scale_bytes(384 * MIB),
                 vms,
                 stop_all_on: Some((2, stop_all)),
@@ -512,7 +525,8 @@ pub fn build_scenario(kind: ScenarioKind, cfg: &RunConfig) -> ScenarioSpec {
                 start: StartRule::At(stagger),
             });
             ScenarioSpec {
-                kind,
+                name: kind.name(),
+                kind: Some(kind),
                 tmem_bytes: cfg.scale_bytes(GIB),
                 vms,
                 stop_all_on: None,
@@ -737,7 +751,7 @@ mod tests {
         let p = FleetParams::default();
         assert_eq!(p.vms, 64);
         let spec = build_scenario(ScenarioKind::Scenario5(p), &cfg());
-        assert_eq!(spec.kind.name(), "scenario5-64x512mb-balanced");
+        assert_eq!(spec.name, "scenario5-64x512mb-balanced");
         assert!(
             spec.logical_sessions() > 1_000_000,
             "the headline fleet cell must simulate millions of sessions, got {}",

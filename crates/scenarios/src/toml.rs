@@ -1,0 +1,657 @@
+//! A hand-rolled parser for the TOML subset the scenario DSL uses.
+//!
+//! The workspace vendors its few dependencies (`compat/`), so rather than
+//! pulling in a full TOML crate this module implements exactly the grammar
+//! the on-disk formats need — and nothing more:
+//!
+//! * `# comments`, blank lines
+//! * `[table]` and `[[array-of-tables]]` headers (single-segment names)
+//! * `key = value` pairs with bare keys
+//! * values: `"strings"` (with `\"`, `\\`, `\n`, `\t` escapes), integers
+//!   (optional `_` separators), floats, booleans, and single-line arrays
+//!   `[v1, v2, ...]` of those
+//!
+//! Everything is **line-anchored**: every value and table remembers the
+//! 1-based line it came from, duplicate keys and duplicate `[table]`
+//! headers are rejected at parse time, and the [`TableReader`] wrapper
+//! gives schema layers (see [`crate::dsl`]) strict unknown-field detection
+//! — any key the schema never consumed is an error naming the key and its
+//! line. Parse errors are `String`s of the form `line N: message`, matching
+//! the rest of the workspace's error style.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A parsed value plus the 1-based line it was written on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned<T> {
+    /// The parsed value.
+    pub value: T,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl<T> Spanned<T> {
+    fn new(value: T, line: usize) -> Self {
+        Spanned { value, line }
+    }
+}
+
+/// A TOML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `"..."` string.
+    Str(String),
+    /// Integer literal (no sign bigger than i64 is needed by any schema).
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// Single-line `[a, b, c]` array.
+    Array(Vec<Spanned<Value>>),
+}
+
+impl Value {
+    /// Human name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", item.value)?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// One table's `key = value` entries, in file order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    /// 1-based line of the `[header]` (0 for the implicit root table).
+    pub line: usize,
+    /// Entries in file order. Keys are unique (duplicates are a parse
+    /// error).
+    pub entries: Vec<(String, Spanned<Value>)>,
+}
+
+impl Table {
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Spanned<Value>> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A parsed document: the implicit root table, named `[table]`s and
+/// `[[array-of-tables]]` groups, each in file order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Document {
+    /// Key/value pairs before the first header.
+    pub root: Table,
+    /// `[name]` tables in file order.
+    pub tables: Vec<(String, Table)>,
+    /// `[[name]]` groups: every element with the same name, in file order.
+    pub arrays: Vec<(String, Vec<Table>)>,
+}
+
+impl Document {
+    /// Look up a `[name]` table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// Look up a `[[name]]` group (empty slice if absent).
+    pub fn array(&self, name: &str) -> &[Table] {
+        self.arrays
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ts)| ts.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+fn err(line: usize, msg: impl fmt::Display) -> String {
+    format!("line {line}: {msg}")
+}
+
+fn valid_key(k: &str) -> bool {
+    !k.is_empty()
+        && k.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Strip a trailing `# comment`, respecting `"..."` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => escaped = true,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+/// Parse a document. Errors are `line N: message` strings.
+pub fn parse(src: &str) -> Result<Document, String> {
+    let mut doc = Document::default();
+    // Where new `key = value` pairs currently land.
+    enum Cursor {
+        Root,
+        Table(usize),
+        Array(usize),
+    }
+    let mut cursor = Cursor::Root;
+    let mut seen_tables: BTreeSet<String> = BTreeSet::new();
+
+    for (i, raw) in src.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let name = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| err(lineno, "unclosed '[[' table header"))?
+                .trim();
+            if !valid_key(name) {
+                return Err(err(lineno, format!("invalid table name '{name}'")));
+            }
+            if seen_tables.contains(name) {
+                return Err(err(
+                    lineno,
+                    format!("'{name}' is already a [{name}] table; it cannot also be [[{name}]]"),
+                ));
+            }
+            let group = match doc.arrays.iter().position(|(n, _)| n == name) {
+                Some(p) => p,
+                None => {
+                    doc.arrays.push((name.to_string(), Vec::new()));
+                    doc.arrays.len() - 1
+                }
+            };
+            doc.arrays[group].1.push(Table {
+                line: lineno,
+                entries: Vec::new(),
+            });
+            cursor = Cursor::Array(group);
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unclosed '[' table header"))?
+                .trim();
+            if !valid_key(name) {
+                return Err(err(lineno, format!("invalid table name '{name}'")));
+            }
+            if doc.arrays.iter().any(|(n, _)| n == name) {
+                return Err(err(
+                    lineno,
+                    format!("'{name}' is already a [[{name}]] group; it cannot also be [{name}]"),
+                ));
+            }
+            if !seen_tables.insert(name.to_string()) {
+                return Err(err(lineno, format!("duplicate table [{name}]")));
+            }
+            doc.tables.push((
+                name.to_string(),
+                Table {
+                    line: lineno,
+                    entries: Vec::new(),
+                },
+            ));
+            cursor = Cursor::Table(doc.tables.len() - 1);
+        } else {
+            let eq = line
+                .find('=')
+                .ok_or_else(|| err(lineno, "expected 'key = value' or a [table] header"))?;
+            let key = line[..eq].trim();
+            if !valid_key(key) {
+                return Err(err(lineno, format!("invalid key '{key}'")));
+            }
+            let value = parse_value(line[eq + 1..].trim(), lineno)?;
+            let table = match cursor {
+                Cursor::Root => &mut doc.root,
+                Cursor::Table(t) => &mut doc.tables[t].1,
+                Cursor::Array(g) => doc.arrays[g]
+                    .1
+                    .last_mut()
+                    .expect("array cursor implies a pushed table"),
+            };
+            if table.get(key).is_some() {
+                return Err(err(lineno, format!("duplicate key '{key}'")));
+            }
+            table
+                .entries
+                .push((key.to_string(), Spanned::new(value, lineno)));
+        }
+    }
+    Ok(doc)
+}
+
+fn parse_value(s: &str, lineno: usize) -> Result<Value, String> {
+    let (v, rest) = parse_value_prefix(s, lineno)?;
+    if !rest.trim().is_empty() {
+        return Err(err(
+            lineno,
+            format!("unexpected trailing input '{}'", rest.trim()),
+        ));
+    }
+    Ok(v)
+}
+
+/// Parse one value at the start of `s`, returning it and the unconsumed
+/// remainder (arrays need this to walk their elements).
+fn parse_value_prefix(s: &str, lineno: usize) -> Result<(Value, &str), String> {
+    let s = s.trim_start();
+    if s.is_empty() {
+        return Err(err(lineno, "missing value"));
+    }
+    if let Some(body) = s.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = body.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => return Ok((Value::Str(out), &body[i + 1..])),
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, other)) => {
+                        return Err(err(lineno, format!("unknown escape '\\{other}'")))
+                    }
+                    None => return Err(err(lineno, "unterminated string")),
+                },
+                _ => out.push(c),
+            }
+        }
+        return Err(err(lineno, "unterminated string"));
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let mut items = Vec::new();
+        let mut rest = body.trim_start();
+        loop {
+            if let Some(after) = rest.strip_prefix(']') {
+                return Ok((Value::Array(items), after));
+            }
+            if rest.is_empty() {
+                return Err(err(lineno, "unclosed array (arrays are single-line)"));
+            }
+            let (v, after) = parse_value_prefix(rest, lineno)?;
+            items.push(Spanned::new(v, lineno));
+            rest = after.trim_start();
+            if let Some(after_comma) = rest.strip_prefix(',') {
+                rest = after_comma.trim_start();
+            } else if rest.is_empty() {
+                return Err(err(lineno, "unclosed array (arrays are single-line)"));
+            } else if !rest.starts_with(']') {
+                return Err(err(lineno, "expected ',' or ']' in array"));
+            }
+        }
+    }
+    // Bare scalar: runs to the next delimiter (array context), whitespace
+    // or the end.
+    let end = s
+        .find(|c: char| c == ',' || c == ']' || c.is_whitespace())
+        .unwrap_or(s.len());
+    let (tok, rest) = s.split_at(end);
+    let tok = tok.trim();
+    let v = match tok {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => {
+            let plain = tok.replace('_', "");
+            if let Ok(i) = plain.parse::<i64>() {
+                Value::Int(i)
+            } else if let Ok(f) = plain.parse::<f64>() {
+                if !f.is_finite() {
+                    return Err(err(lineno, format!("non-finite float '{tok}'")));
+                }
+                Value::Float(f)
+            } else {
+                return Err(err(
+                    lineno,
+                    format!("cannot parse value '{tok}' (strings need quotes)"),
+                ));
+            }
+        }
+    };
+    Ok((v, rest))
+}
+
+/// Strict schema-side reader over one [`Table`]: each lookup marks its key
+/// consumed, and [`TableReader::finish`] rejects any key the schema never
+/// asked about — the DSL's "unknown field" errors all come from here.
+pub struct TableReader<'a> {
+    /// What this table is, for error messages ("[run]", "[[vm]] #2", ...).
+    context: String,
+    table: &'a Table,
+    consumed: BTreeSet<&'a str>,
+}
+
+impl<'a> TableReader<'a> {
+    /// Wrap `table`; `context` names it in error messages.
+    pub fn new(context: impl Into<String>, table: &'a Table) -> Self {
+        TableReader {
+            context: context.into(),
+            table,
+            consumed: BTreeSet::new(),
+        }
+    }
+
+    /// The 1-based line of the table header (0 for the root table).
+    pub fn line(&self) -> usize {
+        self.table.line
+    }
+
+    /// The context string given at construction.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// Format an error anchored to this table's field `key` (or to the
+    /// table header if the field is absent).
+    pub fn field_err(&self, key: &str, msg: impl fmt::Display) -> String {
+        match self.table.get(key) {
+            Some(v) => err(v.line, format!("{}: {key}: {msg}", self.context)),
+            None => err(self.table.line, format!("{}: {key}: {msg}", self.context)),
+        }
+    }
+
+    /// Optional raw value.
+    pub fn opt(&mut self, key: &'a str) -> Option<&'a Spanned<Value>> {
+        self.consumed.insert(key);
+        self.table.get(key)
+    }
+
+    /// Required raw value.
+    pub fn req(&mut self, key: &'a str) -> Result<&'a Spanned<Value>, String> {
+        self.opt(key).ok_or_else(|| {
+            err(
+                self.table.line,
+                format!("{}: missing '{key}'", self.context),
+            )
+        })
+    }
+
+    /// Optional string field.
+    pub fn opt_str(&mut self, key: &'a str) -> Result<Option<String>, String> {
+        match self.opt(key) {
+            None => Ok(None),
+            Some(v) => match &v.value {
+                Value::Str(s) => Ok(Some(s.clone())),
+                other => Err(err(
+                    v.line,
+                    format!(
+                        "{}: {key}: expected a string, got {}",
+                        self.context,
+                        other.type_name()
+                    ),
+                )),
+            },
+        }
+    }
+
+    /// Required string field.
+    pub fn req_str(&mut self, key: &'a str) -> Result<String, String> {
+        self.req(key)?;
+        Ok(self.opt_str(key)?.expect("req checked presence"))
+    }
+
+    /// Optional non-negative integer field (u64).
+    pub fn opt_u64(&mut self, key: &'a str) -> Result<Option<u64>, String> {
+        match self.opt(key) {
+            None => Ok(None),
+            Some(v) => match v.value {
+                Value::Int(i) if i >= 0 => Ok(Some(i as u64)),
+                Value::Int(i) => Err(err(
+                    v.line,
+                    format!("{}: {key}: must be >= 0, got {i}", self.context),
+                )),
+                ref other => Err(err(
+                    v.line,
+                    format!(
+                        "{}: {key}: expected an integer, got {}",
+                        self.context,
+                        other.type_name()
+                    ),
+                )),
+            },
+        }
+    }
+
+    /// Required non-negative integer field.
+    pub fn req_u64(&mut self, key: &'a str) -> Result<u64, String> {
+        self.req(key)?;
+        Ok(self.opt_u64(key)?.expect("req checked presence"))
+    }
+
+    /// Optional float field (integers coerce).
+    pub fn opt_f64(&mut self, key: &'a str) -> Result<Option<f64>, String> {
+        match self.opt(key) {
+            None => Ok(None),
+            Some(v) => match v.value {
+                Value::Float(f) => Ok(Some(f)),
+                Value::Int(i) => Ok(Some(i as f64)),
+                ref other => Err(err(
+                    v.line,
+                    format!(
+                        "{}: {key}: expected a number, got {}",
+                        self.context,
+                        other.type_name()
+                    ),
+                )),
+            },
+        }
+    }
+
+    /// Optional boolean field.
+    pub fn opt_bool(&mut self, key: &'a str) -> Result<Option<bool>, String> {
+        match self.opt(key) {
+            None => Ok(None),
+            Some(v) => match v.value {
+                Value::Bool(b) => Ok(Some(b)),
+                ref other => Err(err(
+                    v.line,
+                    format!(
+                        "{}: {key}: expected true/false, got {}",
+                        self.context,
+                        other.type_name()
+                    ),
+                )),
+            },
+        }
+    }
+
+    /// Optional array-of-strings field.
+    pub fn opt_str_array(&mut self, key: &'a str) -> Result<Option<Vec<String>>, String> {
+        match self.opt(key) {
+            None => Ok(None),
+            Some(v) => match &v.value {
+                Value::Array(items) => items
+                    .iter()
+                    .map(|item| match &item.value {
+                        Value::Str(s) => Ok(s.clone()),
+                        other => Err(err(
+                            item.line,
+                            format!(
+                                "{}: {key}: expected strings, got {}",
+                                self.context,
+                                other.type_name()
+                            ),
+                        )),
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(Some),
+                other => Err(err(
+                    v.line,
+                    format!(
+                        "{}: {key}: expected an array, got {}",
+                        self.context,
+                        other.type_name()
+                    ),
+                )),
+            },
+        }
+    }
+
+    /// Required array-of-strings field.
+    pub fn req_str_array(&mut self, key: &'a str) -> Result<Vec<String>, String> {
+        self.req(key)?;
+        Ok(self.opt_str_array(key)?.expect("req checked presence"))
+    }
+
+    /// Error if any key was never consumed — the strict-schema check.
+    pub fn finish(self) -> Result<(), String> {
+        for (k, v) in &self.table.entries {
+            if !self.consumed.contains(k.as_str()) {
+                return Err(err(
+                    v.line,
+                    format!("{}: unknown field '{k}'", self.context),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let doc = parse(
+            r#"
+# top comment
+version = 1
+name = "demo"  # trailing comment
+
+[run]
+scale = 0.25
+policies = ["greedy", "no-tmem"]
+record = true
+
+[[vm]]
+mem = 1_024
+[[vm]]
+mem = 2048
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.root.get("version").unwrap().value, Value::Int(1));
+        assert_eq!(
+            doc.root.get("name").unwrap().value,
+            Value::Str("demo".into())
+        );
+        let run = doc.table("run").unwrap();
+        assert_eq!(run.get("scale").unwrap().value, Value::Float(0.25));
+        assert_eq!(run.get("record").unwrap().value, Value::Bool(true));
+        match &run.get("policies").unwrap().value {
+            Value::Array(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected array, got {other:?}"),
+        }
+        let vms = doc.array("vm");
+        assert_eq!(vms.len(), 2);
+        assert_eq!(vms[0].get("mem").unwrap().value, Value::Int(1024));
+        assert_eq!(vms[1].line, 13);
+    }
+
+    #[test]
+    fn errors_are_line_anchored() {
+        for (src, needle, line) in [
+            ("a = 1\na = 2", "duplicate key 'a'", 2),
+            ("[t]\n[t]", "duplicate table [t]", 2),
+            ("[t]\n[[t]]", "already a [t] table", 2),
+            ("[[t]]\n[t]", "already a [[t]] group", 2),
+            ("x = ", "missing value", 1),
+            ("x = \"open", "unterminated string", 1),
+            ("x = [1, 2", "unclosed array", 1),
+            ("x = hello", "strings need quotes", 1),
+            ("x 1", "expected 'key = value'", 1),
+            ("x = 1 2", "unexpected trailing input", 1),
+            ("[bad name]", "invalid table name", 1),
+            ("x = \"a\\qb\"", "unknown escape", 1),
+        ] {
+            let e = parse(src).unwrap_err();
+            assert!(e.contains(needle), "for {src:?}: {e}");
+            assert!(e.starts_with(&format!("line {line}:")), "for {src:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        let doc = parse("x = \"a # not a comment\" # real comment").unwrap();
+        assert_eq!(
+            doc.root.get("x").unwrap().value,
+            Value::Str("a # not a comment".into())
+        );
+    }
+
+    #[test]
+    fn reader_flags_unknown_fields_with_line() {
+        let doc = parse("known = 1\nmystery = 2").unwrap();
+        let mut r = TableReader::new("[root]", &doc.root);
+        assert_eq!(r.opt_u64("known").unwrap(), Some(1));
+        let e = r.finish().unwrap_err();
+        assert!(e.contains("unknown field 'mystery'"), "{e}");
+        assert!(e.starts_with("line 2:"), "{e}");
+    }
+
+    #[test]
+    fn reader_type_errors_name_field_and_type() {
+        let doc = parse("n = \"x\"").unwrap();
+        let mut r = TableReader::new("[run]", &doc.root);
+        let e = r.opt_u64("n").unwrap_err();
+        assert!(
+            e.contains("[run]: n: expected an integer, got string"),
+            "{e}"
+        );
+        let doc = parse("p = [1]").unwrap();
+        let mut r = TableReader::new("[run]", &doc.root);
+        let e = r.opt_str_array("p").unwrap_err();
+        assert!(e.contains("expected strings, got integer"), "{e}");
+    }
+
+    #[test]
+    fn nested_arrays_and_negative_ints_parse() {
+        let doc = parse("x = [[1, 2], [3]]\ny = -5\nz = 1.5e3").unwrap();
+        match &doc.root.get("x").unwrap().value {
+            Value::Array(outer) => {
+                assert_eq!(outer.len(), 2);
+                match &outer[0].value {
+                    Value::Array(inner) => assert_eq!(inner.len(), 2),
+                    other => panic!("expected inner array, got {other:?}"),
+                }
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(doc.root.get("y").unwrap().value, Value::Int(-5));
+        assert_eq!(doc.root.get("z").unwrap().value, Value::Float(1500.0));
+    }
+}

@@ -1,0 +1,351 @@
+//! The declarative DSL is pinned to the Rust constructors.
+//!
+//! The shipped `scenarios/*.toml` files are not merely "similar" to the
+//! built-in Table II constructors — they are differentially tested to
+//! produce **exactly** the same [`ScenarioSpec`], at every memory scale,
+//! so `run-file scenarios/usemem.toml` and `run usemem` are the same
+//! experiment by construction. Chaos-profile files round-trip against the
+//! shipped profiles the same way. The rejection table pins the parser's
+//! strictness: malformed input fails with a line- and field-anchored
+//! error, never a panic and never a silently-defaulted value. A property
+//! test pins manifest expansion as the exact permutation matrix.
+
+use proptest::prelude::*;
+use scenarios::chaos::shipped_profiles;
+use scenarios::config::RunConfig;
+use scenarios::dsl::{
+    self, expand_cells, load_manifest, load_scenario, parse_chaos_src, parse_manifest_src,
+    parse_scenario_src, CellId,
+};
+use scenarios::spec::{
+    build_scenario, Arrival, FleetParams, ScenarioKind, ScenarioSpec, WorkloadMix,
+};
+use scenarios::PolicyKind;
+use std::path::PathBuf;
+
+/// The repo's shipped scenario directory.
+fn shipped_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn cfg(scale: f64) -> RunConfig {
+    RunConfig {
+        scale,
+        ..RunConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential round-trips: shipped files == constructors.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shipped_vm_scenarios_equal_constructor_specs_at_every_scale() {
+    let pairs = [
+        ("scenario1.toml", ScenarioKind::Scenario1),
+        ("scenario2.toml", ScenarioKind::Scenario2),
+        ("usemem.toml", ScenarioKind::UsememScenario),
+        ("scenario3.toml", ScenarioKind::Scenario3),
+    ];
+    // 0.37 is deliberately awkward: scale_bytes page-rounding and
+    // UsememConfig::paper's MiB-granular scaling diverge from naive
+    // multiplication there, so a DSL shortcut would be caught.
+    for scale in [1.0, 0.125, 0.37] {
+        let cfg = cfg(scale);
+        for (file, kind) in pairs {
+            let doc = load_scenario(&shipped_dir().join(file), &cfg).unwrap();
+            // DSL-built specs carry no ScenarioKind (they are not a
+            // built-in); everything else must match exactly.
+            let expected = ScenarioSpec {
+                kind: None,
+                ..build_scenario(kind, &cfg)
+            };
+            assert_eq!(
+                doc.spec, expected,
+                "{file} at scale {scale} diverges from its constructor"
+            );
+        }
+    }
+}
+
+#[test]
+fn shipped_fleet_scenario_equals_constructor_spec() {
+    let cfg = cfg(0.125);
+    let doc = load_scenario(&shipped_dir().join("fleet-small.toml"), &cfg).unwrap();
+    let kind = ScenarioKind::Scenario5(FleetParams {
+        vms: 8,
+        footprint_mb: 64,
+        mix: WorkloadMix::Balanced,
+        arrival: Arrival::Staggered { gap_ms: 250 },
+    });
+    // [fleet] files route through build_scenario, so the kind survives.
+    assert_eq!(doc.spec, build_scenario(kind, &cfg));
+}
+
+#[test]
+fn shipped_chaos_files_equal_shipped_profiles() {
+    for profile in shipped_profiles() {
+        let path = shipped_dir().join(format!("chaos/{}.toml", profile.name));
+        let src =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let parsed = parse_chaos_src(&src).unwrap();
+        assert_eq!(
+            parsed,
+            profile,
+            "{} diverges from the shipped profile",
+            path.display()
+        );
+        // And the renderer round-trips it.
+        assert_eq!(
+            parse_chaos_src(&dsl::chaos_to_toml(&profile)).unwrap(),
+            profile
+        );
+    }
+}
+
+#[test]
+fn shipped_manifest_parses_to_the_expected_axes() {
+    let m = load_manifest(&shipped_dir().join("sweep-smoke.toml")).unwrap();
+    assert_eq!(m.name, "smoke");
+    assert_eq!(m.scenarios, ["scenario1.toml", "usemem"]);
+    assert_eq!(
+        m.policies,
+        [PolicyKind::Greedy, PolicyKind::SmartAlloc { p: 2.0 }]
+    );
+    assert_eq!(m.chaos, ["none", "chaos/sample-loss.toml"]);
+    assert_eq!((m.reps, m.seed, m.scale), (1, 42, 0.125));
+}
+
+#[test]
+fn shipped_run_directives_are_exposed_to_run_file() {
+    let doc = load_scenario(&shipped_dir().join("scenario1.toml"), &cfg(0.125)).unwrap();
+    assert_eq!(
+        doc.run.policies,
+        Some(vec![
+            PolicyKind::NoTmem,
+            PolicyKind::Greedy,
+            PolicyKind::SmartAlloc { p: 2.0 }
+        ])
+    );
+    assert_eq!(doc.run.reps, Some(1));
+    assert_eq!(doc.run.seed, None);
+}
+
+// ---------------------------------------------------------------------------
+// Rejection table: malformed input fails with anchored errors, no panics.
+// ---------------------------------------------------------------------------
+
+const VALID_SCENARIO: &str = r#"
+version = 1
+
+[scenario]
+name = "t"
+tmem = "64MiB"
+
+[[vm]]
+ram = "32MiB"
+program = ["run inmem 8MiB"]
+"#;
+
+#[test]
+fn scenario_rejection_table() {
+    // (mutation of a valid file, substring the error must carry)
+    let cases: &[(&str, &str, &str)] = &[
+        ("version = 1", "version = 3", "unsupported format version 3"),
+        ("version = 1", "", "version"),
+        (
+            "name = \"t\"",
+            "name = \"t\"\nbogus = 1",
+            "unknown field 'bogus'",
+        ),
+        ("tmem = \"64MiB\"", "tmem = \"64QiB\"", "cannot parse size"),
+        (
+            "ram = \"32MiB\"",
+            "ram = \"32MiB\"\ncount = 0",
+            "count: must be at least 1",
+        ),
+        (
+            "program = [\"run inmem 8MiB\"]",
+            "program = [\"run warp 8MiB\"]",
+            "cannot parse program step",
+        ),
+        (
+            "program = [\"run inmem 8MiB\"]",
+            "program = []",
+            "program is empty",
+        ),
+        (
+            "program = [\"run inmem 8MiB\"]",
+            "program = [\"run inmem 8MiB\"]\nstart_on = [\"vm9 block 1\"]",
+            "references vm9",
+        ),
+        (
+            "program = [\"run inmem 8MiB\"]",
+            "program = [\"run inmem 8MiB\"]\nstart_on = [\"vm1 block 2\"]",
+            "runs no usemem",
+        ),
+        (
+            "[[vm]]",
+            "[[vm]]\n[mystery]\nx = 1\n\n[[vm]]",
+            "unknown table [mystery]",
+        ),
+        ("ram = \"32MiB\"", "ram = 32", "expected a string"),
+    ];
+    for (from, to, want) in cases {
+        let src = VALID_SCENARIO.replacen(from, to, 1);
+        assert_ne!(&src, VALID_SCENARIO, "mutation '{to}' did not apply");
+        let err = parse_scenario_src(&src, &cfg(1.0))
+            .expect_err(&format!("mutation '{to}' should be rejected"));
+        assert!(
+            err.contains(want),
+            "error for '{to}' should mention '{want}', got: {err}"
+        );
+        assert!(
+            err.contains("line "),
+            "error for '{to}' should be line-anchored, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn fleet_and_chaos_rejection_table() {
+    let fleet = "version = 1\n\n[fleet]\nvms = 8\n";
+    for (src, want) in [
+        (
+            fleet.replace("vms = 8", "vms = 0"),
+            "a fleet needs at least 1 VM",
+        ),
+        (
+            fleet.replace("vms = 8", "vms = 4\nmix = \"chaotic\""),
+            "unknown workload mix 'chaotic'",
+        ),
+        (
+            fleet.replace("vms = 8", "vms = 4\n\n[scenario]\nname = \"x\""),
+            "not both",
+        ),
+        (
+            "version = 1\n\n[chaos]\nname = \"x\"\nvirq_drop = 1.5\n".to_string(),
+            "outside [0, 1]",
+        ),
+        (
+            "version = 1\n\n[chaos]\nname = \"x\"\nwarp_factor = 0.5\n".to_string(),
+            "unknown field 'warp_factor'",
+        ),
+    ] {
+        let err = if src.contains("[chaos]") {
+            parse_chaos_src(&src).expect_err(&format!("should reject: {src}"))
+        } else {
+            parse_scenario_src(&src, &cfg(1.0))
+                .map(|_| ())
+                .expect_err(&format!("should reject: {src}"))
+        };
+        assert!(
+            err.contains(want),
+            "error should mention '{want}', got: {err}"
+        );
+        assert!(
+            err.contains("line "),
+            "error should be line-anchored: {err}"
+        );
+    }
+}
+
+#[test]
+fn manifest_rejection_table() {
+    let valid =
+        "version = 1\n\n[sweep]\nname = \"s\"\nscenarios = [\"usemem\"]\npolicies = [\"greedy\"]\n";
+    for (from, to, want) in [
+        (
+            "policies = [\"greedy\"]",
+            "policies = [\"greedy\", \"greedy\"]",
+            "duplicate policy 'greedy'",
+        ),
+        (
+            "policies = [\"greedy\"]",
+            "policies = []",
+            "policy axis is empty",
+        ),
+        (
+            "scenarios = [\"usemem\"]",
+            "scenarios = [\"usemem\", \"scenario9\"]",
+            "unknown scenario 'scenario9'",
+        ),
+        (
+            "name = \"s\"",
+            "name = \"s\"\nreps = 0",
+            "must be at least 1",
+        ),
+        (
+            "name = \"s\"",
+            "name = \"s\"\nscale = -2.0",
+            "positive finite",
+        ),
+    ] {
+        let src = valid.replacen(from, to, 1);
+        assert_ne!(src, valid, "mutation '{to}' did not apply");
+        let err = parse_manifest_src(&src).expect_err(&format!("should reject: {to}"));
+        assert!(
+            err.contains(want),
+            "error for '{to}' should mention '{want}': {err}"
+        );
+        assert!(
+            err.contains("line "),
+            "error for '{to}' should be line-anchored: {err}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest expansion is the exact permutation matrix.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The expansion is exactly the sorted permutation matrix: every cell
+    /// in range, strictly increasing in `CellId` order (so no duplicates
+    /// and a stable deterministic ordering), with cardinality equal to
+    /// the product of the axis lengths. Those three facts force the set
+    /// to be the full product — no reimplementation of the nested loops
+    /// needed as an oracle.
+    #[test]
+    fn expansion_is_the_permutation_matrix(
+        s in 1usize..7,
+        p in 1usize..7,
+        c in 1usize..5,
+        r in 1u32..5,
+    ) {
+        let cells = expand_cells(s, p, c, r);
+        prop_assert_eq!(cells.len(), s * p * c * r as usize);
+        prop_assert!(cells.iter().all(|cell| {
+            cell.scenario < s && cell.policy < p && cell.chaos < c && cell.rep < r
+        }));
+        prop_assert!(
+            cells.windows(2).all(|w| w[0] < w[1]),
+            "expansion must be strictly increasing (sorted, duplicate-free)"
+        );
+    }
+
+    /// Shrinking any axis yields the exact subsequence of the bigger
+    /// expansion restricted to that axis prefix — cell ordering (and so
+    /// journal cell numbering) is stable under axis subsets.
+    #[test]
+    fn axis_subsets_are_order_stable_subsequences(
+        s in 1usize..6,
+        p in 1usize..6,
+        c in 1usize..4,
+        r in 2u32..5,
+        keep_s in 1usize..6,
+        keep_r in 1u32..5,
+    ) {
+        let keep_s = keep_s.min(s);
+        let keep_r = keep_r.min(r);
+        let full = expand_cells(s, p, c, r);
+        let filtered: Vec<CellId> = full
+            .iter()
+            .copied()
+            .filter(|cell| cell.scenario < keep_s && cell.rep < keep_r)
+            .collect();
+        prop_assert_eq!(filtered, expand_cells(keep_s, p, c, keep_r));
+    }
+}

@@ -121,6 +121,80 @@ impl FaultProfile {
         }
         Ok(())
     }
+
+    /// The per-message probability fields, in declaration order. These
+    /// names are the schema of on-disk chaos-profile files: the scenario
+    /// DSL reads and writes profiles through [`FaultProfile::prob`] /
+    /// [`FaultProfile::set_prob`], so a field added here is automatically
+    /// legal in `.toml` profiles (and anything else is rejected by name).
+    pub const PROB_FIELDS: [&'static str; 6] = [
+        "virq_drop",
+        "virq_delay",
+        "virq_duplicate",
+        "netlink_drop",
+        "netlink_reorder",
+        "hypercall_fail",
+    ];
+
+    /// Read a probability field by its schema name.
+    pub fn prob(&self, field: &str) -> Option<f64> {
+        match field {
+            "virq_drop" => Some(self.virq_drop),
+            "virq_delay" => Some(self.virq_delay),
+            "virq_duplicate" => Some(self.virq_duplicate),
+            "netlink_drop" => Some(self.netlink_drop),
+            "netlink_reorder" => Some(self.netlink_reorder),
+            "hypercall_fail" => Some(self.hypercall_fail),
+            _ => None,
+        }
+    }
+
+    /// Set a probability field by its schema name. Rejects unknown names
+    /// (listing the legal ones) and out-of-range values; cross-field
+    /// constraints are still [`FaultProfile::validate`]'s job.
+    pub fn set_prob(&mut self, field: &str, value: f64) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&value) || value.is_nan() {
+            return Err(format!(
+                "fault probability {field} = {value} is outside [0, 1]; \
+                 probabilities are per-message"
+            ));
+        }
+        let slot = match field {
+            "virq_drop" => &mut self.virq_drop,
+            "virq_delay" => &mut self.virq_delay,
+            "virq_duplicate" => &mut self.virq_duplicate,
+            "netlink_drop" => &mut self.netlink_drop,
+            "netlink_reorder" => &mut self.netlink_reorder,
+            "hypercall_fail" => &mut self.hypercall_fail,
+            other => {
+                return Err(format!(
+                    "unknown fault field '{other}' (known: {}, mm_crash_at_cycle, \
+                     mm_restart_after)",
+                    Self::PROB_FIELDS.join(", ")
+                ))
+            }
+        };
+        *slot = value;
+        Ok(())
+    }
+
+    /// Render the profile as the body of an on-disk chaos file: one
+    /// `key = value` line per non-default field, schema names throughout.
+    /// The output round-trips through the scenario DSL's chaos parser.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        for field in Self::PROB_FIELDS {
+            let p = self.prob(field).expect("every schema field is readable");
+            if p != 0.0 {
+                out.push_str(&format!("{field} = {p}\n"));
+            }
+        }
+        if let Some(cycle) = self.mm_crash_at_cycle {
+            out.push_str(&format!("mm_crash_at_cycle = {cycle}\n"));
+            out.push_str(&format!("mm_restart_after = {}\n", self.mm_restart_after));
+        }
+        out
+    }
 }
 
 /// What happens to one VIRQ statistics sample.
@@ -421,6 +495,42 @@ mod tests {
         p.mm_crash_at_cycle = Some(3);
         p.mm_restart_after = 0;
         assert!(p.validate().unwrap_err().contains("mm_restart_after"));
+    }
+
+    #[test]
+    fn prob_fields_cover_every_probability() {
+        let mut p = FaultProfile::none();
+        for (i, field) in FaultProfile::PROB_FIELDS.iter().enumerate() {
+            assert_eq!(p.prob(field), Some(0.0));
+            let v = (i + 1) as f64 / 100.0;
+            p.set_prob(field, v).unwrap();
+            assert_eq!(p.prob(field), Some(v));
+        }
+        assert_eq!(p.prob("mm_crash_at_cycle"), None, "not a probability");
+        let err = p.set_prob("virq_flood", 0.1).unwrap_err();
+        assert!(err.contains("unknown fault field"), "{err}");
+        assert!(err.contains("virq_drop"), "should list known fields: {err}");
+        let err = p.set_prob("virq_drop", 1.5).unwrap_err();
+        assert!(err.contains("outside [0, 1]"), "{err}");
+        assert!(p.set_prob("virq_drop", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn to_toml_names_match_schema_and_skip_defaults() {
+        assert_eq!(FaultProfile::none().to_toml(), "");
+        let p = FaultProfile {
+            virq_drop: 0.30,
+            netlink_drop: 0.20,
+            mm_crash_at_cycle: Some(5),
+            mm_restart_after: 3,
+            ..FaultProfile::none()
+        };
+        let toml = p.to_toml();
+        assert_eq!(
+            toml,
+            "virq_drop = 0.3\nnetlink_drop = 0.2\n\
+             mm_crash_at_cycle = 5\nmm_restart_after = 3\n"
+        );
     }
 
     #[test]
