@@ -36,10 +36,15 @@
 //! any job count; `--jobs 1` forces the serial engine.
 //!
 //! `chaos` runs every (scenario × managed-policy) cell fault-free and
-//! under each shipped fault profile, prints the degradation report, and
-//! exits non-zero when any per-VM slowdown exceeds the bound (default
-//! [`scenarios::chaos::DEGRADATION_BOUND`]) or a tmem accounting
-//! invariant was ever violated.
+//! under each shipped fault profile — control-plane (`sample-loss`,
+//! `flaky-hypercalls`, `mm-crash`) and data-plane (`bitrot`,
+//! `backend-brownout`) — prints the degradation report, and exits
+//! non-zero when any per-VM slowdown exceeds the bound (default
+//! [`scenarios::chaos::DEGRADATION_BOUND`]), a tmem accounting invariant
+//! was ever violated, or a data-plane cell left an injected corruption
+//! undetected. `--out` writes `chaos_ledger.csv` with one row per cell
+//! including the data-plane columns (injections, detections, recoveries,
+//! scrub/quarantine counts).
 //!
 //! `run-file` runs a declarative scenario file (see `scenarios/*.toml` and
 //! EXPERIMENTS.md) under one or more policies; the file's `[run]` table
@@ -774,6 +779,7 @@ struct VmInspect {
     stored_evict: u64,
     reject_target: u64,
     reject_cap: u64,
+    reject_io: u64,
     gets: u64,
     hits: u64,
     evicted: u64,
@@ -815,6 +821,7 @@ fn inspect_cmd(path: &Path) -> Result<(), String> {
                 PutResult::StoredEvict => row.stored_evict += 1,
                 PutResult::RejectTarget => row.reject_target += 1,
                 PutResult::RejectCapacity => row.reject_cap += 1,
+                PutResult::RejectIo => row.reject_io += 1,
             },
             Payload::Get { hit, .. } => {
                 row.gets += 1;
@@ -831,13 +838,14 @@ fn inspect_cmd(path: &Path) -> Result<(), String> {
     }
     println!("-- per-VM tmem admission --");
     println!(
-        "{:>3} {:>9} {:>9} {:>9} {:>10} {:>8} {:>9} {:>9} {:>8} {:>9}",
+        "{:>3} {:>9} {:>9} {:>9} {:>10} {:>8} {:>7} {:>9} {:>9} {:>8} {:>9}",
         "vm",
         "stored",
         "replaced",
         "st_evict",
         "rej_targ",
         "rej_cap",
+        "rej_io",
         "gets",
         "hits",
         "evicted",
@@ -845,12 +853,13 @@ fn inspect_cmd(path: &Path) -> Result<(), String> {
     );
     for (vm, r) in &vms {
         println!(
-            "{vm:>3} {:>9} {:>9} {:>9} {:>10} {:>8} {:>9} {:>9} {:>8} {:>9}",
+            "{vm:>3} {:>9} {:>9} {:>9} {:>10} {:>8} {:>7} {:>9} {:>9} {:>8} {:>9}",
             r.stored,
             r.replaced,
             r.stored_evict,
             r.reject_target,
             r.reject_cap,
+            r.reject_io,
             r.gets,
             r.hits,
             r.evicted,
@@ -932,6 +941,19 @@ fn inspect_cmd(path: &Path) -> Result<(), String> {
         injected.insert(k, 0);
         observed.insert(k, 0);
     }
+    // Data-plane tallies, cross-checked as *pairings* rather than per-kind
+    // (a bit flip is observed as a later CorruptDetected, not as itself).
+    let mut bitflips = 0u64;
+    let mut torn = 0u64;
+    let mut eph_losses = 0u64;
+    let mut io_fails = 0u64;
+    let mut brownout_rejects = 0u64;
+    let mut brownout_ticks = 0u64;
+    let mut detected = 0u64;
+    let mut recovered = 0u64;
+    let mut reject_io_puts = 0u64;
+    let mut scrub_passes = 0u64;
+    let mut quarantined = 0u64;
     for ev in &t.events {
         match &ev.payload {
             Payload::Fault { kind } => {
@@ -943,8 +965,48 @@ fn inspect_cmd(path: &Path) -> Result<(), String> {
                     FaultKind::NetlinkReorder => "netlink_reorder",
                     FaultKind::HypercallFail => "hypercall_fail",
                     FaultKind::MmCrash => "mm_crash",
+                    FaultKind::PageBitflip => {
+                        bitflips += 1;
+                        continue;
+                    }
+                    FaultKind::TornWrite => {
+                        torn += 1;
+                        continue;
+                    }
+                    FaultKind::EphemeralLoss => {
+                        eph_losses += 1;
+                        continue;
+                    }
+                    FaultKind::PutIoFail => {
+                        io_fails += 1;
+                        continue;
+                    }
+                    FaultKind::BrownoutReject => {
+                        brownout_rejects += 1;
+                        continue;
+                    }
+                    FaultKind::BrownoutTick => {
+                        brownout_ticks += 1;
+                        continue;
+                    }
+                    FaultKind::CorruptDetected => {
+                        detected += 1;
+                        continue;
+                    }
+                    FaultKind::CorruptRecovered => {
+                        recovered += 1;
+                        continue;
+                    }
                 };
                 *injected.get_mut(k).expect("seeded") += 1;
+            }
+            Payload::Put {
+                result: PutResult::RejectIo,
+                ..
+            } => reject_io_puts += 1,
+            Payload::Scrub { quarantined: q, .. } => {
+                scrub_passes += 1;
+                quarantined += q;
             }
             Payload::VirqSample { fate, .. } => match fate {
                 SampleFate::Drop => *observed.get_mut("sample_drop").expect("seeded") += 1,
@@ -986,6 +1048,55 @@ fn inspect_cmd(path: &Path) -> Result<(), String> {
         };
         println!("  {k:<16} {i:>9} {o:>9}  {verdict}");
     }
+    let data_active = bitflips
+        + torn
+        + eph_losses
+        + io_fails
+        + brownout_rejects
+        + brownout_ticks
+        + detected
+        + recovered
+        + scrub_passes
+        > 0;
+    if data_active {
+        // Data-plane pairings: an injected corruption is observed as a
+        // later detection (get/flush/reclaim/scrub), an injected put I/O
+        // failure or brownout rejection as a `reject_io` put result.
+        println!("-- data-plane integrity cross-check --");
+        let corrupt_injected = bitflips + torn;
+        let verdict = if detected == corrupt_injected {
+            "OK"
+        } else {
+            mismatched += 1;
+            "MISMATCH"
+        };
+        println!(
+            "  corruption: injected {corrupt_injected} (bitflip {bitflips} + torn {torn}), \
+             detected {detected}  {verdict}"
+        );
+        let io_injected = io_fails + brownout_rejects;
+        let verdict = if reject_io_puts == io_injected {
+            "OK"
+        } else {
+            mismatched += 1;
+            "MISMATCH"
+        };
+        println!(
+            "  put I/O: injected {io_fails} + brownout-rejected {brownout_rejects}, \
+             reject_io puts {reject_io_puts}  {verdict}"
+        );
+        let verdict = if recovered <= detected {
+            "OK"
+        } else {
+            mismatched += 1;
+            "MISMATCH"
+        };
+        println!("  recovery: {recovered} of {detected} detections recovered in-guest  {verdict}");
+        println!(
+            "  losses={eph_losses} brownout_ticks={brownout_ticks} \
+             scrubs={scrub_passes} quarantined_objects={quarantined}"
+        );
+    }
     if mismatched > 0 {
         return Err(format!(
             "fault ledger cross-check failed: {mismatched} kind(s) where injected \
@@ -1026,15 +1137,27 @@ fn print_result(r: &RunResult) {
                 }
             })
             .collect();
+        // Data-plane recovery counters only appear when the run actually
+        // saw corruption or loss, keeping fault-free output unchanged.
+        let k = &vm.kernel_stats;
+        let integrity = if k.tmem_corrupt_faults + k.tmem_lost_pages > 0 {
+            format!(
+                " | corrupt={} retries={} lost={}",
+                k.tmem_corrupt_faults, k.tmem_corrupt_retries, k.tmem_lost_pages
+            )
+        } else {
+            String::new()
+        };
         println!(
-            "  {}: {} | tmem_ev={} disk_ev={} tmem_faults={} disk_faults={} failed_puts={}",
+            "  {}: {} | tmem_ev={} disk_ev={} tmem_faults={} disk_faults={} failed_puts={}{}",
             vm.name,
             runs.join(", "),
-            vm.kernel_stats.evictions_to_tmem,
-            vm.kernel_stats.evictions_to_disk,
-            vm.kernel_stats.tmem_faults,
-            vm.kernel_stats.disk_faults,
-            vm.kernel_stats.failed_puts,
+            k.evictions_to_tmem,
+            k.evictions_to_disk,
+            k.tmem_faults,
+            k.disk_faults,
+            k.failed_puts,
+            integrity,
         );
     }
 }
@@ -1216,10 +1339,11 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             if !report.passed() {
                 return Err(format!(
                     "chaos verdict FAIL: {} cell(s) exceeded the {:.1}x degradation \
-                     bound, {} invariant violation(s)",
+                     bound, {} invariant violation(s), {} undetected corruption(s)",
                     report.bound_violations().len(),
                     a.bound,
                     report.invariant_violations(),
+                    report.undetected_corruptions(),
                 ));
             }
             Ok(())

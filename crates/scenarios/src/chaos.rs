@@ -1,4 +1,5 @@
-//! Chaos experiments: scenario grids under control-plane fault injection.
+//! Chaos experiments: scenario grids under control-plane and data-plane
+//! fault injection.
 //!
 //! The SmarTmem control loop (VIRQ sampling → dom0 TKM relay → user-space
 //! MM → `SetTargets` hypercall) is asynchronous to the datapath, so the
@@ -56,6 +57,18 @@ pub struct ChaosProfile {
 /// * `mm-crash` — the MM process dies after its 5th cycle and the watchdog
 ///   restarts it 3 intervals later. Exercises state rebuild from the next
 ///   sample window and the TTL fallback while the MM is down.
+/// * `bitrot` — 2% of admitted puts are bit-flipped and 1% land torn, with
+///   the pool scrubber sweeping every 5 intervals. Exercises end-to-end
+///   page integrity: every corruption must be *detected* (never returned
+///   as wrong bytes) and either recovered by the guest's bounded
+///   retry/requeue path or quarantined by the scrubber. The profile also
+///   sets a 5% ephemeral loss rate so any future ephemeral (cleancache)
+///   traffic degrades to clean misses; frontswap-only scenarios draw it
+///   zero times.
+/// * `backend-brownout` — 5% of persistent puts fail with an injected I/O
+///   error, and every 20 intervals the backend goes dark for 4, rejecting
+///   all puts. Exercises the guest's disk fallback under a flaky/stalling
+///   backend: the failure mode is slowdown, never corruption.
 pub fn shipped_profiles() -> Vec<ChaosProfile> {
     vec![
         ChaosProfile {
@@ -81,6 +94,25 @@ pub fn shipped_profiles() -> Vec<ChaosProfile> {
             profile: FaultProfile {
                 mm_crash_at_cycle: Some(5),
                 mm_restart_after: 3,
+                ..FaultProfile::none()
+            },
+        },
+        ChaosProfile {
+            name: "bitrot".to_string(),
+            profile: FaultProfile {
+                page_bitflip: 0.02,
+                torn_write: 0.01,
+                ephemeral_loss: 0.05,
+                scrub_every: 5,
+                ..FaultProfile::none()
+            },
+        },
+        ChaosProfile {
+            name: "backend-brownout".to_string(),
+            profile: FaultProfile {
+                put_io_fail: 0.05,
+                brownout_every: 20,
+                brownout_for: 4,
                 ..FaultProfile::none()
             },
         },
@@ -258,11 +290,26 @@ impl ChaosReport {
             .fold(0u64, u64::saturating_add)
     }
 
+    /// Injected page corruptions that no detection ever accounted for,
+    /// across all cells (must be zero: the runner's final scrub sweeps
+    /// whatever gets, flushes and reclaims did not already surface).
+    pub fn undetected_corruptions(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| {
+                (c.ledger.bitflips_injected + c.ledger.torn_writes_injected)
+                    .saturating_sub(c.ledger.corruptions_detected)
+            })
+            .sum()
+    }
+
     /// Whether every cell respects the bound, no invariant was ever
-    /// violated, and (when traced) every cell's trace replayed exactly.
+    /// violated, every injected corruption was detected, and (when
+    /// traced) every cell's trace replayed exactly.
     pub fn passed(&self) -> bool {
         self.bound_violations().is_empty()
             && self.invariant_violations() == 0
+            && self.undetected_corruptions() == 0
             && self.replay_mismatches() == 0
     }
 
@@ -308,6 +355,35 @@ impl ChaosReport {
                 l.invariant_checks - l.invariant_violations,
                 l.invariant_checks,
             ));
+            // Data-plane line only when the layer actually did something, so
+            // control-plane-only reports render byte-for-byte as before.
+            let data_active = l.bitflips_injected
+                + l.torn_writes_injected
+                + l.ephemeral_losses_injected
+                + l.put_io_failures_injected
+                + l.brownout_rejections
+                + l.brownout_ticks
+                + l.corruptions_detected
+                + l.corruptions_recovered
+                + l.objects_quarantined
+                + l.scrub_passes
+                > 0;
+            if data_active {
+                out.push_str(&format!(
+                    "  data-plane: bitflip={} torn={} eph_loss={} io_fail={} brownout_rej={} brownout_ticks={} detected={} recovered={} quarantined={} scrubs={} scrub_pages={}\n",
+                    l.bitflips_injected,
+                    l.torn_writes_injected,
+                    l.ephemeral_losses_injected,
+                    l.put_io_failures_injected,
+                    l.brownout_rejections,
+                    l.brownout_ticks,
+                    l.corruptions_detected,
+                    l.corruptions_recovered,
+                    l.objects_quarantined,
+                    l.scrub_passes,
+                    l.scrub_pages_checked,
+                ));
+            }
             if let Some(n) = c.replay_mismatches {
                 out.push_str(&if n == u64::MAX {
                     "  replay: UNVERIFIABLE (trace ring overflowed)\n".to_string()
@@ -326,7 +402,10 @@ impl ChaosReport {
     }
 
     /// Render the machine-readable per-cell CSV (the fault ledger flattened
-    /// into columns).
+    /// into columns). The original control-plane columns come first,
+    /// unchanged, with the data-plane columns appended after them — so a
+    /// consumer selecting the historical columns by position still reads
+    /// the same values.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "scenario,policy,profile,worst_ratio,end_s,injected,samples_dropped,\
@@ -334,12 +413,16 @@ impl ChaosReport {
              hypercalls_failed,hypercall_retries,hypercalls_abandoned,\
              hypercalls_superseded,mm_crashes,mm_restarts,seq_gaps,\
              snapshots_discarded,stale_intervals,invariant_checks,\
-             invariant_violations\n",
+             invariant_violations,bitflips_injected,torn_writes_injected,\
+             ephemeral_losses_injected,put_io_failures_injected,\
+             brownout_rejections,brownout_ticks,corruptions_detected,\
+             corruptions_recovered,objects_quarantined,scrub_passes,\
+             scrub_pages_checked\n",
         );
         for c in &self.cells {
             let l = &c.ledger;
             out.push_str(&format!(
-                "{},{},{},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 c.scenario,
                 c.policy,
                 c.profile,
@@ -362,6 +445,17 @@ impl ChaosReport {
                 l.stale_intervals,
                 l.invariant_checks,
                 l.invariant_violations,
+                l.bitflips_injected,
+                l.torn_writes_injected,
+                l.ephemeral_losses_injected,
+                l.put_io_failures_injected,
+                l.brownout_rejections,
+                l.brownout_ticks,
+                l.corruptions_detected,
+                l.corruptions_recovered,
+                l.objects_quarantined,
+                l.scrub_passes,
+                l.scrub_pages_checked,
             ));
         }
         out

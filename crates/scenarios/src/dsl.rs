@@ -36,7 +36,8 @@
 //! matching `stop_on`.
 //!
 //! **Chaos files** name a [`FaultProfile`] field-by-field (the schema *is*
-//! [`FaultProfile::PROB_FIELDS`] plus the crash pair).
+//! [`FaultProfile::PROB_FIELDS`] plus the crash pair and the data-plane
+//! interval knobs `brownout_every` / `brownout_for` / `scrub_every`).
 //!
 //! **Manifests** declare a sweep as axes that expand to a deterministic
 //! permutation matrix, scenario-major to rep-minor ([`expand_cells`]);
@@ -639,8 +640,10 @@ pub fn load_scenario(path: &Path, cfg: &RunConfig) -> Result<ScenarioDoc, String
 // ---------------------------------------------------------------------------
 
 /// Parse a chaos-profile file: a `[chaos]` table whose fields are
-/// [`FaultProfile::PROB_FIELDS`] plus `mm_crash_at_cycle` /
-/// `mm_restart_after`, all optional.
+/// [`FaultProfile::PROB_FIELDS`] plus the crash pair
+/// (`mm_crash_at_cycle` / `mm_restart_after`) and the data-plane
+/// interval knobs (`brownout_every` / `brownout_for` / `scrub_every`),
+/// all optional.
 pub fn parse_chaos_src(src: &str) -> Result<ChaosProfile, String> {
     let doc = toml::parse(src)?;
     let mut root = TableReader::new("top level", &doc.root);
@@ -668,6 +671,15 @@ pub fn parse_chaos_src(src: &str) -> Result<ChaosProfile, String> {
     }
     if let Some(n) = r.opt_u64("mm_restart_after")? {
         profile.mm_restart_after = n;
+    }
+    if let Some(n) = r.opt_u64("brownout_every")? {
+        profile.brownout_every = n;
+    }
+    if let Some(n) = r.opt_u64("brownout_for")? {
+        profile.brownout_for = n;
+    }
+    if let Some(n) = r.opt_u64("scrub_every")? {
+        profile.scrub_every = n;
     }
     profile
         .validate()
@@ -1020,6 +1032,16 @@ program = ["run usemem paper"]
             parse_chaos_src("version = 1\n[chaos]\nname = \"x\"\nvirq_drop = 1.5\n").unwrap_err();
         assert!(e.contains("virq_drop"), "{e}");
         assert!(e.contains("line 4"), "{e}");
+        // Data-plane probabilities go through the same [0, 1] gate.
+        let e = parse_chaos_src("version = 1\n[chaos]\nname = \"x\"\npage_bitflip = 1.5\n")
+            .unwrap_err();
+        assert!(e.contains("page_bitflip"), "{e}");
+        assert!(e.contains("line 4"), "{e}");
+        // Interval knobs are validated too: a brownout window without a
+        // period is meaningless.
+        let e =
+            parse_chaos_src("version = 1\n[chaos]\nname = \"x\"\nbrownout_for = 2\n").unwrap_err();
+        assert!(e.contains("brownout_for"), "{e}");
     }
 
     #[test]

@@ -254,6 +254,10 @@ pub fn run_spec(spec: crate::spec::ScenarioSpec, policy: PolicyKind, cfg: &RunCo
         .unwrap_or(0);
     let mut hyp: Hypervisor<Fingerprint> = Hypervisor::new(tmem_pages, initial_target);
     hyp.set_tracer(tracer.clone());
+    // Data-plane fault layer (page corruption, loss, put I/O failures,
+    // brownouts, scrubbing). A no-op — no injector installed, zero RNG
+    // drawn — unless the profile enables a data-plane fault.
+    hyp.set_data_faults(&cfg.faults, cfg.seed);
 
     let frontswap = policy.tmem_enabled();
     let mut vms = Vec::with_capacity(spec.vms.len());
@@ -639,6 +643,10 @@ impl Runner {
     /// through per interval, so the fault-free path is byte-identical to a
     /// build without the fault layer.
     fn virq(&mut self, now: SimTime) {
+        // Advance the data-fault interval clock (brownout windows and scrub
+        // cadence are phrased in sampling intervals). No-op when the profile
+        // has no data-plane faults.
+        self.hyp.tick_data_faults();
         let msg = self.hyp.sample(now);
         let seq = msg.seq;
         let fate = self.injector.sample_fate();
@@ -681,6 +689,13 @@ impl Runner {
                 self.injector.ledger_mut().stale_intervals += 1;
             }
         }
+        // Periodic pool scrub: verify every stored checksum, quarantine
+        // corrupt objects, and assert the accounting invariants from inside
+        // the sweep. Runs before this interval's own invariant check so the
+        // IntervalClose event reflects the post-scrub pool.
+        if self.hyp.data_scrub_due() {
+            self.hyp.scrub();
+        }
         // Accounting invariants must hold every interval, faults or not.
         let ok = tmem::backend::accounting_consistent(self.hyp.backend());
         let ledger = self.injector.ledger_mut();
@@ -708,11 +723,23 @@ impl Runner {
     }
 
     fn finish(mut self) -> RunResult {
+        // One final integrity sweep when the data-fault layer is armed:
+        // corruption injected after the last periodic scrub is still
+        // detected (and quarantined) before the ledger is sealed, so every
+        // injected corruption ends the run as detected — recovered or
+        // quarantined, never latent.
+        if self.hyp.data_fault_ledger().is_some() {
+            self.hyp.scrub();
+        }
         // Fold MM-side degradation bookkeeping into the ledger.
         if let Some(mm) = &self.mm {
             let ledger = self.injector.ledger_mut();
             ledger.seq_gaps = mm.seq_gaps();
             ledger.snapshots_discarded = mm.snapshots_discarded();
+        }
+        // Fold the hypervisor-side data-plane ledger into the run ledger.
+        if let Some(dl) = self.hyp.data_fault_ledger() {
+            dl.clone().fold_into(self.injector.ledger_mut());
         }
         let final_tmem_used: Vec<u64> = self
             .vms

@@ -11,7 +11,8 @@
 //!
 //! * occupancy: `Put` with a frame-consuming result is +1 for the putting
 //!   VM; `Evict` is −1 for the victim; a persistent-pool `Get` hit frees the
-//!   frame (−1); `Flush`/`PoolDestroy`/`Reclaim` subtract their page counts.
+//!   frame (−1); `Flush`/`PoolDestroy`/`Reclaim`/`DataPurge` subtract their
+//!   page counts.
 //!   The occupancy vector at the `k`-th [`Payload::IntervalClose`] must
 //!   match the `k`-th point of the recorded occupancy time-series, and the
 //!   final vector must match `RunResult::final_tmem_used`.
@@ -249,9 +250,34 @@ pub fn verify(result: &RunResult) -> Result<ReplayReport, String> {
             Payload::MmRestart => led.mm_restarts += 1,
             Payload::Fault { kind } => {
                 faults_injected += 1;
-                if *kind == FaultKind::HypercallFail {
-                    led.hypercalls_failed += 1;
+                match kind {
+                    FaultKind::HypercallFail => led.hypercalls_failed += 1,
+                    FaultKind::PageBitflip => led.bitflips_injected += 1,
+                    FaultKind::TornWrite => led.torn_writes_injected += 1,
+                    FaultKind::EphemeralLoss => led.ephemeral_losses_injected += 1,
+                    FaultKind::PutIoFail => led.put_io_failures_injected += 1,
+                    FaultKind::BrownoutReject => led.brownout_rejections += 1,
+                    FaultKind::BrownoutTick => led.brownout_ticks += 1,
+                    FaultKind::CorruptDetected => led.corruptions_detected += 1,
+                    FaultKind::CorruptRecovered => led.corruptions_recovered += 1,
+                    _ => {}
                 }
+            }
+            // A silent occupancy drop: an injected ephemeral loss, a corrupt
+            // ephemeral page dropped on get, corrupt reclaim victims withheld
+            // from write-back, or a scrubber quarantine. The guest issued no
+            // hypercall, so only occupancy moves.
+            Payload::DataPurge { pages, .. } => {
+                vms.entry(ev.vm.unwrap_or(0)).or_default().occupancy -= *pages as i64;
+            }
+            Payload::Scrub {
+                checked,
+                quarantined,
+                ..
+            } => {
+                led.scrub_passes += 1;
+                led.scrub_pages_checked += checked;
+                led.objects_quarantined += quarantined;
             }
         }
     }
@@ -315,7 +341,7 @@ pub fn verify(result: &RunResult) -> Result<ReplayReport, String> {
     }
     // The whole fault ledger, field by field.
     let lf = &result.faults;
-    let ledger_fields: [(&str, u64, u64); 17] = [
+    let ledger_fields: [(&str, u64, u64); 28] = [
         (
             "samples_delivered",
             led.samples_delivered,
@@ -372,6 +398,53 @@ pub fn verify(result: &RunResult) -> Result<ReplayReport, String> {
             "invariant_violations",
             led.invariant_violations,
             lf.invariant_violations,
+        ),
+        (
+            "bitflips_injected",
+            led.bitflips_injected,
+            lf.bitflips_injected,
+        ),
+        (
+            "torn_writes_injected",
+            led.torn_writes_injected,
+            lf.torn_writes_injected,
+        ),
+        (
+            "ephemeral_losses_injected",
+            led.ephemeral_losses_injected,
+            lf.ephemeral_losses_injected,
+        ),
+        (
+            "put_io_failures_injected",
+            led.put_io_failures_injected,
+            lf.put_io_failures_injected,
+        ),
+        (
+            "brownout_rejections",
+            led.brownout_rejections,
+            lf.brownout_rejections,
+        ),
+        ("brownout_ticks", led.brownout_ticks, lf.brownout_ticks),
+        (
+            "corruptions_detected",
+            led.corruptions_detected,
+            lf.corruptions_detected,
+        ),
+        (
+            "corruptions_recovered",
+            led.corruptions_recovered,
+            lf.corruptions_recovered,
+        ),
+        (
+            "objects_quarantined",
+            led.objects_quarantined,
+            lf.objects_quarantined,
+        ),
+        ("scrub_passes", led.scrub_passes, lf.scrub_passes),
+        (
+            "scrub_pages_checked",
+            led.scrub_pages_checked,
+            lf.scrub_pages_checked,
         ),
     ];
     for (name, replayed, live) in ledger_fields {

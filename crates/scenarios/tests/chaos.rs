@@ -102,6 +102,41 @@ fn fault_ledgers_show_each_profile_injecting_and_degrading() {
                 assert_eq!(l.mm_crashes, 1, "exactly one crash is scheduled");
                 assert_eq!(l.mm_restarts, 1, "watchdog must restart the MM");
             }
+            "bitrot" => {
+                assert!(l.bitflips_injected > 0, "bit flips must fire");
+                assert!(l.torn_writes_injected > 0, "torn writes must fire");
+                // The acceptance invariant: every injected corruption ends
+                // the run detected — by a guest get, a flush, reclaim, or
+                // the scrubber's final pass — never latent, never returned
+                // as wrong bytes (the guests' fingerprint checks would
+                // panic the run).
+                assert_eq!(
+                    l.corruptions_detected,
+                    l.bitflips_injected + l.torn_writes_injected,
+                    "every injected corruption must be detected ({}/{})",
+                    c.scenario,
+                    c.policy
+                );
+                assert!(l.corruptions_recovered <= l.corruptions_detected);
+                assert!(l.scrub_passes > 0, "periodic scrubber must run");
+                assert!(l.scrub_pages_checked > 0, "scrubber must verify pages");
+                // Frontswap scenarios have no ephemeral pools; the loss
+                // knob must therefore draw nothing.
+                assert_eq!(l.ephemeral_losses_injected, 0);
+            }
+            "backend-brownout" => {
+                assert!(l.put_io_failures_injected > 0, "injected EIO must fire");
+                assert!(
+                    l.brownout_rejections > 0,
+                    "brownout windows must reject puts"
+                );
+                assert!(l.brownout_ticks > 0, "brownout intervals must be counted");
+                assert_eq!(l.corruptions_detected, 0, "brownout never corrupts");
+                assert!(
+                    l.scrub_passes >= 1,
+                    "the data-fault layer always runs a final scrub"
+                );
+            }
             other => panic!("unknown profile in report: {other}"),
         }
     }

@@ -231,6 +231,25 @@ fn fleet_and_chaos_rejection_table() {
             "version = 1\n\n[chaos]\nname = \"x\"\nwarp_factor = 0.5\n".to_string(),
             "unknown field 'warp_factor'",
         ),
+        // Data-plane probabilities go through the same [0, 1] gate…
+        (
+            "version = 1\n\n[chaos]\nname = \"x\"\npage_bitflip = 1.5\n".to_string(),
+            "outside [0, 1]",
+        ),
+        (
+            "version = 1\n\n[chaos]\nname = \"x\"\nput_io_fail = -0.1\n".to_string(),
+            "outside [0, 1]",
+        ),
+        // …and the per-edge budgets are validated as a whole file.
+        (
+            "version = 1\n\n[chaos]\nname = \"x\"\npage_bitflip = 0.6\ntorn_write = 0.6\n"
+                .to_string(),
+            "sum to",
+        ),
+        (
+            "version = 1\n\n[chaos]\nname = \"x\"\nbrownout_for = 2\n".to_string(),
+            "brownout_for",
+        ),
     ] {
         let err = if src.contains("[chaos]") {
             parse_chaos_src(&src).expect_err(&format!("should reject: {src}"))

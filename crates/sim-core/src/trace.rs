@@ -129,6 +129,9 @@ pub enum PutResult {
     RejectTarget,
     /// Admitted by the target check but no free frame existed.
     RejectCapacity,
+    /// Admitted by the target check but rejected by the data-fault layer
+    /// (injected I/O failure or backend brownout window).
+    RejectIo,
 }
 
 impl PutResult {
@@ -152,6 +155,7 @@ impl PutResult {
             PutResult::StoredEvict => "stored_evict",
             PutResult::RejectTarget => "reject_target",
             PutResult::RejectCapacity => "reject_cap",
+            PutResult::RejectIo => "reject_io",
         }
     }
 
@@ -162,6 +166,7 @@ impl PutResult {
             "stored_evict" => PutResult::StoredEvict,
             "reject_target" => PutResult::RejectTarget,
             "reject_cap" => PutResult::RejectCapacity,
+            "reject_io" => PutResult::RejectIo,
             _ => return None,
         })
     }
@@ -219,6 +224,23 @@ pub enum FaultKind {
     HypercallFail,
     /// The MM process crashed.
     MmCrash,
+    /// A stored page's contents were bit-flipped.
+    PageBitflip,
+    /// A put landed torn (contents do not match the integrity summary).
+    TornWrite,
+    /// An ephemeral page was silently dropped after a successful put.
+    EphemeralLoss,
+    /// A persistent put failed with an injected backend I/O error.
+    PutIoFail,
+    /// A put was rejected inside a backend brownout window.
+    BrownoutReject,
+    /// One sampling interval spent inside a brownout window.
+    BrownoutTick,
+    /// A checksum mismatch was detected (first detection of that page).
+    CorruptDetected,
+    /// The guest recovered from a detected corruption (clean miss or
+    /// retry/requeue rebuild).
+    CorruptRecovered,
 }
 
 impl FaultKind {
@@ -231,6 +253,14 @@ impl FaultKind {
             FaultKind::NetlinkReorder => "netlink_reorder",
             FaultKind::HypercallFail => "hypercall_fail",
             FaultKind::MmCrash => "mm_crash",
+            FaultKind::PageBitflip => "page_bitflip",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::EphemeralLoss => "ephemeral_loss",
+            FaultKind::PutIoFail => "put_io_fail",
+            FaultKind::BrownoutReject => "brownout_reject",
+            FaultKind::BrownoutTick => "brownout_tick",
+            FaultKind::CorruptDetected => "corrupt_detected",
+            FaultKind::CorruptRecovered => "corrupt_recovered",
         }
     }
 
@@ -243,6 +273,14 @@ impl FaultKind {
             "netlink_reorder" => FaultKind::NetlinkReorder,
             "hypercall_fail" => FaultKind::HypercallFail,
             "mm_crash" => FaultKind::MmCrash,
+            "page_bitflip" => FaultKind::PageBitflip,
+            "torn_write" => FaultKind::TornWrite,
+            "ephemeral_loss" => FaultKind::EphemeralLoss,
+            "put_io_fail" => FaultKind::PutIoFail,
+            "brownout_reject" => FaultKind::BrownoutReject,
+            "brownout_tick" => FaultKind::BrownoutTick,
+            "corrupt_detected" => FaultKind::CorruptDetected,
+            "corrupt_recovered" => FaultKind::CorruptRecovered,
             _ => return None,
         })
     }
@@ -429,6 +467,25 @@ pub enum Payload {
         /// Which fault fired.
         kind: FaultKind,
     },
+    /// The data-fault layer silently removed stored pages (ephemeral loss,
+    /// a corrupt ephemeral page dropped on get, a corrupt persistent
+    /// victim dropped during reclaim, or a scrubber quarantine). The
+    /// event's `vm` is the owner whose occupancy shrank.
+    DataPurge {
+        /// Pool the pages were removed from.
+        pool: u32,
+        /// Frames freed.
+        pages: u64,
+    },
+    /// One pool-scrubber pass completed (node-wide).
+    Scrub {
+        /// Pages checksum-verified.
+        checked: u64,
+        /// Corrupt pages found by this pass.
+        corrupt: u64,
+        /// Corrupt objects quarantined by this pass.
+        quarantined: u64,
+    },
 }
 
 /// One recorded event: `(SimTime, vm, subsystem, payload)`.
@@ -589,7 +646,9 @@ impl Recorder {
             | Payload::NetlinkStats { .. }
             | Payload::MmDiscard { .. }
             | Payload::MmCrash { .. }
-            | Payload::MmRestart => {}
+            | Payload::MmRestart
+            | Payload::DataPurge { .. }
+            | Payload::Scrub { .. } => {}
         }
         if self.ring.len() == self.capacity {
             self.ring.pop_front();
@@ -939,6 +998,22 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
         }
         Payload::Fault { kind } => {
             let _ = write!(out, ",\"ev\":\"fault\",\"kind\":\"{}\"", kind.as_str());
+        }
+        Payload::DataPurge { pool, pages } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"data_purge\",\"pool\":{pool},\"pages\":{pages}"
+            );
+        }
+        Payload::Scrub {
+            checked,
+            corrupt,
+            quarantined,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"scrub\",\"checked\":{checked},\"corrupt\":{corrupt},\"quarantined\":{quarantined}"
+            );
         }
     }
     out.push('}');
@@ -1291,6 +1366,15 @@ fn event_from_fields(obj: &[(String, Json)]) -> Result<TraceEvent, String> {
                     .ok_or_else(|| format!("unknown fault kind '{kind}'"))?,
             }
         }
+        "data_purge" => Payload::DataPurge {
+            pool: get_u64(obj, "pool")? as u32,
+            pages: get_u64(obj, "pages")?,
+        },
+        "scrub" => Payload::Scrub {
+            checked: get_u64(obj, "checked")?,
+            corrupt: get_u64(obj, "corrupt")?,
+            quarantined: get_u64(obj, "quarantined")?,
+        },
         other => return Err(format!("unknown event kind '{other}'")),
     };
     Ok(TraceEvent {
@@ -1403,6 +1487,37 @@ mod tests {
                 },
             ),
             (None, Subsystem::Mm, Payload::MmRestart),
+            (
+                Some(1),
+                Subsystem::Tmem,
+                Payload::Put {
+                    pool: 0,
+                    result: PutResult::RejectIo,
+                    used: 10,
+                    target: 100,
+                },
+            ),
+            (
+                Some(2),
+                Subsystem::Tmem,
+                Payload::DataPurge { pool: 1, pages: 3 },
+            ),
+            (
+                None,
+                Subsystem::Tmem,
+                Payload::Scrub {
+                    checked: 64,
+                    corrupt: 2,
+                    quarantined: 1,
+                },
+            ),
+            (
+                Some(1),
+                Subsystem::Fault,
+                Payload::Fault {
+                    kind: FaultKind::CorruptDetected,
+                },
+            ),
         ]
     }
 
@@ -1450,7 +1565,7 @@ mod tests {
         let jsonl = data.to_jsonl(&header, Some(&[Subsystem::Tmem]));
         let parsed = TraceData::parse_jsonl(&jsonl).unwrap();
         assert_eq!(parsed.filter.as_deref(), Some("tmem"));
-        assert_eq!(parsed.events.len(), 3);
+        assert_eq!(parsed.events.len(), 6);
         assert!(parsed.events.iter().all(|e| e.subsystem == Subsystem::Tmem));
     }
 
@@ -1471,8 +1586,8 @@ mod tests {
     fn metrics_aggregate_alongside_events() {
         let data = record_all();
         let m = &data.metrics;
-        assert_eq!(m.puts, 2);
-        assert_eq!(m.puts_rejected, 1);
+        assert_eq!(m.puts, 3);
+        assert_eq!(m.puts_rejected, 2, "RejectIo counts as a reject");
         assert_eq!(m.gets, 1);
         assert_eq!(m.get_hits, 1);
         assert_eq!(m.virq_samples, 1);
@@ -1480,11 +1595,11 @@ mod tests {
         assert_eq!(m.relay_pushes, 1);
         assert_eq!(m.relay_retries, 1, "attempt 2 counts as a retry");
         assert_eq!(m.mm_decisions, 1);
-        assert_eq!(m.faults_injected, 1);
-        assert!((m.reject_ratio() - 0.5).abs() < 1e-12);
-        // Latencies come from the cost model: one copying put (6 µs), one
-        // rejected put (2 µs).
-        assert_eq!(m.put_latency.count(), 2);
+        assert_eq!(m.faults_injected, 2, "data-plane faults count too");
+        assert!((m.reject_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        // Latencies come from the cost model: one copying put (6 µs), two
+        // rejected puts (2 µs).
+        assert_eq!(m.put_latency.count(), 3);
         assert_eq!(m.put_latency.min(), Some(2_000));
         assert_eq!(m.put_latency.max(), Some(6_000));
     }

@@ -49,6 +49,32 @@
 //! on pop, and swept once tombstones outnumber live entries (see
 //! [`TOMBSTONE_SLACK`]). Queue memory stays proportional to live pages
 //! plus surviving ghosts, and each entry is popped at most once.
+//!
+//! # Integrity
+//!
+//! Every stored page carries the checksum recorded at put time
+//! ([`PagePayload::checksum`]), re-verified whenever the page leaves the
+//! store (get, flush, reclaim, destroy) and by the periodic
+//! [`TmemBackend::scrub`] pass. The tmem contract is asymmetric and the
+//! verification enforces exactly that asymmetry:
+//!
+//! * **persistent** pages are correct-or-error — a corrupt page stays in
+//!   place and every get returns [`TmemError::Corrupt`] until the guest
+//!   flushes it or the scrubber quarantines its object; wrong bytes are
+//!   never returned;
+//! * **ephemeral** pages are correct-or-miss — a corrupt page is dropped on
+//!   detection so the next get is a clean miss, matching cleancache's
+//!   "may vanish at any time" license.
+//!
+//! Detections are counted once per page (a `flagged` bit dedups) in
+//! monotonic [`IntegrityCounters`] that the hypervisor diffs around
+//! operations to attribute faults without threading detection state
+//! through every return type. Fault injection itself lives in the
+//! hypervisor; the backend only offers [`TmemBackend::corrupt_page`],
+//! which cross-wires a page's payload with an earlier, different payload
+//! (kept only while [`TmemBackend::arm_corruption`] is on) while leaving
+//! the recorded checksum alone — genuinely wrong bytes with guaranteed
+//! detection, generic over any payload type.
 
 use crate::error::TmemError;
 use crate::fastmap::FxHashMap;
@@ -97,6 +123,56 @@ pub enum PutOutcome {
 
 /// One object's pages: index → payload slot.
 type ObjectPages = FxHashMap<PageIndex, SlotHandle>;
+
+/// Arena entry: the payload plus the integrity summary recorded when it was
+/// put. `flagged` marks pages whose corruption has already been counted, so
+/// repeated gets of a stuck persistent page report one detection, not many.
+#[derive(Debug)]
+struct StoredPage<P> {
+    payload: P,
+    sum: u64,
+    flagged: bool,
+}
+
+/// Monotonic integrity counters, diffed by the hypervisor around operations
+/// to attribute detections to the op that surfaced them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityCounters {
+    /// Distinct corrupt pages detected (each page counted once).
+    pub detections: u64,
+    /// Pages silently removed because they were corrupt: ephemeral pages
+    /// dropped on get, reclaim victims withheld from the swap writeback.
+    /// Explicit removals (guest flushes, evictions) are not counted here —
+    /// their occupancy change is already visible to the caller.
+    pub corrupt_dropped: u64,
+}
+
+/// One object removed wholesale by the scrubber because at least one of its
+/// pages failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinedObject {
+    /// Pool the object lived in.
+    pub pool: PoolId,
+    /// VM owning that pool (for fault attribution).
+    pub owner: VmId,
+    /// The quarantined object.
+    pub object: ObjectId,
+    /// Pages removed with it (corrupt and clean alike).
+    pub pages: u64,
+}
+
+/// Result of one [`TmemBackend::scrub`] pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Pages whose checksums were verified this pass.
+    pub pages_checked: u64,
+    /// Pages that failed verification this pass.
+    pub corrupt_pages: u64,
+    /// Objects removed, in (pool id, object id) order.
+    pub quarantined: Vec<QuarantinedObject>,
+    /// Whether the accounting invariants held ([`accounting_consistent`]).
+    pub accounting_ok: bool,
+}
 
 #[derive(Debug)]
 struct Pool {
@@ -251,7 +327,8 @@ pub struct TmemBackend<P> {
     pools: Vec<Option<Pool>>,
     live_pools: usize,
     /// Payload storage shared by all pools; the page maps hold handles.
-    arena: PageArena<P>,
+    /// Each slot carries the checksum recorded at put time.
+    arena: PageArena<StoredPage<P>>,
     /// Dense per-VM frame counters, indexed by the slot in `vm_slots`.
     vm_used: Vec<u64>,
     vm_slots: FxHashMap<VmId, u32>,
@@ -263,6 +340,14 @@ pub struct TmemBackend<P> {
     /// tombstone compaction.
     ephemeral_pages: u64,
     evictions: u64,
+    /// Monotonic detection counters (see [`IntegrityCounters`]).
+    integrity: IntegrityCounters,
+    /// While set, puts retain recent payloads as corruption donors. Off by
+    /// default so fault-free runs pay one branch per put and clone nothing.
+    arm_corruption: bool,
+    /// Up to two recent payloads with distinct checksums: the byte source
+    /// [`TmemBackend::corrupt_page`] cross-wires into a victim page.
+    donors: Vec<(u64, P)>,
 }
 
 impl<P: PagePayload> TmemBackend<P> {
@@ -280,6 +365,9 @@ impl<P: PagePayload> TmemBackend<P> {
             ephemeral_fifo: VecDeque::new(),
             ephemeral_pages: 0,
             evictions: 0,
+            integrity: IntegrityCounters::default(),
+            arm_corruption: false,
+            donors: Vec::new(),
         }
     }
 
@@ -358,6 +446,10 @@ impl<P: PagePayload> TmemBackend<P> {
     /// key needs one free frame; if none is free, an ephemeral put may
     /// recycle the oldest ephemeral page, a persistent put fails with
     /// [`TmemError::NoCapacity`].
+    ///
+    /// The payload's checksum is recorded alongside it and re-verified
+    /// whenever the page leaves the store (see the module's *Integrity*
+    /// section).
     #[inline]
     pub fn put(
         &mut self,
@@ -366,6 +458,10 @@ impl<P: PagePayload> TmemBackend<P> {
         index: PageIndex,
         payload: P,
     ) -> Result<PutOutcome, TmemError> {
+        let sum = payload.checksum();
+        if self.arm_corruption {
+            self.note_donor(sum, &payload);
+        }
         let used = self.used;
         let Some(pool) = self
             .pools
@@ -383,11 +479,19 @@ impl<P: PagePayload> TmemBackend<P> {
             match pool.obj_slots[s as usize].entry(index) {
                 Entry::Occupied(e) => {
                     let slot = *e.get();
-                    *self.arena.get_mut(slot) = payload;
+                    *self.arena.get_mut(slot) = StoredPage {
+                        payload,
+                        sum,
+                        flagged: false,
+                    };
                     return Ok(PutOutcome::Replaced);
                 }
                 Entry::Vacant(v) => {
-                    v.insert(self.arena.alloc(payload));
+                    v.insert(self.arena.alloc(StoredPage {
+                        payload,
+                        sum,
+                        flagged: false,
+                    }));
                 }
             }
             pool.page_count += 1;
@@ -407,7 +511,7 @@ impl<P: PagePayload> TmemBackend<P> {
             self.vm_used[owner_slot as usize] += 1;
             return Ok(PutOutcome::Stored);
         }
-        self.put_full(pool_id, object, index, payload)
+        self.put_full(pool_id, object, index, payload, sum)
     }
 
     /// The node-full half of [`TmemBackend::put`]: replacement probe,
@@ -422,6 +526,7 @@ impl<P: PagePayload> TmemBackend<P> {
         object: ObjectId,
         index: PageIndex,
         payload: P,
+        sum: u64,
     ) -> Result<PutOutcome, TmemError> {
         let pool = self.pool_mut(pool_id).expect("pool checked by caller");
         let kind = pool.kind;
@@ -429,7 +534,11 @@ impl<P: PagePayload> TmemBackend<P> {
         // Replacement in place still needs no frame.
         if let Some(s) = pool.obj_slot(object) {
             if let Some(&slot) = pool.obj_slots[s as usize].get(&index) {
-                *self.arena.get_mut(slot) = payload;
+                *self.arena.get_mut(slot) = StoredPage {
+                    payload,
+                    sum,
+                    flagged: false,
+                };
                 return Ok(PutOutcome::Replaced);
             }
         }
@@ -440,7 +549,11 @@ impl<P: PagePayload> TmemBackend<P> {
         if self.used >= self.capacity {
             return Err(TmemError::NoCapacity);
         }
-        let slot = self.arena.alloc(payload);
+        let slot = self.arena.alloc(StoredPage {
+            payload,
+            sum,
+            flagged: false,
+        });
         let pool = self.pool_mut(pool_id).expect("pool checked above");
         let s = pool.obj_slot_or_create(object);
         pool.obj_slots[s as usize].insert(index, slot);
@@ -468,6 +581,11 @@ impl<P: PagePayload> TmemBackend<P> {
     /// Persistent pools: the page is removed and its frame freed (exclusive
     /// get — frontswap semantics). Ephemeral pools: a copy is returned and
     /// the page stays cached.
+    ///
+    /// Integrity: a persistent page failing verification stays in place and
+    /// returns [`TmemError::Corrupt`] (correct-or-error); a corrupt
+    /// ephemeral page is dropped and returns [`TmemError::Corrupt`] once,
+    /// after which the key is a clean miss (correct-or-miss).
     #[inline]
     pub fn get(
         &mut self,
@@ -486,24 +604,66 @@ impl<P: PagePayload> TmemBackend<P> {
             return Err(TmemError::NoSuchPage);
         };
         match pool.kind {
-            PoolKind::Ephemeral => match pool.obj_slots[s as usize].get(&index) {
-                Some(&slot) => Ok(self.arena.get(slot).clone()),
-                None => Err(TmemError::NoSuchPage),
-            },
+            PoolKind::Ephemeral => {
+                let Some(&slot) = pool.obj_slots[s as usize].get(&index) else {
+                    return Err(TmemError::NoSuchPage);
+                };
+                let e = self.arena.get(slot);
+                if e.payload.checksum() == e.sum {
+                    return Ok(e.payload.clone());
+                }
+                self.drop_corrupt_ephemeral(pool_id, object, index, slot)
+            }
             PoolKind::Persistent => {
                 let owner_slot = pool.owner_slot;
                 let inner = &mut pool.obj_slots[s as usize];
-                let slot = inner.remove(&index).ok_or(TmemError::NoSuchPage)?;
+                let Some(&slot) = inner.get(&index) else {
+                    return Err(TmemError::NoSuchPage);
+                };
+                let e = self.arena.get_mut(slot);
+                if e.payload.checksum() != e.sum {
+                    // Correct-or-error: the page stays so retries observe
+                    // the same typed error, never the wrong bytes.
+                    if !e.flagged {
+                        e.flagged = true;
+                        self.integrity.detections += 1;
+                    }
+                    return Err(TmemError::Corrupt);
+                }
+                inner.remove(&index);
                 if inner.is_empty() {
                     pool.retire_object(object, s);
                 }
                 pool.page_count -= 1;
-                let payload = self.arena.free(slot);
+                let sp = self.arena.free(slot);
                 self.used -= 1;
                 self.debit_one(owner_slot);
-                Ok(payload)
+                Ok(sp.payload)
             }
         }
+    }
+
+    /// Correct-or-miss enforcement for ephemeral pools: drop the corrupt
+    /// page so the next get is a clean miss. Out of line — detection is the
+    /// rare path by construction.
+    #[cold]
+    #[inline(never)]
+    fn drop_corrupt_ephemeral(
+        &mut self,
+        pool_id: PoolId,
+        object: ObjectId,
+        index: PageIndex,
+        slot: SlotHandle,
+    ) -> Result<P, TmemError> {
+        let e = self.arena.get_mut(slot);
+        if !e.flagged {
+            e.flagged = true;
+            self.integrity.detections += 1;
+        }
+        self.integrity.corrupt_dropped += 1;
+        self.flush_page(pool_id, object, index)
+            .expect("pool checked by caller");
+        Err(TmemError::Corrupt)
     }
 
     /// Invalidate one page. Returns whether a page was actually removed.
@@ -534,7 +694,12 @@ impl<P: PagePayload> TmemBackend<P> {
             pool.retire_object(object, s);
         }
         pool.page_count -= 1;
-        self.arena.free(slot);
+        let sp = self.arena.free(slot);
+        if !sp.flagged && sp.payload.checksum() != sp.sum {
+            // The flush itself is what the caller asked for, but the
+            // corruption it surfaced must still be counted as detected.
+            self.integrity.detections += 1;
+        }
         if kind == PoolKind::Ephemeral {
             self.ephemeral_pages -= 1;
         }
@@ -564,7 +729,10 @@ impl<P: PagePayload> TmemBackend<P> {
         let inner = &mut pool.obj_slots[s as usize];
         let n = inner.len() as u64;
         for (_, slot) in inner.drain() {
-            self.arena.free(slot);
+            let sp = self.arena.free(slot);
+            if !sp.flagged && sp.payload.checksum() != sp.sum {
+                self.integrity.detections += 1;
+            }
         }
         pool.retire_object(object, s);
         pool.page_count -= n;
@@ -589,7 +757,10 @@ impl<P: PagePayload> TmemBackend<P> {
         let n = pool.page_count();
         for inner in &pool.obj_slots {
             for &slot in inner.values() {
-                self.arena.free(slot);
+                let sp = self.arena.free(slot);
+                if !sp.flagged && sp.payload.checksum() != sp.sum {
+                    self.integrity.detections += 1;
+                }
             }
         }
         if pool.kind == PoolKind::Ephemeral {
@@ -647,6 +818,11 @@ impl<P: PagePayload> TmemBackend<P> {
     /// [`TmemBackend::reclaim_oldest_persistent`] appending into a
     /// caller-owned buffer — the per-interval reclaim trickle reuses one
     /// buffer across VMs and intervals instead of allocating per call.
+    ///
+    /// Victims are verified before delivery: a corrupt page is flushed but
+    /// **withheld** from the output (writing it to the owner's swap device
+    /// would persist wrong bytes), counted in
+    /// [`IntegrityCounters::corrupt_dropped`].
     pub fn reclaim_oldest_persistent_into(
         &mut self,
         pool_id: PoolId,
@@ -664,12 +840,28 @@ impl<P: PagePayload> TmemBackend<P> {
             };
             // Lazy validation: the entry may have been consumed by an
             // exclusive get or flush already (a tombstone).
-            if self.contains(pool_id, obj, idx) {
+            if let Some(corrupt) = self.page_corrupt(pool_id, obj, idx) {
+                // flush_page counts the detection if this page's corruption
+                // was not already flagged.
                 self.flush_page(pool_id, obj, idx)
                     .expect("pool existed a moment ago");
-                out.push((obj, idx));
+                if corrupt {
+                    self.integrity.corrupt_dropped += 1;
+                } else {
+                    out.push((obj, idx));
+                }
             }
         }
+    }
+
+    /// Verify one page in place: `None` if the key holds no page, otherwise
+    /// whether its contents fail the recorded checksum.
+    fn page_corrupt(&self, pool_id: PoolId, object: ObjectId, index: PageIndex) -> Option<bool> {
+        let p = self.pool(pool_id)?;
+        let &s = p.objects.get(&object)?;
+        let &slot = p.obj_slots[s as usize].get(&index)?;
+        let e = self.arena.get(slot);
+        Some(e.payload.checksum() != e.sum)
     }
 
     /// Drop the oldest still-present ephemeral page; returns its key.
@@ -708,6 +900,126 @@ impl<P: PagePayload> TmemBackend<P> {
                 .and_then(Option::as_ref)
                 .is_some_and(|p| p.contains_key(k.object, k.index))
         });
+    }
+
+    /// Monotonic integrity counters. Callers diff snapshots around
+    /// operations to attribute detections.
+    pub fn integrity(&self) -> IntegrityCounters {
+        self.integrity
+    }
+
+    /// Enable donor retention so [`TmemBackend::corrupt_page`] has wrong
+    /// bytes to cross-wire into victims. The hypervisor arms this exactly
+    /// when a fault profile with corruption probabilities is installed;
+    /// unarmed backends never clone payloads and hold no donors.
+    pub fn arm_corruption(&mut self) {
+        self.arm_corruption = true;
+    }
+
+    /// Remember a recent payload as a corruption donor. Keeps the two most
+    /// recent payloads with distinct checksums.
+    fn note_donor(&mut self, sum: u64, payload: &P) {
+        if self.donors.last().is_some_and(|(s, _)| *s == sum) {
+            return;
+        }
+        self.donors.retain(|(s, _)| *s != sum);
+        self.donors.push((sum, payload.clone()));
+        if self.donors.len() > 2 {
+            self.donors.remove(0);
+        }
+    }
+
+    /// Fault-injection hook: replace the page's payload with a previously
+    /// stored payload whose checksum differs, while keeping the checksum
+    /// recorded at put time — genuinely wrong bytes (cross-wired with
+    /// another page's contents) that verification is guaranteed to catch.
+    ///
+    /// Returns whether the corruption was applied; it is a no-op when the
+    /// key holds no page or no distinct-checksum donor is available
+    /// (requires [`TmemBackend::arm_corruption`]).
+    pub fn corrupt_page(&mut self, pool_id: PoolId, object: ObjectId, index: PageIndex) -> bool {
+        let Some(pool) = self
+            .pools
+            .get_mut(pool_id.0 as usize)
+            .and_then(Option::as_mut)
+        else {
+            return false;
+        };
+        let Some(s) = pool.obj_slot(object) else {
+            return false;
+        };
+        let Some(&slot) = pool.obj_slots[s as usize].get(&index) else {
+            return false;
+        };
+        let e = self.arena.get_mut(slot);
+        let Some((_, donor)) = self.donors.iter().find(|(ds, _)| *ds != e.sum) else {
+            return false;
+        };
+        e.payload = donor.clone();
+        e.flagged = false;
+        true
+    }
+
+    /// One scrubber/auditor pass: verify every stored page against its
+    /// recorded checksum, quarantine (flush wholesale) each object holding
+    /// at least one corrupt page, and audit the accounting invariants.
+    ///
+    /// Quarantine runs in (pool id, object id) order, so the victim stream
+    /// is independent of hash-map iteration order and pinned by tests.
+    /// Quarantining the whole object mirrors real scrubbers distrusting the
+    /// blast radius of detected media errors, and keeps the guest's
+    /// recovery story uniform: every page of the object becomes a miss /
+    /// typed error, never wrong bytes.
+    pub fn scrub(&mut self) -> ScrubReport {
+        let mut pages_checked = 0u64;
+        let mut corrupt_pages = 0u64;
+        let mut to_quarantine: Vec<(PoolId, ObjectId)> = Vec::new();
+        let arena = &mut self.arena;
+        let integrity = &mut self.integrity;
+        for (pid, pool) in self.pools.iter().enumerate() {
+            let Some(pool) = pool.as_ref() else { continue };
+            for (&obj, &s) in pool.objects.iter() {
+                let mut corrupt_here = false;
+                for &slot in pool.obj_slots[s as usize].values() {
+                    pages_checked += 1;
+                    let e = arena.get_mut(slot);
+                    if e.payload.checksum() != e.sum {
+                        corrupt_pages += 1;
+                        corrupt_here = true;
+                        if !e.flagged {
+                            e.flagged = true;
+                            integrity.detections += 1;
+                        }
+                    }
+                }
+                if corrupt_here {
+                    to_quarantine.push((PoolId(pid as u32), obj));
+                }
+            }
+        }
+        to_quarantine.sort_unstable();
+        let mut quarantined = Vec::with_capacity(to_quarantine.len());
+        for (pid, obj) in to_quarantine {
+            let owner = self
+                .pool_info(pid)
+                .map(|(v, _)| v)
+                .expect("pool existed during the scan");
+            let pages = self
+                .flush_object(pid, obj)
+                .expect("pool existed during the scan");
+            quarantined.push(QuarantinedObject {
+                pool: pid,
+                owner,
+                object: obj,
+                pages,
+            });
+        }
+        ScrubReport {
+            pages_checked,
+            corrupt_pages,
+            quarantined,
+            accounting_ok: accounting_consistent(self),
+        }
     }
 }
 
@@ -1051,6 +1363,141 @@ mod tests {
             victims,
             vec![(ObjectId(0), 190), (ObjectId(0), 191), (ObjectId(0), 192)]
         );
+        assert!(accounting_consistent(&b));
+    }
+
+    #[test]
+    fn corrupt_persistent_get_is_error_not_wrong_bytes() {
+        let (mut b, pool) = persistent_pool(8);
+        b.arm_corruption();
+        b.put(pool, ObjectId(1), 0, PageBuf::filled(1)).unwrap();
+        b.put(pool, ObjectId(1), 1, PageBuf::filled(2)).unwrap();
+        assert!(b.corrupt_page(pool, ObjectId(1), 1));
+        // Correct-or-error: the typed error, deterministically, on every
+        // retry — the page stays in place and is counted detected once.
+        assert_eq!(b.get(pool, ObjectId(1), 1), Err(TmemError::Corrupt));
+        assert_eq!(b.get(pool, ObjectId(1), 1), Err(TmemError::Corrupt));
+        assert!(b.contains(pool, ObjectId(1), 1));
+        assert_eq!(b.integrity().detections, 1);
+        assert_eq!(b.integrity().corrupt_dropped, 0);
+        // The clean sibling is unaffected.
+        assert_eq!(b.get(pool, ObjectId(1), 0).unwrap(), PageBuf::filled(1));
+        // The guest's recovery flush removes it without another detection.
+        assert!(b.flush_page(pool, ObjectId(1), 1).unwrap());
+        assert_eq!(b.integrity().detections, 1);
+        assert!(accounting_consistent(&b));
+    }
+
+    #[test]
+    fn corrupt_ephemeral_get_degrades_to_clean_miss() {
+        let mut b: TmemBackend<PageBuf> = TmemBackend::new(8);
+        b.arm_corruption();
+        let pool = b.new_pool(VmId(1), PoolKind::Ephemeral).unwrap();
+        b.put(pool, ObjectId(1), 0, PageBuf::filled(1)).unwrap();
+        b.put(pool, ObjectId(1), 1, PageBuf::filled(2)).unwrap();
+        assert!(b.corrupt_page(pool, ObjectId(1), 0));
+        // Correct-or-miss: one typed error while dropping, then a miss.
+        assert_eq!(b.get(pool, ObjectId(1), 0), Err(TmemError::Corrupt));
+        assert_eq!(b.get(pool, ObjectId(1), 0), Err(TmemError::NoSuchPage));
+        assert_eq!(b.used(), 1);
+        assert_eq!(b.integrity().detections, 1);
+        assert_eq!(b.integrity().corrupt_dropped, 1);
+        assert!(accounting_consistent(&b));
+    }
+
+    #[test]
+    fn corrupt_page_needs_a_distinct_donor() {
+        let (mut b, pool) = persistent_pool(8);
+        // Unarmed: no donors are retained.
+        b.put(pool, ObjectId(1), 0, PageBuf::filled(1)).unwrap();
+        assert!(!b.corrupt_page(pool, ObjectId(1), 0));
+        b.arm_corruption();
+        // One payload value seen: the only donor checksum matches the
+        // victim's, so cross-wiring cannot produce a mismatch.
+        b.put(pool, ObjectId(1), 1, PageBuf::filled(1)).unwrap();
+        assert!(!b.corrupt_page(pool, ObjectId(1), 1));
+        // A second, different payload provides the wrong bytes.
+        b.put(pool, ObjectId(1), 2, PageBuf::filled(2)).unwrap();
+        assert!(b.corrupt_page(pool, ObjectId(1), 2));
+        assert_eq!(b.get(pool, ObjectId(1), 2), Err(TmemError::Corrupt));
+        // Absent keys cannot be corrupted.
+        assert!(!b.corrupt_page(pool, ObjectId(9), 0));
+    }
+
+    #[test]
+    fn reclaim_withholds_corrupt_victims_from_swap_writeback() {
+        let (mut b, pool) = persistent_pool(8);
+        b.arm_corruption();
+        for i in 0..3 {
+            b.put(pool, ObjectId(1), i, PageBuf::filled(i as u8))
+                .unwrap();
+        }
+        assert!(b.corrupt_page(pool, ObjectId(1), 0));
+        // The oldest victim is corrupt: it is flushed but never delivered,
+        // so wrong bytes cannot reach the owner's swap device.
+        let victims = b.reclaim_oldest_persistent(pool, 2);
+        assert_eq!(victims, vec![(ObjectId(1), 1), (ObjectId(1), 2)]);
+        assert!(!b.contains(pool, ObjectId(1), 0));
+        assert_eq!(b.integrity().detections, 1);
+        assert_eq!(b.integrity().corrupt_dropped, 1);
+        assert!(accounting_consistent(&b));
+    }
+
+    #[test]
+    fn scrub_quarantines_corrupt_objects_in_key_order() {
+        let (mut b, pool) = persistent_pool(32);
+        b.arm_corruption();
+        for obj in [5u64, 2, 9] {
+            for i in 0..3u32 {
+                b.put(
+                    pool,
+                    ObjectId(obj),
+                    i,
+                    PageBuf::filled((obj as u8) * 10 + i as u8),
+                )
+                .unwrap();
+            }
+        }
+        assert!(b.corrupt_page(pool, ObjectId(9), 1));
+        assert!(b.corrupt_page(pool, ObjectId(2), 0));
+        let report = b.scrub();
+        assert_eq!(report.pages_checked, 9);
+        assert_eq!(report.corrupt_pages, 2);
+        assert!(report.accounting_ok);
+        // Whole objects are quarantined, in (pool, object) order regardless
+        // of hash-map iteration order.
+        let order: Vec<_> = report
+            .quarantined
+            .iter()
+            .map(|q| (q.pool, q.owner, q.object, q.pages))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (pool, VmId(1), ObjectId(2), 3),
+                (pool, VmId(1), ObjectId(9), 3),
+            ]
+        );
+        assert_eq!(b.integrity().detections, 2);
+        // The clean object survives; a second pass finds nothing.
+        assert!(b.contains(pool, ObjectId(5), 0));
+        assert_eq!(b.used(), 3);
+        let again = b.scrub();
+        assert_eq!(again.corrupt_pages, 0);
+        assert!(again.quarantined.is_empty());
+        assert_eq!(again.pages_checked, 3);
+        assert!(accounting_consistent(&b));
+    }
+
+    #[test]
+    fn destroying_a_pool_with_corrupt_pages_still_counts_detection() {
+        let (mut b, pool) = persistent_pool(8);
+        b.arm_corruption();
+        b.put(pool, ObjectId(1), 0, PageBuf::filled(1)).unwrap();
+        b.put(pool, ObjectId(1), 1, PageBuf::filled(2)).unwrap();
+        assert!(b.corrupt_page(pool, ObjectId(1), 0));
+        b.destroy_pool(pool).unwrap();
+        assert_eq!(b.integrity().detections, 1);
         assert!(accounting_consistent(&b));
     }
 

@@ -36,6 +36,13 @@ pub enum TmemError {
     NoSuchPage,
     /// The pool id space is exhausted.
     PoolLimit,
+    /// The stored page failed its integrity check: its contents no longer
+    /// match the checksum recorded at put time. The backend never returns
+    /// the corrupt payload — persistent pages stay in place (so retries
+    /// deterministically observe the same error until the page is flushed
+    /// or scrubbed), ephemeral pages are dropped so the next get is a
+    /// clean miss.
+    Corrupt,
 }
 
 impl fmt::Display for TmemError {
@@ -45,6 +52,7 @@ impl fmt::Display for TmemError {
             TmemError::NoSuchPool => write!(f, "no such tmem pool"),
             TmemError::NoSuchPage => write!(f, "no such tmem page"),
             TmemError::PoolLimit => write!(f, "tmem pool id space exhausted"),
+            TmemError::Corrupt => write!(f, "tmem page failed integrity check"),
         }
     }
 }

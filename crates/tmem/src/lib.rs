@@ -33,7 +33,9 @@ pub mod page;
 pub mod reference;
 pub mod stats;
 
-pub use backend::{PoolKind, PutOutcome, TmemBackend};
+pub use backend::{
+    IntegrityCounters, PoolKind, PutOutcome, QuarantinedObject, ScrubReport, TmemBackend,
+};
 pub use error::{ReturnCode, TmemError};
 pub use fastmap::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use key::{ObjectId, PageIndex, PoolId, TmemKey, VmId};

@@ -14,6 +14,7 @@
 
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
 
 /// Size of one page, in bytes. x86 base pages, as in the paper's testbed.
 pub const PAGE_SIZE: usize = 4096;
@@ -22,12 +23,22 @@ pub const PAGE_SIZE: usize = 4096;
 ///
 /// `Clone` is required because ephemeral (cleancache) gets return a copy
 /// while leaving the stored page in place; `Eq` lets tests and guests verify
-/// round-trips.
-pub trait PagePayload: Clone + Eq + std::fmt::Debug {}
-impl<T: Clone + Eq + std::fmt::Debug> PagePayload for T {}
+/// round-trips; `Hash` feeds the per-page integrity summary the backend
+/// records at put time and re-verifies on every get/flush/scrub.
+pub trait PagePayload: Clone + Eq + Hash + std::fmt::Debug {
+    /// Cheap integrity summary of the payload: a deterministic 64-bit
+    /// checksum (Fx over the `Hash` stream — process-independent, so
+    /// simulation outputs never depend on a per-process hasher seed).
+    fn checksum(&self) -> u64 {
+        let mut h = crate::fastmap::FxHasher::default();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+impl<T: Clone + Eq + Hash + std::fmt::Debug> PagePayload for T {}
 
 /// A real page of data.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PageBuf(Bytes);
 
 impl PageBuf {

@@ -1,0 +1,355 @@
+//! Differential property test for the data-plane integrity layer: the
+//! fast backend under random *corruption and loss schedules* against the
+//! reference backend holding the uncorrupted truth.
+//!
+//! The reference backend never sees the faults — it is the content
+//! oracle. A model set tracks which stored keys are currently corrupt in
+//! the fast backend; every divergence the faults force (a dropped
+//! ephemeral page, a withheld reclaim victim, a quarantined object) is
+//! mirrored onto the reference with explicit flushes so occupancy stays
+//! in lockstep. Under every schedule the core invariants must hold:
+//!
+//! * **correct-or-error** — a persistent get of a corrupt page returns
+//!   [`TmemError::Corrupt`], repeatably, and never the wrong bytes; the
+//!   page stays in place for deterministic retries.
+//! * **correct-or-miss** — an ephemeral get of a corrupt page returns
+//!   [`TmemError::Corrupt`] once, then the key is a clean miss.
+//! * **clean reads are true reads** — every successful get returns
+//!   exactly the reference backend's payload.
+//! * **reclaim never launders corruption** — no reclaim victim delivered
+//!   for swap writeback is ever a corrupted key.
+//! * **the scrubber finds everything** — a scrub pass reports exactly
+//!   the corrupt pages the model predicts, quarantines exactly the
+//!   objects holding them in (pool, object) order, and leaves the store
+//!   clean.
+//! * **accounting stays consistent** after every operation
+//!   ([`accounting_consistent`]), with per-VM usage summing to the node
+//!   total.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use tmem::backend::{accounting_consistent, PoolKind, PutOutcome, TmemBackend};
+use tmem::error::TmemError;
+use tmem::key::{ObjectId, PageIndex, PoolId, VmId};
+use tmem::page::Fingerprint;
+use tmem::reference::ReferenceBackend;
+
+/// A stored key in model form: `(pool, object, index)`. Pool ids are
+/// never reused, so keys of destroyed pools can simply be dropped.
+type Key = (PoolId, ObjectId, PageIndex);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put {
+        pool: u8,
+        obj: u8,
+        idx: u8,
+        val: u64,
+    },
+    Get {
+        pool: u8,
+        obj: u8,
+        idx: u8,
+    },
+    FlushPage {
+        pool: u8,
+        obj: u8,
+        idx: u8,
+    },
+    FlushObject {
+        pool: u8,
+        obj: u8,
+    },
+    /// Persistent pools only (pools 0–1), like the hypervisor's slow path.
+    Reclaim {
+        pool: u8,
+        max: u8,
+    },
+    /// Fault injection: cross-wire the page's bytes with a donor payload.
+    Corrupt {
+        pool: u8,
+        obj: u8,
+        idx: u8,
+    },
+    /// Fault injection: silently drop an ephemeral page (pools 2–3).
+    Lose {
+        pool: u8,
+        obj: u8,
+        idx: u8,
+    },
+    /// Scrubber/auditor pass over the whole store.
+    Scrub,
+    DestroyPool {
+        pool: u8,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0..4u8, 0..3u8, 0..12u8, any::<u64>())
+            .prop_map(|(pool, obj, idx, val)| Op::Put { pool, obj, idx, val }),
+        6 => (0..4u8, 0..3u8, 0..12u8).prop_map(|(pool, obj, idx)| Op::Get { pool, obj, idx }),
+        2 => (0..4u8, 0..3u8, 0..12u8)
+            .prop_map(|(pool, obj, idx)| Op::FlushPage { pool, obj, idx }),
+        2 => (0..4u8, 0..3u8).prop_map(|(pool, obj)| Op::FlushObject { pool, obj }),
+        2 => (0..2u8, 1..6u8).prop_map(|(pool, max)| Op::Reclaim { pool, max }),
+        6 => (0..4u8, 0..3u8, 0..12u8)
+            .prop_map(|(pool, obj, idx)| Op::Corrupt { pool, obj, idx }),
+        2 => (2..4u8, 0..3u8, 0..12u8)
+            .prop_map(|(pool, obj, idx)| Op::Lose { pool, obj, idx }),
+        1 => Just(Op::Scrub),
+        1 => (0..4u8).prop_map(|pool| Op::DestroyPool { pool }),
+    ]
+}
+
+/// Run one scrub pass on `fast`, check it against the model, and mirror
+/// the quarantines onto `refr`. On return the model set is empty.
+fn scrub_and_mirror(
+    fast: &mut TmemBackend<Fingerprint>,
+    refr: &mut ReferenceBackend<Fingerprint>,
+    corrupted: &mut BTreeSet<Key>,
+) -> Result<(), TestCaseError> {
+    let stored_before = fast.used();
+    let report = fast.scrub();
+    prop_assert!(report.accounting_ok, "scrub audit failed");
+    prop_assert_eq!(
+        report.pages_checked,
+        stored_before,
+        "scrub must check every page"
+    );
+    prop_assert_eq!(
+        report.corrupt_pages,
+        corrupted.len() as u64,
+        "scrub must find exactly the model's corrupt pages"
+    );
+    // Quarantine order and identity: exactly the objects holding corrupt
+    // pages, in (pool, object) order.
+    let expected: Vec<(PoolId, ObjectId)> = corrupted
+        .iter()
+        .map(|&(p, o, _)| (p, o))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let got: Vec<(PoolId, ObjectId)> = report
+        .quarantined
+        .iter()
+        .map(|q| (q.pool, q.object))
+        .collect();
+    prop_assert_eq!(got, expected, "quarantine stream diverged from the model");
+    for q in &report.quarantined {
+        // Mirror: the reference loses the same whole object, page counts
+        // agreeing since occupancy was in lockstep.
+        prop_assert_eq!(refr.flush_object(q.pool, q.object), Ok(q.pages));
+    }
+    corrupted.clear();
+    Ok(())
+}
+
+fn drive(ops: Vec<Op>, capacity: u64) -> Result<(), TestCaseError> {
+    let mut fast: TmemBackend<Fingerprint> = TmemBackend::new(capacity);
+    let mut refr: ReferenceBackend<Fingerprint> = ReferenceBackend::new(capacity);
+    fast.arm_corruption();
+    let kinds = [
+        (VmId(1), PoolKind::Persistent),
+        (VmId(2), PoolKind::Persistent),
+        (VmId(1), PoolKind::Ephemeral),
+        (VmId(2), PoolKind::Ephemeral),
+    ];
+    let mut pools: Vec<PoolId> = Vec::new();
+    for (vm, kind) in kinds {
+        let a = fast.new_pool(vm, kind).unwrap();
+        let b = refr.new_pool(vm, kind).unwrap();
+        prop_assert_eq!(a, b, "pool id allocation must agree");
+        pools.push(a);
+    }
+
+    // Keys currently stored with corrupt contents in `fast` (the
+    // reference still holds their true bytes).
+    let mut corrupted: BTreeSet<Key> = BTreeSet::new();
+    let mut injected = 0u64;
+
+    for op in ops {
+        match op {
+            Op::Put {
+                pool,
+                obj,
+                idx,
+                val,
+            } => {
+                let p = pools[pool as usize];
+                let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
+                let payload = Fingerprint::of(val, 0);
+                let a = fast.put(p, o, i, payload);
+                prop_assert_eq!(&a, &refr.put(p, o, i, payload), "put outcomes diverged");
+                if a.is_ok() {
+                    // A replace overwrites any pending corruption with
+                    // fresh, clean contents.
+                    corrupted.remove(&(p, o, i));
+                }
+                if let Ok(PutOutcome::StoredAfterEviction(k)) = a {
+                    corrupted.remove(&(k.pool, k.object, k.index));
+                }
+            }
+            Op::Get { pool, obj, idx } => {
+                let p = pools[pool as usize];
+                let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
+                if corrupted.contains(&(p, o, i)) {
+                    match fast.pool_info(p).map(|(_, k)| k) {
+                        Some(PoolKind::Persistent) => {
+                            // Correct-or-error: the typed error, the same
+                            // on retry, and the page stays in place.
+                            prop_assert_eq!(fast.get(p, o, i), Err(TmemError::Corrupt));
+                            prop_assert_eq!(fast.get(p, o, i), Err(TmemError::Corrupt));
+                            prop_assert!(fast.contains(p, o, i), "corrupt page must stay");
+                        }
+                        Some(PoolKind::Ephemeral) => {
+                            // Correct-or-miss: one typed error, then a
+                            // clean miss; mirror the drop on the reference.
+                            prop_assert_eq!(fast.get(p, o, i), Err(TmemError::Corrupt));
+                            prop_assert_eq!(fast.get(p, o, i), Err(TmemError::NoSuchPage));
+                            prop_assert_eq!(refr.flush_page(p, o, i), Ok(true));
+                            corrupted.remove(&(p, o, i));
+                        }
+                        None => prop_assert!(false, "corrupted key in a dead pool"),
+                    }
+                } else {
+                    // Clean reads are true reads: both outcome and payload
+                    // must match the uncorrupted reference.
+                    prop_assert_eq!(fast.get(p, o, i), refr.get(p, o, i), "clean get diverged");
+                }
+            }
+            Op::FlushPage { pool, obj, idx } => {
+                let p = pools[pool as usize];
+                let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
+                prop_assert_eq!(fast.flush_page(p, o, i), refr.flush_page(p, o, i));
+                corrupted.remove(&(p, o, i));
+            }
+            Op::FlushObject { pool, obj } => {
+                let p = pools[pool as usize];
+                let o = ObjectId(obj as u64);
+                prop_assert_eq!(fast.flush_object(p, o), refr.flush_object(p, o));
+                corrupted.retain(|&(kp, ko, _)| (kp, ko) != (p, o));
+            }
+            Op::Reclaim { pool, max } => {
+                let p = pools[pool as usize];
+                let victims = fast.reclaim_oldest_persistent(p, max as u64);
+                for &(o, i) in &victims {
+                    // A delivered victim is written to the owner's swap
+                    // device — it must never be a corrupted page.
+                    prop_assert!(
+                        !corrupted.contains(&(p, o, i)),
+                        "corrupt page delivered to swap writeback"
+                    );
+                    prop_assert_eq!(refr.flush_page(p, o, i), Ok(true));
+                }
+                // Corrupt victims are flushed but withheld; mirror their
+                // removal so occupancy stays in lockstep.
+                let withheld: Vec<Key> = corrupted
+                    .iter()
+                    .copied()
+                    .filter(|&(kp, o, i)| kp == p && !fast.contains(kp, o, i))
+                    .collect();
+                for (kp, o, i) in withheld {
+                    prop_assert_eq!(refr.flush_page(kp, o, i), Ok(true));
+                    corrupted.remove(&(kp, o, i));
+                }
+            }
+            Op::Corrupt { pool, obj, idx } => {
+                let p = pools[pool as usize];
+                let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
+                // Re-corrupting a still-corrupt page would merge two
+                // injections into one eventual detection; the hypervisor
+                // only corrupts freshly stored pages, so neither does the
+                // model.
+                if !corrupted.contains(&(p, o, i)) && fast.corrupt_page(p, o, i) {
+                    corrupted.insert((p, o, i));
+                    injected += 1;
+                }
+            }
+            Op::Lose { pool, obj, idx } => {
+                let p = pools[pool as usize];
+                let (o, i) = (ObjectId(obj as u64), idx as PageIndex);
+                // Silent ephemeral loss is a plain drop on both sides —
+                // invisible to the caller, visible only as a future miss.
+                if fast.contains(p, o, i) {
+                    prop_assert_eq!(fast.flush_page(p, o, i), Ok(true));
+                    prop_assert_eq!(refr.flush_page(p, o, i), Ok(true));
+                    corrupted.remove(&(p, o, i));
+                }
+            }
+            Op::Scrub => scrub_and_mirror(&mut fast, &mut refr, &mut corrupted)?,
+            Op::DestroyPool { pool } => {
+                let p = pools[pool as usize];
+                prop_assert_eq!(fast.destroy_pool(p), refr.destroy_pool(p));
+                corrupted.retain(|&(kp, _, _)| kp != p);
+                // Recreate on the spot so the stream keeps hitting live
+                // pools; pool ids are never reused, so stale model keys
+                // cannot collide.
+                let (vm, kind) = kinds[pool as usize];
+                let a = fast.new_pool(vm, kind).unwrap();
+                let b = refr.new_pool(vm, kind).unwrap();
+                prop_assert_eq!(a, b, "recreated pool ids must agree");
+                pools[pool as usize] = a;
+            }
+        }
+        // Accounting lockstep after every operation, faults or not.
+        prop_assert_eq!(fast.used(), refr.used(), "occupancy diverged");
+        prop_assert_eq!(fast.used_by(VmId(1)), refr.used_by(VmId(1)));
+        prop_assert_eq!(fast.used_by(VmId(2)), refr.used_by(VmId(2)));
+        prop_assert!(accounting_consistent(&fast));
+        prop_assert!(fast.used() <= capacity, "used exceeds capacity");
+        prop_assert_eq!(
+            fast.used_by(VmId(1)) + fast.used_by(VmId(2)),
+            fast.used(),
+            "per-VM usage must sum to the node total"
+        );
+    }
+
+    // Final audit: one scrub pass cleans every outstanding corruption,
+    // and a second pass over the (now clean) store finds nothing.
+    scrub_and_mirror(&mut fast, &mut refr, &mut corrupted)?;
+    let second = fast.scrub();
+    prop_assert_eq!(second.corrupt_pages, 0, "scrub must leave the store clean");
+    prop_assert!(second.quarantined.is_empty());
+    prop_assert_eq!(second.pages_checked, fast.used());
+    // Detections never exceed injections: each injected instance is
+    // flagged (counted) at most once, however it leaves the store.
+    prop_assert!(
+        fast.integrity().detections <= injected,
+        "detections {} > injections {}",
+        fast.integrity().detections,
+        injected
+    );
+    // Page-level agreement over the whole key space.
+    for &p in &pools {
+        prop_assert_eq!(fast.pool_page_count(p), refr.pool_page_count(p));
+        for obj in 0..3u64 {
+            for idx in 0..12u32 {
+                prop_assert_eq!(
+                    fast.contains(p, ObjectId(obj), idx),
+                    refr.contains(p, ObjectId(obj), idx),
+                    "contains({:?},{},{})",
+                    p,
+                    obj,
+                    idx
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pools 0–1 persistent (VM1/VM2), pools 2–3 ephemeral (VM1/VM2),
+    /// tight capacities forcing evictions, ~1/3 of operations injecting
+    /// data-plane faults.
+    #[test]
+    fn backend_integrity_invariants_hold_under_random_fault_schedules(
+        ops in proptest::collection::vec(op_strategy(), 1..160),
+        capacity in 1u64..24,
+    ) {
+        drive(ops, capacity)?;
+    }
+}

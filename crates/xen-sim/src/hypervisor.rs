@@ -22,10 +22,11 @@
 //! oldest persistent pages to its swap device while it exceeds its target.
 
 use crate::vm::VmConfig;
+use sim_core::faults::{DataFaultInjector, DataFaultLedger, FaultProfile, PutFate};
 use sim_core::time::SimTime;
-use sim_core::trace::{Payload, PutResult, Subsystem, Tracer};
+use sim_core::trace::{FaultKind, Payload, PutResult, Subsystem, Tracer};
 use std::collections::BTreeMap;
-use tmem::backend::{PoolKind, PutOutcome, TmemBackend};
+use tmem::backend::{PoolKind, PutOutcome, ScrubReport, TmemBackend};
 use tmem::error::{ReturnCode, TmemError};
 use tmem::key::{ObjectId, PageIndex, PoolId, VmId};
 use tmem::page::PagePayload;
@@ -35,6 +36,21 @@ use tmem::stats::{MemStats, MmTarget, NodeInfo, StatsMsg, VmDataHyp};
 /// MM. Beyond this the hypervisor treats targets as stale and enforces the
 /// graceful-degradation fallback instead (see [`Hypervisor::targets_stale`]).
 pub const DEFAULT_TARGET_TTL: u64 = 5;
+
+/// Outcome of a [`Hypervisor::get_checked`] lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GetOutcome<P> {
+    /// The page, verified against its put-time checksum.
+    Hit(P),
+    /// No page under this key.
+    Miss,
+    /// The stored page failed its integrity check. Persistent pools keep
+    /// the page in place, so retries deterministically observe the same
+    /// outcome until the guest flushes it (bounded retry/requeue recovery);
+    /// ephemeral pools have already dropped it, so the next get is a clean
+    /// miss.
+    Corrupt,
+}
 
 /// The simulated hypervisor: tmem backend + per-VM Table I state + target
 /// enforcement.
@@ -65,6 +81,10 @@ pub struct Hypervisor<P> {
     targets_clamped: u64,
     /// Flight-recorder handle (disabled by default; one branch per op).
     tracer: Tracer,
+    /// Data-plane fault layer. `None` (the default) keeps every datapath
+    /// operation byte-identical to a fault-free build: no RNG, no donor
+    /// retention, one `Option` check per op.
+    data_faults: Option<DataFaultInjector>,
 }
 
 impl<P: PagePayload> Hypervisor<P> {
@@ -85,6 +105,7 @@ impl<P: PagePayload> Hypervisor<P> {
             stale_target_msgs: 0,
             targets_clamped: 0,
             tracer: Tracer::disabled(),
+            data_faults: None,
         }
     }
 
@@ -92,6 +113,100 @@ impl<P: PagePayload> Hypervisor<P> {
     /// plumbing then emit structured events into it.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Install the data-plane fault layer for this run. A profile with no
+    /// data-plane faults installs nothing, so fault-free runs keep the
+    /// unfaulted datapath. Corruption probabilities additionally arm the
+    /// backend's donor retention so injected corruptions have wrong bytes
+    /// to cross-wire.
+    pub fn set_data_faults(&mut self, profile: &FaultProfile, seed: u64) {
+        if !profile.has_data_plane() {
+            return;
+        }
+        if profile.page_bitflip > 0.0 || profile.torn_write > 0.0 {
+            self.backend.arm_corruption();
+        }
+        self.data_faults = Some(DataFaultInjector::new(profile.clone(), seed));
+    }
+
+    /// The data-plane fault ledger, when the layer is installed.
+    pub fn data_fault_ledger(&self) -> Option<&DataFaultLedger> {
+        self.data_faults.as_ref().map(|d| d.ledger())
+    }
+
+    /// Close one sampling interval on the data-fault clock (brownout
+    /// windows, scrub cadence). Emits one `BrownoutTick` fault event per
+    /// interval spent browned out so the ledger replays from the trace.
+    pub fn tick_data_faults(&mut self) {
+        let Some(d) = self.data_faults.as_mut() else {
+            return;
+        };
+        if d.tick_interval() {
+            self.tracer.emit(|| {
+                (
+                    None,
+                    Subsystem::Fault,
+                    Payload::Fault {
+                        kind: FaultKind::BrownoutTick,
+                    },
+                )
+            });
+        }
+    }
+
+    /// Whether the periodic scrubber is due at the interval that just
+    /// closed ([`Hypervisor::tick_data_faults`] advances the clock).
+    pub fn data_scrub_due(&self) -> bool {
+        self.data_faults.as_ref().is_some_and(|d| d.scrub_due())
+    }
+
+    /// Mirror the backend's monotonic detection counter into the data-fault
+    /// ledger, emitting one `CorruptDetected` event per new detection. The
+    /// backend counts each corrupt page once regardless of how many ops
+    /// observe it, so this converges on exactly one ledger entry and one
+    /// event per detected corruption.
+    fn emit_new_detections(&mut self, vm: Option<u32>) {
+        let total = self.backend.integrity().detections;
+        let newly = match self.data_faults.as_mut() {
+            Some(d) if total > d.ledger().corruptions_detected => {
+                let n = total - d.ledger().corruptions_detected;
+                d.ledger_mut().corruptions_detected = total;
+                n
+            }
+            _ => return,
+        };
+        for _ in 0..newly {
+            self.tracer.emit(|| {
+                (
+                    vm,
+                    Subsystem::Fault,
+                    Payload::Fault {
+                        kind: FaultKind::CorruptDetected,
+                    },
+                )
+            });
+        }
+    }
+
+    /// Guest-side recovery callback: the kernel finished its bounded
+    /// retry/requeue of a corrupt persistent page (flushed it and requeued
+    /// a clean copy from its own memory). No-op without the fault layer so
+    /// ledger and trace stay in lockstep.
+    pub fn note_corrupt_recovered(&mut self, vm: VmId) {
+        let Some(d) = self.data_faults.as_mut() else {
+            return;
+        };
+        d.ledger_mut().corruptions_recovered += 1;
+        self.tracer.emit(|| {
+            (
+                Some(vm.0),
+                Subsystem::Fault,
+                Payload::Fault {
+                    kind: FaultKind::CorruptRecovered,
+                },
+            )
+        });
     }
 
     /// Register a VM (domain creation). Idempotent per id.
@@ -123,7 +238,7 @@ impl<P: PagePayload> Hypervisor<P> {
         index: PageIndex,
         payload: P,
     ) -> Result<PutOutcome, ReturnCode> {
-        let (owner, _) = match self.backend.pool_info(pool) {
+        let (owner, kind) = match self.backend.pool_info(pool) {
             Some(info) => info,
             None => return Err(ReturnCode::Failure),
         };
@@ -155,6 +270,71 @@ impl<P: PagePayload> Hypervisor<P> {
                     Payload::Put {
                         pool: pool.0,
                         result: PutResult::RejectTarget,
+                        used: tmem_used,
+                        target,
+                    },
+                )
+            });
+            return Err(ReturnCode::Failure);
+        }
+        // Data-plane fault layer, after admission: a brownout window
+        // rejects the put as a backend I/O failure; otherwise the injector
+        // assigns this put its fate. Inactive layer ⇒ no RNG, one branch.
+        let fate = match self.data_faults.as_mut() {
+            Some(d) => {
+                if d.in_brownout() {
+                    d.ledger_mut().brownout_rejections += 1;
+                    data.tmem_used = tmem_used;
+                    self.tracer.emit(|| {
+                        (
+                            Some(owner.0),
+                            Subsystem::Fault,
+                            Payload::Fault {
+                                kind: FaultKind::BrownoutReject,
+                            },
+                        )
+                    });
+                    self.tracer.emit(|| {
+                        (
+                            Some(owner.0),
+                            Subsystem::Tmem,
+                            Payload::Put {
+                                pool: pool.0,
+                                result: PutResult::RejectIo,
+                                used: tmem_used,
+                                target,
+                            },
+                        )
+                    });
+                    return Err(ReturnCode::Failure);
+                }
+                match kind {
+                    PoolKind::Persistent => d.persistent_put_fate(),
+                    PoolKind::Ephemeral => d.ephemeral_put_fate(),
+                }
+            }
+            None => PutFate::Deliver,
+        };
+        if fate == PutFate::IoFail {
+            let d = self.data_faults.as_mut().expect("IoFail implies injector");
+            d.ledger_mut().put_io_failures_injected += 1;
+            data.tmem_used = tmem_used;
+            self.tracer.emit(|| {
+                (
+                    Some(owner.0),
+                    Subsystem::Fault,
+                    Payload::Fault {
+                        kind: FaultKind::PutIoFail,
+                    },
+                )
+            });
+            self.tracer.emit(|| {
+                (
+                    Some(owner.0),
+                    Subsystem::Tmem,
+                    Payload::Put {
+                        pool: pool.0,
+                        result: PutResult::RejectIo,
                         used: tmem_used,
                         target,
                     },
@@ -205,6 +385,12 @@ impl<P: PagePayload> Hypervisor<P> {
                         },
                     )
                 });
+                if fate != PutFate::Deliver {
+                    self.apply_post_store_fault(fate, pool, owner, object, index);
+                }
+                // An eviction inside the put may have surfaced a corrupt
+                // ephemeral page; mirror any new detections.
+                self.emit_new_detections(Some(owner.0));
                 Ok(outcome)
             }
             Err(TmemError::NoCapacity) => {
@@ -227,9 +413,97 @@ impl<P: PagePayload> Hypervisor<P> {
         }
     }
 
-    /// `tmem_get`. Persistent (frontswap) hits free the frame.
+    /// Apply a non-`Deliver` fate to a page that was just stored: corrupt
+    /// its contents in place (bitflip/torn write) or silently drop it
+    /// (ephemeral loss). Out of line — fault injection is never the hot
+    /// path. Fates that cannot land (no donor yet, page replaced-away)
+    /// inject nothing and count nothing.
+    #[cold]
+    #[inline(never)]
+    fn apply_post_store_fault(
+        &mut self,
+        fate: PutFate,
+        pool: PoolId,
+        owner: VmId,
+        object: ObjectId,
+        index: PageIndex,
+    ) {
+        match fate {
+            PutFate::Bitflip | PutFate::Torn => {
+                if self.backend.corrupt_page(pool, object, index) {
+                    let kind = if fate == PutFate::Bitflip {
+                        FaultKind::PageBitflip
+                    } else {
+                        FaultKind::TornWrite
+                    };
+                    let d = self.data_faults.as_mut().expect("fate implies injector");
+                    if fate == PutFate::Bitflip {
+                        d.ledger_mut().bitflips_injected += 1;
+                    } else {
+                        d.ledger_mut().torn_writes_injected += 1;
+                    }
+                    self.tracer
+                        .emit(|| (Some(owner.0), Subsystem::Fault, Payload::Fault { kind }));
+                }
+            }
+            PutFate::Lose => {
+                if self
+                    .backend
+                    .flush_page(pool, object, index)
+                    .unwrap_or(false)
+                {
+                    let d = self.data_faults.as_mut().expect("fate implies injector");
+                    d.ledger_mut().ephemeral_losses_injected += 1;
+                    if let Some(v) = self.vm_data.get_mut(&owner) {
+                        v.tmem_used = self.backend.used_by(owner);
+                    }
+                    self.tracer.emit(|| {
+                        (
+                            Some(owner.0),
+                            Subsystem::Fault,
+                            Payload::Fault {
+                                kind: FaultKind::EphemeralLoss,
+                            },
+                        )
+                    });
+                    self.tracer.emit(|| {
+                        (
+                            Some(owner.0),
+                            Subsystem::Tmem,
+                            Payload::DataPurge {
+                                pool: pool.0,
+                                pages: 1,
+                            },
+                        )
+                    });
+                }
+            }
+            PutFate::Deliver | PutFate::IoFail => unreachable!("handled before the store"),
+        }
+    }
+
+    /// `tmem_get`. Persistent (frontswap) hits free the frame. Integrity
+    /// failures surface as `None` here; recovery-aware callers use
+    /// [`Hypervisor::get_checked`] to distinguish corruption from a miss.
     pub fn get(&mut self, pool: PoolId, object: ObjectId, index: PageIndex) -> Option<P> {
-        let (owner, kind) = self.backend.pool_info(pool)?;
+        match self.get_checked(pool, object, index) {
+            GetOutcome::Hit(p) => Some(p),
+            GetOutcome::Miss | GetOutcome::Corrupt => None,
+        }
+    }
+
+    /// `tmem_get` with integrity-aware outcomes: the guest kernel's
+    /// recovery state machine needs to distinguish "no page" (refetch from
+    /// disk) from "corrupt page" (bounded retry, then flush + requeue).
+    pub fn get_checked(
+        &mut self,
+        pool: PoolId,
+        object: ObjectId,
+        index: PageIndex,
+    ) -> GetOutcome<P> {
+        let Some((owner, kind)) = self.backend.pool_info(pool) else {
+            return GetOutcome::Miss;
+        };
         let data = self
             .vm_data
             .get_mut(&owner)
@@ -239,11 +513,18 @@ impl<P: PagePayload> Hypervisor<P> {
             Ok(p) => {
                 data.gets_succ.incr();
                 data.tmem_used = self.backend.used_by(owner);
-                Some(p)
+                GetOutcome::Hit(p)
             }
-            Err(_) => None,
+            Err(TmemError::Corrupt) => {
+                if kind == PoolKind::Ephemeral {
+                    // The backend dropped the corrupt page.
+                    data.tmem_used = self.backend.used_by(owner);
+                }
+                GetOutcome::Corrupt
+            }
+            Err(_) => GetOutcome::Miss,
         };
-        let hit = out.is_some();
+        let hit = matches!(out, GetOutcome::Hit(_));
         self.tracer.emit(|| {
             (
                 Some(owner.0),
@@ -255,7 +536,44 @@ impl<P: PagePayload> Hypervisor<P> {
                 },
             )
         });
+        if matches!(out, GetOutcome::Corrupt) {
+            self.on_corrupt_get(pool, owner, kind);
+        }
         out
+    }
+
+    /// Ledger/trace bookkeeping for a get that surfaced corruption. An
+    /// ephemeral drop is both the purge and the recovery (the guest's next
+    /// get is a clean miss and it refetches from disk); a persistent page
+    /// stays put, so only the (deduplicated) detection is recorded here.
+    #[cold]
+    #[inline(never)]
+    fn on_corrupt_get(&mut self, pool: PoolId, owner: VmId, kind: PoolKind) {
+        self.emit_new_detections(Some(owner.0));
+        if kind == PoolKind::Ephemeral {
+            if let Some(d) = self.data_faults.as_mut() {
+                d.ledger_mut().corruptions_recovered += 1;
+            }
+            self.tracer.emit(|| {
+                (
+                    Some(owner.0),
+                    Subsystem::Tmem,
+                    Payload::DataPurge {
+                        pool: pool.0,
+                        pages: 1,
+                    },
+                )
+            });
+            self.tracer.emit(|| {
+                (
+                    Some(owner.0),
+                    Subsystem::Fault,
+                    Payload::Fault {
+                        kind: FaultKind::CorruptRecovered,
+                    },
+                )
+            });
+        }
     }
 
     /// Algorithm 1, `op == FLUSH` (single page).
@@ -268,12 +586,15 @@ impl<P: PagePayload> Hypervisor<P> {
             .get_mut(&owner)
             .expect("pool owner must be registered");
         data.flushes.incr();
-        let code = match self.backend.flush_page(pool, object, index) {
-            Ok(_) => {
+        // A flush of an absent key (e.g. one the scrubber already
+        // quarantined) succeeds but removes nothing — the event must carry
+        // the real page count or occupancy replay would double-count.
+        let (code, removed) = match self.backend.flush_page(pool, object, index) {
+            Ok(removed) => {
                 data.tmem_used = self.backend.used_by(owner);
-                ReturnCode::Success
+                (ReturnCode::Success, removed)
             }
-            Err(_) => ReturnCode::Failure,
+            Err(_) => (ReturnCode::Failure, false),
         };
         self.tracer.emit(|| {
             (
@@ -281,10 +602,13 @@ impl<P: PagePayload> Hypervisor<P> {
                 Subsystem::Tmem,
                 Payload::Flush {
                     pool: pool.0,
-                    pages: (code == ReturnCode::Success) as u64,
+                    pages: removed as u64,
                 },
             )
         });
+        // Flushing a corrupt page that nothing had observed yet still
+        // counts as a detection.
+        self.emit_new_detections(Some(owner.0));
         code
     }
 
@@ -310,6 +634,7 @@ impl<P: PagePayload> Hypervisor<P> {
                 },
             )
         });
+        self.emit_new_detections(Some(owner.0));
         freed
     }
 
@@ -332,6 +657,7 @@ impl<P: PagePayload> Hypervisor<P> {
                 },
             )
         });
+        self.emit_new_detections(Some(owner.0));
         freed
     }
 
@@ -377,6 +703,7 @@ impl<P: PagePayload> Hypervisor<P> {
         }
         let excess = used - target;
         let start = out.len();
+        let dropped_before = self.backend.integrity().corrupt_dropped;
         self.backend
             .reclaim_oldest_persistent_into(pool, excess.min(max_pages), out);
         data.tmem_used = self.backend.used_by(owner);
@@ -393,6 +720,22 @@ impl<P: PagePayload> Hypervisor<P> {
                 )
             });
         }
+        // Corrupt victims were flushed but withheld from the swap
+        // writeback: a silent occupancy drop, attributed to the owner.
+        let dropped = self.backend.integrity().corrupt_dropped - dropped_before;
+        if dropped > 0 {
+            self.tracer.emit(|| {
+                (
+                    Some(owner.0),
+                    Subsystem::Tmem,
+                    Payload::DataPurge {
+                        pool: pool.0,
+                        pages: dropped,
+                    },
+                )
+            });
+        }
+        self.emit_new_detections(Some(owner.0));
     }
 
     /// Install new targets from the MM (`SetTargets` hypercall). Stores them
@@ -562,6 +905,56 @@ impl<P: PagePayload> Hypervisor<P> {
     pub fn backend(&self) -> &TmemBackend<P> {
         &self.backend
     }
+
+    /// One scrubber/auditor pass over the whole backend: verify every
+    /// stored page, quarantine corrupt objects, audit accounting. Emits one
+    /// `DataPurge` per quarantined object (occupancy attribution) and one
+    /// node-wide `Scrub` summary event, and panics if the accounting audit
+    /// fails — a corrupted store must never keep running silently.
+    pub fn scrub(&mut self) -> ScrubReport {
+        let report = self.backend.scrub();
+        assert!(
+            report.accounting_ok,
+            "tmem accounting invariants violated during scrub"
+        );
+        for q in &report.quarantined {
+            if let Some(v) = self.vm_data.get_mut(&q.owner) {
+                v.tmem_used = self.backend.used_by(q.owner);
+            }
+            let (owner, pool, pages) = (q.owner.0, q.pool.0, q.pages);
+            self.tracer.emit(|| {
+                (
+                    Some(owner),
+                    Subsystem::Tmem,
+                    Payload::DataPurge { pool, pages },
+                )
+            });
+        }
+        if let Some(d) = self.data_faults.as_mut() {
+            let l = d.ledger_mut();
+            l.scrub_passes += 1;
+            l.scrub_pages_checked += report.pages_checked;
+            l.objects_quarantined += report.quarantined.len() as u64;
+        }
+        self.emit_new_detections(None);
+        let (checked, corrupt, quarantined) = (
+            report.pages_checked,
+            report.corrupt_pages,
+            report.quarantined.len() as u64,
+        );
+        self.tracer.emit(|| {
+            (
+                None,
+                Subsystem::Tmem,
+                Payload::Scrub {
+                    checked,
+                    corrupt,
+                    quarantined,
+                },
+            )
+        });
+        report
+    }
 }
 
 #[cfg(test)]
@@ -725,6 +1118,119 @@ mod tests {
         }]);
         assert_eq!(h.target_of(VmId(99)), None);
         assert_eq!(h.set_target_calls(), 1);
+    }
+
+    #[test]
+    fn brownout_windows_reject_admitted_puts() {
+        let (mut h, pool) = hv(100, 100);
+        let mut profile = FaultProfile::none();
+        profile.brownout_every = 4;
+        profile.brownout_for = 2;
+        h.set_data_faults(&profile, 7);
+        // The window is the tail of each period: intervals with
+        // `interval % every >= every - brownout_for`, i.e. 2,3 then 6,7.
+        let mut rejected = Vec::new();
+        for interval in 1..=8u32 {
+            h.tick_data_faults();
+            if h.put(pool, ObjectId(0), interval, fp(interval as u64))
+                .is_err()
+            {
+                rejected.push(interval);
+            }
+        }
+        assert_eq!(rejected, vec![2, 3, 6, 7]);
+        let ledger = h.data_fault_ledger().unwrap();
+        assert_eq!(ledger.brownout_rejections, 4);
+        assert_eq!(ledger.brownout_ticks, 4);
+    }
+
+    #[test]
+    fn injected_corruption_is_detected_never_returned() {
+        let (mut h, pool) = hv(100, 100);
+        let mut profile = FaultProfile::none();
+        profile.page_bitflip = 1.0; // every admitted put corrupts
+        h.set_data_faults(&profile, 7);
+        // First put has no distinct-checksum donor yet; keep putting until
+        // an injection lands.
+        for i in 0..4u32 {
+            h.put(pool, ObjectId(0), i, fp(i as u64)).unwrap();
+        }
+        let ledger = h.data_fault_ledger().unwrap();
+        assert!(ledger.bitflips_injected >= 3, "donor present from put 2 on");
+        let injected = ledger.bitflips_injected;
+        // Every corrupted page surfaces as Corrupt (never wrong bytes, page
+        // held in place for retries), clean ones as verified hits.
+        let mut corrupt = 0u64;
+        for i in 0..4u32 {
+            match h.get_checked(pool, ObjectId(0), i) {
+                GetOutcome::Hit(p) => assert_eq!(p, fp(i as u64)),
+                GetOutcome::Corrupt => {
+                    assert_eq!(h.get_checked(pool, ObjectId(0), i), GetOutcome::Corrupt);
+                    corrupt += 1;
+                }
+                GetOutcome::Miss => panic!("page {i} vanished"),
+            }
+        }
+        assert_eq!(corrupt, injected);
+        assert_eq!(
+            h.data_fault_ledger().unwrap().corruptions_detected,
+            injected
+        );
+    }
+
+    #[test]
+    fn scrub_quarantines_and_ledgers_detected_corruption() {
+        let (mut h, pool) = hv(100, 100);
+        let mut profile = FaultProfile::none();
+        profile.torn_write = 1.0;
+        profile.scrub_every = 1;
+        h.set_data_faults(&profile, 7);
+        for i in 0..3u32 {
+            h.put(pool, ObjectId(0), i, fp(i as u64)).unwrap();
+        }
+        h.tick_data_faults();
+        assert!(h.data_scrub_due());
+        let report = h.scrub();
+        assert_eq!(report.pages_checked, 3);
+        let ledger = h.data_fault_ledger().unwrap();
+        assert_eq!(report.corrupt_pages, ledger.torn_writes_injected);
+        assert_eq!(ledger.objects_quarantined, 1);
+        assert_eq!(ledger.scrub_passes, 1);
+        assert_eq!(ledger.scrub_pages_checked, 3);
+        assert_eq!(ledger.corruptions_detected, ledger.torn_writes_injected);
+        // Quarantine removed the whole object and fixed up accounting.
+        assert_eq!(h.tmem_used_by(VmId(1)), 0);
+        // A second pass over the clean store finds nothing.
+        let again = h.scrub();
+        assert_eq!(again.corrupt_pages, 0);
+        assert!(again.quarantined.is_empty());
+    }
+
+    #[test]
+    fn ephemeral_loss_is_invisible_to_the_put_caller() {
+        let mut h: Hypervisor<Fingerprint> = Hypervisor::new(100, 100);
+        h.register_vm(VmConfig::new(VmId(1), "VM1", 1 << 20, 1));
+        let pool = h.new_pool(VmId(1), PoolKind::Ephemeral).unwrap();
+        let mut profile = FaultProfile::none();
+        profile.ephemeral_loss = 1.0;
+        h.set_data_faults(&profile, 7);
+        // The put succeeds from the guest's perspective...
+        h.put(pool, ObjectId(0), 0, fp(0)).unwrap();
+        // ...but the page is already gone: a clean miss, cleancache-legal.
+        assert_eq!(h.get_checked(pool, ObjectId(0), 0), GetOutcome::Miss);
+        assert_eq!(h.tmem_used_by(VmId(1)), 0);
+        assert_eq!(h.data_fault_ledger().unwrap().ephemeral_losses_injected, 1);
+    }
+
+    #[test]
+    fn fault_free_profile_installs_no_data_layer() {
+        let (mut h, pool) = hv(10, 10);
+        h.set_data_faults(&FaultProfile::none(), 7);
+        assert!(h.data_fault_ledger().is_none());
+        assert!(!h.data_scrub_due());
+        h.tick_data_faults();
+        h.put(pool, ObjectId(0), 0, fp(0)).unwrap();
+        assert_eq!(h.get(pool, ObjectId(0), 0), Some(fp(0)));
     }
 
     #[test]

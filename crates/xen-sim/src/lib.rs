@@ -22,7 +22,7 @@ pub mod virq;
 pub mod vm;
 
 pub use hypercall::{HypercallKind, TmemOp};
-pub use hypervisor::Hypervisor;
+pub use hypervisor::{GetOutcome, Hypervisor};
 pub use sched::CpuModel;
 pub use virq::SamplingVirq;
 pub use vm::VmConfig;
