@@ -8,6 +8,7 @@
 //! smartmem-cli chaos [--scale S] [--seed S] [--out DIR] [--jobs N] [--bound X]
 //! smartmem-cli bench-parallel [--scale S] [--reps N] [--seed S] [--out DIR] [--jobs N]
 //! smartmem-cli bench-fleet [--scale S] [--seed S] [--out DIR] [--jobs N]
+//! smartmem-cli bench-cluster [--scale S] [--seed S] [--out DIR] [--jobs N]
 //! smartmem-cli trace <SCENARIO> <policy> [--scale S] [--seed S] [--chaos PROFILE] [--out trace.jsonl] [--filter subsys=a,b]
 //! smartmem-cli inspect <trace.jsonl>
 //! smartmem-cli run-file <scenario.toml> [POLICY ...] [--scale S] [--seed S] [--reps N] [--chaos P]
@@ -18,7 +19,16 @@
 //! `usemem`, `scenario3` — or a parameterized fleet cell:
 //! `fleet:<vms>[:<footprint_mb>[:<mix>[:<gap_ms>]]]`, e.g. `fleet:64`,
 //! `fleet:32:256:paging`, `fleet:16:128:balanced:0` (gap 0 = simultaneous
-//! arrivals). Mixes: `balanced`, `analytics`, `serving`, `paging`.
+//! arrivals). Mixes: `balanced`, `analytics`, `serving`, `paging`. For
+//! `run` and `trace` the VM count may be `<hosts>x<vms>` (`fleet:2x32`):
+//! the cell then runs as a multi-host cluster — tmem sharded across the
+//! hosts, the fleet scheduler migrating VMs at its default tunables —
+//! and prints the fleet report. `trace` on a cluster cell replay-verifies
+//! every host's stream (migration events included) and `--out FILE`
+//! writes host 0 to FILE and host N to `FILE.hostN`. Scenario files can
+//! declare richer topologies (interconnect preset, far tier, scheduler
+//! thresholds) in a `[cluster]` table; `bench-cluster` sweeps hosts×VMs
+//! cells and records the fleet metrics in `BENCH_fleet.json`.
 //!
 //! Policies: `no-tmem`, `greedy`, `static-alloc`, `reconf-static`,
 //! `smart-alloc:<P>` (e.g. `smart-alloc:0.75`), `predictive`.
@@ -70,15 +80,18 @@ use scenarios::config::RunConfig;
 use scenarios::dsl;
 use scenarios::figures;
 use scenarios::report;
-use scenarios::runner::{run_scenario, run_spec, RunResult};
+use scenarios::runner::{
+    run_cluster, run_scenario, run_spec, ClusterConfig, ClusterResult, RunResult,
+};
 use scenarios::spec::{build_scenario, FleetParams, ScenarioKind};
 use sim_core::faults::{NetlinkFate, SampleFate};
 use sim_core::trace::{
     self, FaultKind, Payload, PutResult, Subsystem, TraceConfig, TraceData, TraceHeader,
 };
-use smartmem_core::PolicyKind;
+use smartmem_core::{FleetConfig, PolicyKind};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use xen_sim::host::FarConfig;
 
 #[derive(Debug)]
 struct Args {
@@ -205,8 +218,33 @@ fn parse_policy(s: &str) -> Result<PolicyKind, String> {
     dsl::parse_policy(s)
 }
 
-fn parse_scenario(s: &str) -> Result<ScenarioKind, String> {
-    dsl::parse_kind(s)
+/// Cluster-aware scenario vocabulary: `fleet:<hosts>x<vms>[:...]` yields a
+/// host count > 1; every other spelling is the classic single host.
+fn parse_scenario_cluster(s: &str) -> Result<(ScenarioKind, usize), String> {
+    dsl::parse_kind_cluster(s)
+}
+
+/// The topology a bare `fleet:<hosts>x<vms>` CLI cell runs: sharded pools
+/// on the datacenter interconnect with the fleet scheduler at its default
+/// tunables and no far tier. Files wanting presets/far/thresholds declare
+/// a `[cluster]` table instead.
+fn default_cluster(hosts: usize) -> ClusterConfig {
+    ClusterConfig {
+        hosts,
+        migration: Some(FleetConfig::default()),
+        ..ClusterConfig::default()
+    }
+}
+
+/// Build the (renamed) spec for a cluster cell.
+fn cluster_spec(
+    kind: ScenarioKind,
+    hosts: usize,
+    cfg: &RunConfig,
+) -> scenarios::spec::ScenarioSpec {
+    let mut spec = build_scenario(kind, cfg);
+    spec.name = dsl::cluster_scenario_name(&spec.name, hosts);
+    spec
 }
 
 fn emit_bars(fig: figures::FigureData, out: &Option<PathBuf>) -> Result<(), String> {
@@ -250,8 +288,8 @@ fn main() -> ExitCode {
         Some((cmd, rest)) => dispatch(cmd, rest),
         None => Err(
             "usage: smartmem-cli <table2|fig N|all|run SCENARIO POLICY|chaos|\
-             bench-parallel|bench-fleet|trace SCENARIO POLICY|inspect FILE|\
-             run-file FILE [POLICY ...]|sweep MANIFEST> [flags]"
+             bench-parallel|bench-fleet|bench-cluster|trace SCENARIO POLICY|\
+             inspect FILE|run-file FILE [POLICY ...]|sweep MANIFEST> [flags]"
                 .into(),
         ),
     };
@@ -656,6 +694,110 @@ fn bench_fleet(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `bench-cluster`: the multi-host fleet cells — wall-clock, peak RSS and
+/// the fleet metrics (migrations, downtime, cross-host traffic, stranded
+/// memory) over hosts×VMs topologies, recorded in `BENCH_fleet.json`.
+/// Every cell runs the fleet scheduler at its default tunables with a
+/// per-host far tier sized to a quarter of the host's tmem shard.
+fn bench_cluster(a: &Args) -> Result<(), String> {
+    use smartmem_bench::measure::measure;
+
+    let footprint_mb = ((512.0 * a.scale).round() as u32).max(8);
+    let policy = PolicyKind::SmartAlloc { p: 2.0 };
+    let cfg = RunConfig {
+        seed: a.seed,
+        jobs: a.jobs,
+        ..RunConfig::default()
+    };
+    cfg.validate()?;
+
+    println!("== bench-cluster — fleet metrics vs hosts x VMs ==");
+    println!(
+        "footprint {footprint_mb} MiB/VM, balanced mix, 250 ms staggered arrivals, \
+         policy smart-alloc:2, datacenter interconnect, migration on, \
+         far tier = 1/4 of each host's shard"
+    );
+
+    let mut cells_json = Vec::new();
+    for (hosts, vms) in [(1usize, 8u32), (2, 8), (2, 16), (2, 32)] {
+        let params = FleetParams {
+            vms,
+            footprint_mb,
+            ..FleetParams::default()
+        };
+        let kind = ScenarioKind::Scenario5(params);
+        let spec = cluster_spec(kind, hosts, &cfg);
+        let cluster = ClusterConfig {
+            far: Some(FarConfig {
+                capacity_pages: (spec.tmem_pages() / hosts as u64 / 4).max(1),
+            }),
+            ..default_cluster(hosts)
+        };
+        let scenario = spec.name.clone();
+        let m = measure(|| run_cluster(spec, policy, &cfg, &cluster));
+        let cr = &m.value;
+        let f = &cr.fleet;
+        let wall_s = m.wall.as_secs_f64();
+        let rss_mib = m.peak_rss_kb.map_or(f64::NAN, |kb| kb as f64 / 1024.0);
+        let truncated = cr.host_results.iter().any(|r| r.truncated);
+        println!(
+            "cluster {hosts}x{vms:<3}: wall {wall_s:7.2} s  peak RSS {rss_mib:8.1} MiB  \
+             migrations {:>3} (downtime {})  cross-host {} transfers / {} pages  \
+             stranded {}{}",
+            f.migrations,
+            f.migration_downtime,
+            f.cross_host_transfers,
+            f.cross_host_pages,
+            f.stranded_page_intervals,
+            if truncated { "  TRUNCATED" } else { "" },
+        );
+        cells_json.push(format!(
+            "    {{\n      \"hosts\": {hosts},\n      \"vms\": {vms},\n      \
+             \"scenario\": \"{scenario}\",\n      \"wall_s\": {wall_s:.3},\n      \
+             \"peak_rss_kb\": {},\n      \"events\": {},\n      \
+             \"sim_end_s\": {:.3},\n      \"truncated\": {truncated},\n      \
+             \"migrations\": {},\n      \"migration_downtime_ns\": {},\n      \
+             \"cross_host_transfers\": {},\n      \"cross_host_pages\": {},\n      \
+             \"net_queue_wait_ns\": {},\n      \"stranded_page_intervals\": {}\n    }}",
+            m.peak_rss_kb
+                .map_or("null".to_string(), |kb| kb.to_string()),
+            cr.host_results[0].events,
+            cr.host_results
+                .iter()
+                .map(|r| r.end_time.as_secs_f64())
+                .fold(0.0, f64::max),
+            f.migrations,
+            f.migration_downtime.as_nanos(),
+            f.cross_host_transfers,
+            f.cross_host_pages,
+            f.net_queue_wait.as_nanos(),
+            f.stranded_page_intervals,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"host\": {{ \"available_cores\": {} }},\n  \"config\": {{ \"scale\": {}, \
+         \"footprint_mb\": {footprint_mb}, \"seed\": {}, \"jobs\": {}, \
+         \"policy\": \"smart-alloc:2\", \"mix\": \"balanced\", \"arrival_gap_ms\": 250, \
+         \"net\": \"datacenter\", \"migration\": \"default\", \
+         \"far\": \"quarter-shard\" }},\n  \
+         \"note\": \"peak_rss_kb is the process-lifetime high-water mark (VmHWM); cells run \
+         in ascending order, so each reading is the peak through that cell\",\n  \
+         \"cluster_cells\": [\n{}\n  ]\n}}\n",
+        scenarios::par::default_jobs(),
+        a.scale,
+        a.seed,
+        a.jobs,
+        cells_json.join(",\n")
+    );
+    let dir = a.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = dir.join("BENCH_fleet.json");
+    std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("perf record: {}", path.display());
+    Ok(())
+}
+
 /// `trace`: run one (scenario × policy) cell with the flight recorder
 /// attached, replay-verify the event stream against the live accounting,
 /// print the metrics registry, and (with `--out`) write the JSONL trace.
@@ -771,12 +913,98 @@ fn trace_cmd(kind: ScenarioKind, policy: PolicyKind, a: &Args) -> Result<(), Str
     Ok(())
 }
 
+/// `trace` for a multi-host cell: run the cluster with every host's
+/// flight recorder attached, replay-verify the merged streams (migration
+/// events included), print the fleet report, and (with `--out FILE`)
+/// write host 0's JSONL to FILE and host N's to `FILE.hostN`.
+fn trace_cluster_cmd(
+    kind: ScenarioKind,
+    hosts: usize,
+    policy: PolicyKind,
+    a: &Args,
+) -> Result<(), String> {
+    let mut cfg = run_config(a)?;
+    cfg.record_series = true;
+    cfg.trace = Some(TraceConfig::default());
+    if let Some(p) = &a.chaos {
+        cfg.faults = p.profile.clone();
+    }
+    let spec = cluster_spec(kind, hosts, &cfg);
+    let cr = run_cluster(spec, policy, &cfg, &default_cluster(hosts));
+    let head = &cr.host_results[0];
+    println!(
+        "== trace {} / {} ({hosts} hosts, scale {}, seed {}, chaos {}) ==",
+        head.scenario,
+        head.policy,
+        a.scale,
+        a.seed,
+        a.chaos.as_ref().map_or("off", |p| p.name.as_str()),
+    );
+    for (h, r) in cr.host_results.iter().enumerate() {
+        let data = r
+            .trace
+            .as_ref()
+            .expect("trace was configured, so every host extracts one");
+        println!(
+            "host {h}: {} events recorded, {} dropped",
+            data.events.len(),
+            data.dropped_oldest
+        );
+    }
+    match scenarios::trace_check::verify_cluster(&cr.host_results) {
+        Ok(rep) if rep.ok() => {
+            println!(
+                "replay: PASS — {} checks over {} events re-derived the live accounting",
+                rep.checks, rep.events
+            );
+        }
+        Ok(rep) => {
+            for mi in &rep.mismatches {
+                eprintln!("replay mismatch: {mi}");
+            }
+            return Err(format!(
+                "replay verification failed: {} mismatch(es) in {} checks",
+                rep.mismatches.len(),
+                rep.checks
+            ));
+        }
+        Err(e) => return Err(format!("replay verification unavailable: {e}")),
+    }
+    print!("{}", report::render_fleet(&cr));
+    if let Some(path) = &a.out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        for (h, r) in cr.host_results.iter().enumerate() {
+            let data = r.trace.as_ref().expect("extracted above");
+            let header = TraceHeader {
+                scenario: r.scenario.clone(),
+                policy: r.policy.clone(),
+                seed: a.seed,
+                filter: None,
+            };
+            let jsonl = data.to_jsonl(&header, a.filter.as_deref());
+            let written = jsonl.lines().count().saturating_sub(1);
+            let host_path = if h == 0 {
+                path.clone()
+            } else {
+                PathBuf::from(format!("{}.host{h}", path.display()))
+            };
+            std::fs::write(&host_path, &jsonl)
+                .map_err(|e| format!("writing {}: {e}", host_path.display()))?;
+            println!("trace: {} ({written} events)", host_path.display());
+        }
+    }
+    Ok(())
+}
+
 /// Per-VM admission/datapath counters accumulated by `inspect`.
 #[derive(Default)]
 struct VmInspect {
     stored: u64,
     replaced: u64,
     stored_evict: u64,
+    stored_far: u64,
     reject_target: u64,
     reject_cap: u64,
     reject_io: u64,
@@ -819,6 +1047,7 @@ fn inspect_cmd(path: &Path) -> Result<(), String> {
                 PutResult::Stored => row.stored += 1,
                 PutResult::Replaced => row.replaced += 1,
                 PutResult::StoredEvict => row.stored_evict += 1,
+                PutResult::StoredFar => row.stored_far += 1,
                 PutResult::RejectTarget => row.reject_target += 1,
                 PutResult::RejectCapacity => row.reject_cap += 1,
                 PutResult::RejectIo => row.reject_io += 1,
@@ -838,11 +1067,12 @@ fn inspect_cmd(path: &Path) -> Result<(), String> {
     }
     println!("-- per-VM tmem admission --");
     println!(
-        "{:>3} {:>9} {:>9} {:>9} {:>10} {:>8} {:>7} {:>9} {:>9} {:>8} {:>9}",
+        "{:>3} {:>9} {:>9} {:>9} {:>8} {:>10} {:>8} {:>7} {:>9} {:>9} {:>8} {:>9}",
         "vm",
         "stored",
         "replaced",
         "st_evict",
+        "st_far",
         "rej_targ",
         "rej_cap",
         "rej_io",
@@ -853,10 +1083,11 @@ fn inspect_cmd(path: &Path) -> Result<(), String> {
     );
     for (vm, r) in &vms {
         println!(
-            "{vm:>3} {:>9} {:>9} {:>9} {:>10} {:>8} {:>7} {:>9} {:>9} {:>8} {:>9}",
+            "{vm:>3} {:>9} {:>9} {:>9} {:>8} {:>10} {:>8} {:>7} {:>9} {:>9} {:>8} {:>9}",
             r.stored,
             r.replaced,
             r.stored_evict,
+            r.stored_far,
             r.reject_target,
             r.reject_cap,
             r.reject_io,
@@ -1162,6 +1393,16 @@ fn print_result(r: &RunResult) {
     }
 }
 
+/// Cluster-cell summary shared by `run` and `run-file`: the per-host
+/// results followed by the rendered fleet report.
+fn print_cluster_result(c: &ClusterResult) {
+    for (h, r) in c.host_results.iter().enumerate() {
+        println!("-- host {h} --");
+        print_result(r);
+    }
+    print!("{}", report::render_fleet(c));
+}
+
 /// `run-file`: run a declarative scenario file under one or more policies.
 /// The file's `[run]` table supplies defaults for anything the command
 /// line leaves unset; explicit flags and positional policies win.
@@ -1234,7 +1475,10 @@ fn run_file_cmd(
             if reps > 1 {
                 println!("-- rep {} --", rep + 1);
             }
-            print_result(&run_spec(doc.spec.clone(), policy, &cfg));
+            match &doc.cluster {
+                Some(c) => print_cluster_result(&run_cluster(doc.spec.clone(), policy, &cfg, c)),
+                None => print_result(&run_spec(doc.spec.clone(), policy, &cfg)),
+            }
         }
     }
     Ok(())
@@ -1317,6 +1561,10 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             let a = parse_flags(rest)?;
             bench_fleet(&a)
         }
+        "bench-cluster" => {
+            let a = parse_flags(rest)?;
+            bench_cluster(&a)
+        }
         "chaos" => {
             let a = parse_flags(rest)?;
             let cfg = run_config(&a)?;
@@ -1351,10 +1599,14 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
         "trace" => {
             let (scenario, rest) = rest.split_first().ok_or("trace needs a scenario")?;
             let (policy, rest) = rest.split_first().ok_or("trace needs a policy")?;
-            let kind = parse_scenario(scenario)?;
+            let (kind, hosts) = parse_scenario_cluster(scenario)?;
             let policy = parse_policy(policy)?;
             let a = parse_flags(rest)?;
-            trace_cmd(kind, policy, &a)
+            if hosts > 1 {
+                trace_cluster_cmd(kind, hosts, policy, &a)
+            } else {
+                trace_cmd(kind, policy, &a)
+            }
         }
         "run-file" => {
             let (file, rest) = rest
@@ -1383,12 +1635,17 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
         "run" => {
             let (scenario, rest) = rest.split_first().ok_or("run needs a scenario")?;
             let (policy, rest) = rest.split_first().ok_or("run needs a policy")?;
-            let kind = parse_scenario(scenario)?;
+            let (kind, hosts) = parse_scenario_cluster(scenario)?;
             let policy = parse_policy(policy)?;
             let a = parse_flags(rest)?;
             let cfg = run_config(&a)?;
-            let r = run_scenario(kind, policy, &cfg);
-            print_result(&r);
+            if hosts > 1 {
+                let spec = cluster_spec(kind, hosts, &cfg);
+                let cr = run_cluster(spec, policy, &cfg, &default_cluster(hosts));
+                print_cluster_result(&cr);
+            } else {
+                print_result(&run_scenario(kind, policy, &cfg));
+            }
             Ok(())
         }
         other => Err(format!("unknown command '{other}'")),
@@ -1402,6 +1659,10 @@ mod tests {
 
     fn args(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn parse_scenario(s: &str) -> Result<ScenarioKind, String> {
+        dsl::parse_kind(s)
     }
 
     #[test]
@@ -1542,6 +1803,20 @@ mod tests {
                 arrival: Arrival::Simultaneous,
             }),
             "gap 0 means simultaneous arrivals"
+        );
+        let (kind, hosts) = parse_scenario_cluster("fleet:2x32").unwrap();
+        assert_eq!(hosts, 2, "cluster spelling carries the host count");
+        assert_eq!(
+            kind,
+            ScenarioKind::Scenario5(FleetParams {
+                vms: 32,
+                ..FleetParams::default()
+            })
+        );
+        assert_eq!(
+            parse_scenario_cluster("fleet:16").unwrap().1,
+            1,
+            "bare counts stay single-host"
         );
         assert!(parse_scenario("fleet:0").is_err(), "zero VMs");
         assert!(parse_scenario("fleet:8:0").is_err(), "zero footprint");

@@ -25,11 +25,13 @@
 //! transmission are suppressed to avoid needless communication.
 
 pub mod balloon;
+pub mod fleet;
 pub mod history;
 pub mod mm;
 pub mod policy;
 
 pub use balloon::{BalloonAdvice, BalloonConfig, BalloonManager};
+pub use fleet::{FleetConfig, FleetManager, HostLoad, MigrationPlan, VmPlacement};
 pub use history::{SeqObservation, StatsHistory};
 pub use mm::{MemoryManager, REBUILD_WINDOW};
 pub use policy::greedy::Greedy;

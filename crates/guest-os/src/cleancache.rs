@@ -107,6 +107,20 @@ impl FileCache {
         &self.stats
     }
 
+    /// The ephemeral pool this cache spills into.
+    pub fn pool(&self) -> PoolId {
+        self.pool
+    }
+
+    /// Point the cache at a replacement ephemeral pool (live migration:
+    /// ephemeral contents are dropped at the source and the destination
+    /// registers an empty pool). The in-guest page cache travels with the
+    /// VM's RAM, so `cached`/`fifo` stay; future cleancache gets simply
+    /// miss until the new pool warms up — a miss is never an error.
+    pub fn rebind(&mut self, pool: PoolId) {
+        self.pool = pool;
+    }
+
     /// Pages currently in the guest page cache.
     pub fn cached_pages(&self) -> usize {
         self.cached.len()

@@ -293,8 +293,14 @@ impl GuestKernel {
                 m.budget.faults += 1;
                 let pool = self.pool.expect("page in tmem without a pool");
                 let (obj, idx) = self.key_of(vp as u64);
-                match m.hyp.get_checked(pool, obj, idx) {
-                    GetOutcome::Hit(got) => {
+                let outcome = m.hyp.get_checked(pool, obj, idx);
+                if matches!(outcome, GetOutcome::FarHit(_)) {
+                    // A far hit pays the fabric access on top of the
+                    // hypercall charged above.
+                    m.budget.charge_compute(m.cost.far_access);
+                }
+                match outcome {
+                    GetOutcome::Hit(got) | GetOutcome::FarHit(got) => {
                         self.stats.tmem_faults += 1;
                         let expect = self.fingerprint(vp as u64);
                         assert_eq!(got, expect, "tmem returned stale/corrupt data for {page}");
@@ -477,7 +483,7 @@ impl GuestKernel {
             m.budget.charge_compute(m.cost.tmem_hypercall_nocopy);
             self.stats.tmem_corrupt_retries += 1;
             match m.hyp.get_checked(pool, obj, idx) {
-                GetOutcome::Hit(got) => {
+                GetOutcome::Hit(got) | GetOutcome::FarHit(got) => {
                     // The page healed between attempts — unreachable with
                     // the current in-place injector, but the retry loop
                     // takes yes for an answer.
@@ -605,7 +611,13 @@ impl GuestKernel {
                         !matches!(outcome, tmem::backend::PutOutcome::Replaced),
                         "frontswap should never overwrite a live key"
                     );
-                    m.budget.charge_compute(m.cost.tmem_hypercall);
+                    if matches!(outcome, tmem::backend::PutOutcome::StoredFar) {
+                        // Spilled to the far tier: the page crossed the
+                        // fabric instead of being a local copy.
+                        m.budget.charge_compute(m.cost.far_access);
+                    } else {
+                        m.budget.charge_compute(m.cost.tmem_hypercall);
+                    }
                     self.stats.evictions_to_tmem += 1;
                     self.pages[vp].loc = PageLoc::InTmem;
                     self.frames[f as usize] = None;

@@ -417,12 +417,13 @@ impl ChaosReport {
              ephemeral_losses_injected,put_io_failures_injected,\
              brownout_rejections,brownout_ticks,corruptions_detected,\
              corruptions_recovered,objects_quarantined,scrub_passes,\
-             scrub_pages_checked\n",
+             scrub_pages_checked,migrations_out,migrations_in,migrate_pages,\
+             migrate_purged,migrate_spilled\n",
         );
         for c in &self.cells {
             let l = &c.ledger;
             out.push_str(&format!(
-                "{},{},{},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 c.scenario,
                 c.policy,
                 c.profile,
@@ -456,6 +457,11 @@ impl ChaosReport {
                 l.objects_quarantined,
                 l.scrub_passes,
                 l.scrub_pages_checked,
+                l.migrations_out,
+                l.migrations_in,
+                l.migrate_pages,
+                l.migrate_purged,
+                l.migrate_spilled,
             ));
         }
         out

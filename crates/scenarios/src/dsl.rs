@@ -35,6 +35,12 @@
 //! `"vmN label <milestone>"` for a literal label; `[scenario]` may carry a
 //! matching `stop_on`.
 //!
+//! A scenario file may additionally declare a `[cluster]` table — host
+//! count, interconnect preset (`datacenter`/`commodity`), optional
+//! per-host far-memory tier, and the fleet-scheduler migration knobs —
+//! which `run-file` executes through [`crate::runner::run_cluster`]. On
+//! the command line the same topology is spelled `fleet:<hosts>x<vms>`.
+//!
 //! **Chaos files** name a [`FaultProfile`] field-by-field (the schema *is*
 //! [`FaultProfile::PROB_FIELDS`] plus the crash pair and the data-plane
 //! interval knobs `brownout_every` / `brownout_for` / `scrub_every`).
@@ -49,20 +55,24 @@
 
 use crate::chaos::{shipped_profiles, ChaosProfile};
 use crate::config::RunConfig;
+use crate::runner::ClusterConfig;
 use crate::spec::{
     build_scenario, usemem_alloc_label, Arrival, FleetParams, ProgramStep, ScenarioKind,
     ScenarioSpec, StartRule, VmSpec, WorkloadMix, WorkloadSpec,
 };
 use crate::toml::{self, Table, TableReader, Value};
 use sim_core::faults::FaultProfile;
+use sim_core::netmodel::NetModel;
 use sim_core::time::SimDuration;
-use smartmem_core::PolicyKind;
+use smartmem_core::{FleetConfig, PolicyKind};
 use std::path::Path;
 use tmem::key::VmId;
+use tmem::page::PAGE_SIZE;
 use workloads::fileserver::FileServerConfig;
 use workloads::graph::GraphAnalyticsConfig;
 use workloads::inmem::InMemoryAnalyticsConfig;
 use workloads::usemem::UsememConfig;
+use xen_sim::host::FarConfig;
 use xen_sim::vm::VmConfig;
 
 /// The one on-disk format version this build reads and writes.
@@ -169,6 +179,60 @@ pub fn parse_kind(s: &str) -> Result<ScenarioKind, String> {
     }
 }
 
+/// Cluster-aware fleet spec: the first token may be `<hosts>x<vms>`
+/// instead of a bare VM count (`fleet:2x32` = 32 VMs sharded over 2
+/// hosts). Returns the cell parameters plus the host count (1 when the
+/// token is a bare count).
+pub fn parse_fleet_cluster(s: &str) -> Result<(FleetParams, usize), String> {
+    let (first, rest) = match s.split_once(':') {
+        Some((f, r)) => (f, Some(r)),
+        None => (s, None),
+    };
+    let (hosts, vms_tok) = match first.split_once('x') {
+        Some((h, v)) => {
+            let hosts: usize = h
+                .parse()
+                .map_err(|e| format!("fleet host count '{h}': {e}"))?;
+            if hosts == 0 {
+                return Err("fleet host count must be at least 1".into());
+            }
+            (hosts, v)
+        }
+        None => (1, first),
+    };
+    let joined = match rest {
+        Some(r) => format!("{vms_tok}:{r}"),
+        None => vms_tok.to_string(),
+    };
+    Ok((parse_fleet(&joined)?, hosts))
+}
+
+/// Cluster-aware scenario name: like [`parse_kind`], but the `fleet:`
+/// family also accepts a `<hosts>x<vms>` first token. Every other
+/// scenario is single-host.
+pub fn parse_kind_cluster(s: &str) -> Result<(ScenarioKind, usize), String> {
+    if let Some(params) = s.strip_prefix("fleet:") {
+        let (p, hosts) = parse_fleet_cluster(params)?;
+        return Ok((ScenarioKind::Scenario5(p), hosts));
+    }
+    Ok((parse_kind(s)?, 1))
+}
+
+/// Scenario display name of a cluster cell: the host count appears only
+/// when the cluster actually has more than one host, so single-host runs
+/// keep their historical (golden-pinned) names.
+pub fn cluster_scenario_name(base: &str, hosts: usize) -> String {
+    if hosts <= 1 {
+        base.to_string()
+    } else if let Some(rest) = base.strip_prefix("scenario5-") {
+        // "scenario5-32x64mb-balanced" → "scenario5-2x32x64mb-balanced",
+        // mirroring the `fleet:<hosts>x<vms>` spelling.
+        format!("scenario5-{hosts}x{rest}")
+    } else {
+        format!("{base}-{hosts}hosts")
+    }
+}
+
 /// Parse a size literal: an integer with an optional binary-unit suffix
 /// (`B`, `KiB`, `MiB`, `GiB`, `TiB`); no suffix means bytes.
 pub fn parse_size(s: &str) -> Result<u64, String> {
@@ -246,6 +310,9 @@ pub struct ScenarioDoc {
     pub spec: ScenarioSpec,
     /// `[run]` table contents (all `None` when absent).
     pub run: RunDirectives,
+    /// `[cluster]` topology, when the file declares one. `None` runs the
+    /// classic single-host path.
+    pub cluster: Option<ClusterConfig>,
 }
 
 fn check_version(reader: &mut TableReader<'_>) -> Result<(), String> {
@@ -348,6 +415,81 @@ fn fleet_table(t: &Table) -> Result<FleetParams, String> {
         footprint_mb,
         mix,
         arrival,
+    })
+}
+
+/// `[cluster]` — the optional multi-host topology. `hosts` is required;
+/// `net` names an interconnect preset (`datacenter`, `commodity`), `far`
+/// sizes a per-host far-memory tier, and `migration = true` (or any of
+/// the three scheduler tunables) turns on MM-driven VM migration.
+fn cluster_table(t: &Table) -> Result<ClusterConfig, String> {
+    let mut r = TableReader::new("[cluster]", t);
+    let hosts = r.req_u64("hosts")?;
+    if hosts == 0 {
+        return Err(r.field_err("hosts", "a cluster needs at least 1 host"));
+    }
+    let hosts = usize::try_from(hosts).map_err(|_| r.field_err("hosts", "too many hosts"))?;
+    let net = match r.opt_str("net")?.as_deref() {
+        None | Some("datacenter") => NetModel::datacenter(),
+        Some("commodity") => NetModel::commodity(),
+        Some(other) => {
+            return Err(r.field_err(
+                "net",
+                format!("unknown network preset '{other}' (datacenter, commodity)"),
+            ))
+        }
+    };
+    let far = match r.opt_str("far")? {
+        Some(s) => {
+            let bytes = parse_size(&s).map_err(|e| r.field_err("far", e))?;
+            let pages = bytes / PAGE_SIZE as u64;
+            if pages == 0 {
+                return Err(r.field_err("far", "far tier is smaller than one page"));
+            }
+            Some(FarConfig {
+                capacity_pages: pages,
+            })
+        }
+        None => None,
+    };
+    let enabled = r.opt_bool("migration")?;
+    let threshold = r.opt_f64("divergence_threshold")?;
+    let cooldown = r.opt_u64("cooldown_intervals")?;
+    let min_history = r.opt_u64("min_history")?;
+    let tunables = threshold.is_some() || cooldown.is_some() || min_history.is_some();
+    if enabled == Some(false) && tunables {
+        return Err(r.field_err(
+            "migration",
+            "migration = false contradicts the migration tunables in this table",
+        ));
+    }
+    let migration = if enabled.unwrap_or(false) || tunables {
+        let mut f = FleetConfig::default();
+        if let Some(v) = threshold {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(r.field_err(
+                    "divergence_threshold",
+                    format!("must be a positive finite pressure ratio, got {v}"),
+                ));
+            }
+            f.divergence_threshold = v;
+        }
+        if let Some(v) = cooldown {
+            f.cooldown_intervals = v;
+        }
+        if let Some(v) = min_history {
+            f.min_history = v;
+        }
+        Some(f)
+    } else {
+        None
+    };
+    r.finish()?;
+    Ok(ClusterConfig {
+        hosts,
+        net,
+        far,
+        migration,
     })
 }
 
@@ -610,10 +752,14 @@ pub fn parse_scenario_src(src: &str, cfg: &RunConfig) -> Result<ScenarioDoc, Str
     let mut root = TableReader::new("top level", &doc.root);
     check_version(&mut root)?;
     root.finish()?;
-    known_tables(&doc, &["scenario", "fleet", "run"], &["vm"])?;
+    known_tables(&doc, &["scenario", "fleet", "run", "cluster"], &["vm"])?;
     let run = parse_run_table(&doc)?;
+    let cluster = match doc.table("cluster") {
+        Some(t) => Some(cluster_table(t)?),
+        None => None,
+    };
 
-    let spec = match doc.table("fleet") {
+    let mut spec = match doc.table("fleet") {
         Some(t) => {
             if doc.table("scenario").is_some() || !doc.array("vm").is_empty() {
                 return Err(format!(
@@ -626,7 +772,10 @@ pub fn parse_scenario_src(src: &str, cfg: &RunConfig) -> Result<ScenarioDoc, Str
         None => vm_scenario(&doc, cfg)?,
     };
     spec.validate()?;
-    Ok(ScenarioDoc { spec, run })
+    if let Some(c) = &cluster {
+        spec.name = cluster_scenario_name(&spec.name, c.hosts);
+    }
+    Ok(ScenarioDoc { spec, run, cluster })
 }
 
 /// Read and parse a scenario file; errors are prefixed with the path.
@@ -1010,6 +1159,128 @@ program = ["run usemem paper"]
             let e = parse_scenario_src(src, &c).unwrap_err();
             assert!(e.contains(needle), "for {src:?}:\n  got: {e}");
             assert!(e.contains("line "), "not line-anchored for {src:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn fleet_cluster_spelling_parses() {
+        let (p, hosts) = parse_fleet_cluster("2x32").unwrap();
+        assert_eq!(hosts, 2);
+        assert_eq!(p.vms, 32);
+        let (p, hosts) = parse_fleet_cluster("4x16:128:paging:100").unwrap();
+        assert_eq!(hosts, 4);
+        assert_eq!(p.vms, 16);
+        assert_eq!(p.footprint_mb, 128);
+        assert_eq!(p.mix, WorkloadMix::Paging);
+        assert_eq!(p.arrival, Arrival::Staggered { gap_ms: 100 });
+        // A bare count is a 1-host cluster — the classic spelling.
+        let (p, hosts) = parse_fleet_cluster("16").unwrap();
+        assert_eq!((p.vms, hosts), (16, 1));
+        assert!(parse_fleet_cluster("0x8").is_err(), "zero hosts");
+        assert!(parse_fleet_cluster("2x0").is_err(), "zero VMs");
+        assert!(parse_fleet_cluster("x8").is_err(), "empty host count");
+
+        let (kind, hosts) = parse_kind_cluster("fleet:2x32").unwrap();
+        assert_eq!(hosts, 2);
+        assert_eq!(
+            kind,
+            ScenarioKind::Scenario5(FleetParams {
+                vms: 32,
+                ..FleetParams::default()
+            })
+        );
+        assert_eq!(parse_kind_cluster("scenario1").unwrap().1, 1);
+        // The single-host vocabulary rejects the cluster spelling; hosts
+        // only enter through the cluster-aware entry points.
+        assert!(parse_kind("fleet:2x32").is_err());
+    }
+
+    #[test]
+    fn cluster_names_include_hosts_only_when_plural() {
+        assert_eq!(
+            cluster_scenario_name("scenario5-32x64mb-balanced", 1),
+            "scenario5-32x64mb-balanced"
+        );
+        assert_eq!(
+            cluster_scenario_name("scenario5-32x64mb-balanced", 2),
+            "scenario5-2x32x64mb-balanced"
+        );
+        assert_eq!(cluster_scenario_name("mini", 3), "mini-3hosts");
+    }
+
+    #[test]
+    fn cluster_table_parses_and_validates() {
+        let doc = parse_scenario_src(
+            "version = 1\n[fleet]\nvms = 8\nfootprint_mb = 64\n\
+             [cluster]\nhosts = 2\nnet = \"commodity\"\nfar = \"4MiB\"\nmigration = true\n",
+            &cfg(),
+        )
+        .unwrap();
+        let c = doc.cluster.expect("[cluster] was declared");
+        assert_eq!(c.hosts, 2);
+        assert_eq!(c.net, NetModel::commodity());
+        assert_eq!(
+            c.far,
+            Some(FarConfig {
+                capacity_pages: (4 << 20) / PAGE_SIZE as u64
+            })
+        );
+        assert_eq!(c.migration, Some(FleetConfig::default()));
+        assert_eq!(doc.spec.name, "scenario5-2x8x64mb-balanced");
+
+        // Tunables imply migration; omitting everything disables it.
+        let doc = parse_scenario_src(
+            "version = 1\n[fleet]\nvms = 8\n[cluster]\nhosts = 2\n\
+             divergence_threshold = 0.5\ncooldown_intervals = 2\nmin_history = 1\n",
+            &cfg(),
+        )
+        .unwrap();
+        assert_eq!(
+            doc.cluster.unwrap().migration,
+            Some(FleetConfig {
+                divergence_threshold: 0.5,
+                cooldown_intervals: 2,
+                min_history: 1,
+            })
+        );
+        let doc = parse_scenario_src(
+            "version = 1\n[fleet]\nvms = 8\n[cluster]\nhosts = 3\n",
+            &cfg(),
+        )
+        .unwrap();
+        let c = doc.cluster.unwrap();
+        assert_eq!(c.net, NetModel::datacenter(), "datacenter is the default");
+        assert_eq!(c.far, None);
+        assert_eq!(c.migration, None);
+
+        for (src, needle) in [
+            (
+                "version = 1\n[fleet]\nvms = 8\n[cluster]\nhosts = 0\n",
+                "at least 1 host",
+            ),
+            (
+                "version = 1\n[fleet]\nvms = 8\n[cluster]\nhosts = 2\nnet = \"carrier-pigeon\"\n",
+                "unknown network preset",
+            ),
+            (
+                "version = 1\n[fleet]\nvms = 8\n[cluster]\nhosts = 2\nfar = \"12B\"\n",
+                "smaller than one page",
+            ),
+            (
+                "version = 1\n[fleet]\nvms = 8\n[cluster]\nhosts = 2\nmigration = false\nmin_history = 1\n",
+                "contradicts",
+            ),
+            (
+                "version = 1\n[fleet]\nvms = 8\n[cluster]\nhosts = 2\ndivergence_threshold = -0.5\n",
+                "positive finite",
+            ),
+            (
+                "version = 1\n[fleet]\nvms = 8\n[cluster]\nhosts = 2\nwarp = 9\n",
+                "unknown field 'warp'",
+            ),
+        ] {
+            let e = parse_scenario_src(src, &cfg()).unwrap_err();
+            assert!(e.contains(needle), "for {src:?}:\n  got: {e}");
         }
     }
 

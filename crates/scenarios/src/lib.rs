@@ -43,8 +43,10 @@ pub mod trace_check;
 
 pub use chaos::{run_chaos, ChaosProfile, ChaosReport, DEGRADATION_BOUND};
 pub use config::RunConfig;
-pub use runner::{run_scenario, RunResult, VmResult};
+pub use runner::{
+    run_cluster, run_scenario, ClusterConfig, ClusterResult, FleetMetrics, RunResult, VmResult,
+};
 pub use spec::{build_scenario, Arrival, FleetParams, ScenarioKind, ScenarioSpec, WorkloadMix};
-pub use trace_check::{verify, ReplayReport};
+pub use trace_check::{verify, verify_cluster, ReplayReport};
 
 pub use smartmem_core::PolicyKind;

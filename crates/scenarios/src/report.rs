@@ -1,6 +1,8 @@
-//! Rendering: aligned ASCII tables and CSV files for every figure.
+//! Rendering: aligned ASCII tables and CSV files for every figure, plus
+//! the fleet (cluster) report.
 
 use crate::figures::{FigureData, SeriesFigure};
+use crate::runner::ClusterResult;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -129,6 +131,114 @@ pub fn write_series_csv(fig: &SeriesFigure, dir: &Path) -> io::Result<std::path:
             }
         }
     }
+    fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// Render a cluster run as an aligned fleet report: one row per host
+/// (resident VMs, end-of-run tmem/far occupancy, the migration ledger)
+/// followed by the fleet-wide summary line with the stranded-memory and
+/// cross-host-traffic figures. Golden-pinned by the cluster test battery.
+pub fn render_fleet(c: &ClusterResult) -> String {
+    let mut out = String::new();
+    let head = &c.host_results[0];
+    let _ = writeln!(
+        out,
+        "== fleet report — {} / {} ({} hosts) ==",
+        head.scenario, head.policy, c.fleet.hosts
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>4} {:>11} {:>10} {:>9} {:>8} {:>11} {:>9} {:>9}",
+        "host",
+        "vms",
+        "tmem_pages",
+        "far_pages",
+        "migr_out",
+        "migr_in",
+        "moved_pages",
+        "purged",
+        "spilled"
+    );
+    for (h, r) in c.host_results.iter().enumerate() {
+        let tmem: u64 = r.final_tmem_used.iter().sum();
+        let far: u64 = r.final_far_used.iter().sum();
+        let l = &r.faults;
+        let _ = writeln!(
+            out,
+            "{h:>4} {:>4} {tmem:>11} {far:>10} {:>9} {:>8} {:>11} {:>9} {:>9}",
+            r.vm_results.len(),
+            l.migrations_out,
+            l.migrations_in,
+            l.migrate_pages,
+            l.migrate_purged,
+            l.migrate_spilled,
+        );
+    }
+    let f = &c.fleet;
+    let _ = writeln!(
+        out,
+        "fleet: migrations={} downtime={} stranded_page_intervals={}",
+        f.migrations, f.migration_downtime, f.stranded_page_intervals
+    );
+    let _ = writeln!(
+        out,
+        "cross-host traffic: transfers={} pages={} queue_wait={}",
+        f.cross_host_transfers, f.cross_host_pages, f.net_queue_wait
+    );
+    out
+}
+
+/// Write the fleet report as CSV (`fleet_report.csv` under `dir`): one
+/// row per host plus a `fleet` aggregate row. Host rows carry the
+/// per-host occupancy and migration-ledger columns; the aggregate row
+/// additionally fills the fleet-wide stranded-memory and
+/// cross-host-traffic columns (blank on host rows).
+pub fn write_fleet_csv(c: &ClusterResult, dir: &Path) -> io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join("fleet_report.csv");
+    let mut body = String::from(
+        "host,vms,tmem_pages,far_pages,migrations_out,migrations_in,\
+         migrate_pages,migrate_purged,migrate_spilled,migrations,\
+         downtime_ns,stranded_page_intervals,cross_host_transfers,\
+         cross_host_pages,net_queue_wait_ns\n",
+    );
+    let (mut vms, mut tmem, mut far) = (0usize, 0u64, 0u64);
+    let (mut out_n, mut in_n, mut moved, mut purged, mut spilled) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for (h, r) in c.host_results.iter().enumerate() {
+        let t: u64 = r.final_tmem_used.iter().sum();
+        let fr: u64 = r.final_far_used.iter().sum();
+        let l = &r.faults;
+        let _ = writeln!(
+            body,
+            "{h},{},{t},{fr},{},{},{},{},{},,,,,,",
+            r.vm_results.len(),
+            l.migrations_out,
+            l.migrations_in,
+            l.migrate_pages,
+            l.migrate_purged,
+            l.migrate_spilled,
+        );
+        vms += r.vm_results.len();
+        tmem += t;
+        far += fr;
+        out_n += l.migrations_out;
+        in_n += l.migrations_in;
+        moved += l.migrate_pages;
+        purged += l.migrate_purged;
+        spilled += l.migrate_spilled;
+    }
+    let f = &c.fleet;
+    let _ = writeln!(
+        body,
+        "fleet,{vms},{tmem},{far},{out_n},{in_n},{moved},{purged},{spilled},{},{},{},{},{},{}",
+        f.migrations,
+        f.migration_downtime.as_nanos(),
+        f.stranded_page_intervals,
+        f.cross_host_transfers,
+        f.cross_host_pages,
+        f.net_queue_wait.as_nanos(),
+    );
     fs::write(&path, body)?;
     Ok(path)
 }

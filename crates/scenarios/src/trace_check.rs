@@ -16,6 +16,24 @@
 //!   The occupancy vector at the `k`-th [`Payload::IntervalClose`] must
 //!   match the `k`-th point of the recorded occupancy time-series, and the
 //!   final vector must match `RunResult::final_tmem_used`.
+//! * far tier: a `stored_far` put is +1 *far* occupancy (the local frame was
+//!   never consumed); `FarGet` is −1 (far hits are exclusive; the paired
+//!   `Get` event carries `freed: false`); `FarFlush` subtracts its page
+//!   count. The final far vector must match `RunResult::final_far_used`.
+//! * migration: `MigrateOut` empties the departing VM on the source host
+//!   (local pages + purged corrupt pages from local occupancy, far pages
+//!   from far occupancy); `MigrateIn` credits the destination with what
+//!   landed locally and in far memory, and counts spilled pages into the
+//!   VM's reclaim total (the import overflow path goes through the guest's
+//!   reclaim callback, which has no `Reclaim` event of its own). A VM that
+//!   appears in a host's trace but not in its final `vm_results` must end
+//!   the replay at exactly zero occupancy on that host.
+//! * admission counters: the per-VM `puts_succ`/`puts_failed`/`get_hits`/
+//!   `flushes` tallies compared against the guest kernel stats cover the
+//!   *frontswap* datapath only, so `PoolCreate` events (which make the
+//!   trace self-describing about each pool's kind) gate the tallies:
+//!   traffic on a pool announced as ephemeral moves occupancy and the
+//!   metrics registry but is excluded from the kernel-stat comparison.
 //! * ledger: sample/netlink fates, relay push outcomes (a retry is any
 //!   attempt ≥ 2 that is not a `Superseded` marker — superseding re-reports
 //!   the old push's attempt count without making a new attempt), MM
@@ -25,7 +43,7 @@
 
 use crate::runner::RunResult;
 use sim_core::faults::{FaultLedger, NetlinkFate, SampleFate};
-use sim_core::trace::{FaultKind, Payload, PushOutcome};
+use sim_core::trace::{FaultKind, Payload, PushOutcome, PutResult};
 use std::collections::BTreeMap;
 
 /// Outcome of one replay verification.
@@ -51,11 +69,24 @@ impl ReplayReport {
 #[derive(Debug, Clone, Copy, Default)]
 struct VmReplay {
     occupancy: i64,
+    far_occ: i64,
     puts_succ: u64,
     puts_failed: u64,
     get_hits: u64,
     flushes: u64,
     reclaimed: u64,
+}
+
+impl VmReplay {
+    fn absorb(&mut self, other: &VmReplay) {
+        self.occupancy += other.occupancy;
+        self.far_occ += other.far_occ;
+        self.puts_succ += other.puts_succ;
+        self.puts_failed += other.puts_failed;
+        self.get_hits += other.get_hits;
+        self.flushes += other.flushes;
+        self.reclaimed += other.reclaimed;
+    }
 }
 
 fn check<T: PartialEq + std::fmt::Debug>(
@@ -78,6 +109,46 @@ fn check<T: PartialEq + std::fmt::Debug>(
 /// ring buffer dropped events (raise `TraceConfig::capacity`). Mismatches
 /// found during replay are collected in the report, not errors.
 pub fn verify(result: &RunResult) -> Result<ReplayReport, String> {
+    let mut report = ReplayReport::default();
+    let vms = replay_one(result, &mut report)?;
+    check_admission_counters(result, &vms, &mut report);
+    Ok(report)
+}
+
+/// Replay every host of a cluster run and verify the fleet-wide accounting.
+///
+/// Each host's trace is replayed independently (occupancy, fault ledger,
+/// metrics registry, MM counters), then the per-VM admission counters are
+/// *summed across hosts* and checked against the lifetime kernel statistics
+/// reported by whichever host the VM finished on — a migrated VM's kernel
+/// travels with it, so its counters span hosts while each host's trace only
+/// saw its own residency window.
+pub fn verify_cluster(hosts: &[RunResult]) -> Result<ReplayReport, String> {
+    let mut report = ReplayReport::default();
+    let mut merged: BTreeMap<u32, VmReplay> = BTreeMap::new();
+    for (h, host) in hosts.iter().enumerate() {
+        let before = report.mismatches.len();
+        let vms = replay_one(host, &mut report)?;
+        for msg in &mut report.mismatches[before..] {
+            *msg = format!("host{h}: {msg}");
+        }
+        for (id, v) in vms {
+            merged.entry(id).or_default().absorb(&v);
+        }
+    }
+    for host in hosts {
+        check_admission_counters(host, &merged, &mut report);
+    }
+    Ok(report)
+}
+
+/// Replay a single host's trace: occupancy (local and far), the fault
+/// ledger, the metrics registry and the MM counters. Returns the per-VM
+/// replay state so callers can merge admission counters across hosts.
+fn replay_one(
+    result: &RunResult,
+    report: &mut ReplayReport,
+) -> Result<BTreeMap<u32, VmReplay>, String> {
     let trace = result
         .trace
         .as_ref()
@@ -89,10 +160,7 @@ pub fn verify(result: &RunResult) -> Result<ReplayReport, String> {
         ));
     }
 
-    let mut report = ReplayReport {
-        events: trace.events.len(),
-        ..ReplayReport::default()
-    };
+    report.events += trace.events.len();
     let mut vms: BTreeMap<u32, VmReplay> = BTreeMap::new();
     for vr in &result.vm_results {
         vms.insert(vr.vm_id.0, VmReplay::default());
@@ -122,40 +190,66 @@ pub fn verify(result: &RunResult) -> Result<ReplayReport, String> {
     let mut mm_sent = 0u64;
     let mut faults_injected = 0u64;
 
+    // Pool kinds learned from `PoolCreate` events. The kernel admission
+    // counters (`evictions_to_tmem`, `failed_puts`, `tmem_faults`,
+    // `tmem_flushes`) cover the frontswap datapath only, so cleancache
+    // (ephemeral-pool) traffic moves occupancy and the metrics registry
+    // but is excluded from the per-VM counter comparison.
+    let mut ephemeral_pools: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+
     for ev in &trace.events {
         match &ev.payload {
-            Payload::Put { result: r, .. } => {
+            Payload::PoolCreate { pool, ephemeral } => {
+                if *ephemeral {
+                    ephemeral_pools.insert(*pool);
+                }
+            }
+            Payload::Put {
+                pool, result: r, ..
+            } => {
                 puts += 1;
+                let frontswap = !ephemeral_pools.contains(pool);
                 let vm = vms.entry(ev.vm.unwrap_or(0)).or_default();
                 if r.is_success() {
-                    vm.puts_succ += 1;
+                    if frontswap {
+                        vm.puts_succ += 1;
+                    }
                 } else {
-                    vm.puts_failed += 1;
+                    if frontswap {
+                        vm.puts_failed += 1;
+                    }
                     puts_rejected += 1;
                 }
                 if r.consumed_frame() {
                     vm.occupancy += 1;
+                }
+                if *r == PutResult::StoredFar {
+                    vm.far_occ += 1;
                 }
             }
             Payload::Evict { .. } => {
                 evictions += 1;
                 vms.entry(ev.vm.unwrap_or(0)).or_default().occupancy -= 1;
             }
-            Payload::Get { hit, freed, .. } => {
+            Payload::Get { pool, hit, freed } => {
                 gets += 1;
                 let vm = vms.entry(ev.vm.unwrap_or(0)).or_default();
                 if *hit {
-                    vm.get_hits += 1;
+                    if !ephemeral_pools.contains(pool) {
+                        vm.get_hits += 1;
+                    }
                     get_hits += 1;
                 }
                 if *freed {
                     vm.occupancy -= 1;
                 }
             }
-            Payload::Flush { pages, .. } => {
+            Payload::Flush { pool, pages } => {
                 flush_pages += pages;
                 let vm = vms.entry(ev.vm.unwrap_or(0)).or_default();
-                vm.flushes += 1;
+                if !ephemeral_pools.contains(pool) {
+                    vm.flushes += 1;
+                }
                 vm.occupancy -= *pages as i64;
             }
             Payload::PoolDestroy { pages, .. } => {
@@ -279,69 +373,93 @@ pub fn verify(result: &RunResult) -> Result<ReplayReport, String> {
                 led.scrub_pages_checked += checked;
                 led.objects_quarantined += quarantined;
             }
+            // A far hit: the paired `Get` event carried `hit: true,
+            // freed: false`, so only the far occupancy moves here.
+            Payload::FarGet { .. } => {
+                vms.entry(ev.vm.unwrap_or(0)).or_default().far_occ -= 1;
+            }
+            Payload::FarFlush { pages, .. } => {
+                vms.entry(ev.vm.unwrap_or(0)).or_default().far_occ -= *pages as i64;
+            }
+            Payload::MigrateOut {
+                pages, far, purged, ..
+            } => {
+                let vm = vms.entry(ev.vm.unwrap_or(0)).or_default();
+                vm.occupancy -= (*pages + *purged) as i64;
+                vm.far_occ -= *far as i64;
+                led.migrations_out += 1;
+                led.migrate_pages += pages + far;
+                led.migrate_purged += purged;
+            }
+            Payload::MigrateIn {
+                pages,
+                far,
+                spilled,
+            } => {
+                let vm = vms.entry(ev.vm.unwrap_or(0)).or_default();
+                vm.occupancy += *pages as i64;
+                vm.far_occ += *far as i64;
+                // Import overflow is handed to the guest's reclaim callback
+                // (pages pushed back to the swap device), which bumps the
+                // kernel's reclaimed_pages without a `Reclaim` event.
+                vm.reclaimed += spilled;
+                led.migrations_in += 1;
+                led.migrate_spilled += spilled;
+            }
+            Payload::MigrateDone { .. } => {}
         }
     }
 
-    // Final per-VM occupancy against the hypervisor's closing accounting.
+    // Final per-VM occupancy against the hypervisor's closing accounting. A
+    // VM that migrated away appears in the trace but not in this host's
+    // vm_results: it must have left nothing behind.
     for (i, vr) in result.vm_results.iter().enumerate() {
-        let occ = vms.get(&vr.vm_id.0).map(|v| v.occupancy).unwrap_or(0);
+        let v = vms.get(&vr.vm_id.0).copied().unwrap_or_default();
         check(
-            &mut report,
+            report,
             &format!("final occupancy[{}]", vr.name),
-            occ,
+            v.occupancy,
             result.final_tmem_used.get(i).copied().unwrap_or(0) as i64,
         );
+        check(
+            report,
+            &format!("final far occupancy[{}]", vr.name),
+            v.far_occ,
+            result.final_far_used.get(i).copied().unwrap_or(0) as i64,
+        );
+    }
+    let resident: std::collections::BTreeSet<u32> =
+        result.vm_results.iter().map(|vr| vr.vm_id.0).collect();
+    for (&id, v) in &vms {
+        if !resident.contains(&id) {
+            check(
+                report,
+                &format!("departed vm{id} occupancy"),
+                v.occupancy,
+                0,
+            );
+            check(
+                report,
+                &format!("departed vm{id} far occupancy"),
+                v.far_occ,
+                0,
+            );
+        }
     }
     // Per-interval alignment: every recorded series point was visited.
     if let Some(series) = series {
         if let Some(s) = series.used.first() {
             check(
-                &mut report,
+                report,
                 "interval closes vs series points",
                 interval_idx,
                 s.len(),
             );
         }
     }
-    // Per-VM admission counters against the guest kernels' own accounting.
-    for (i, vr) in result.vm_results.iter().enumerate() {
-        let v = vms.get(&vr.vm_id.0).copied().unwrap_or_default();
-        let ks = &vr.kernel_stats;
-        let name = &result.vm_results[i].name;
-        check(
-            &mut report,
-            &format!("puts_succ[{name}]"),
-            v.puts_succ,
-            ks.evictions_to_tmem,
-        );
-        check(
-            &mut report,
-            &format!("puts_failed[{name}]"),
-            v.puts_failed,
-            ks.failed_puts,
-        );
-        check(
-            &mut report,
-            &format!("get_hits[{name}]"),
-            v.get_hits,
-            ks.tmem_faults,
-        );
-        check(
-            &mut report,
-            &format!("flushes[{name}]"),
-            v.flushes,
-            ks.tmem_flushes,
-        );
-        check(
-            &mut report,
-            &format!("reclaimed[{name}]"),
-            v.reclaimed,
-            ks.reclaimed_pages,
-        );
-    }
     // The whole fault ledger, field by field.
     let lf = &result.faults;
-    let ledger_fields: [(&str, u64, u64); 28] = [
+    let ledger_fields: [(&str, u64, u64); 33] = [
         (
             "samples_delivered",
             led.samples_delivered,
@@ -446,91 +564,111 @@ pub fn verify(result: &RunResult) -> Result<ReplayReport, String> {
             led.scrub_pages_checked,
             lf.scrub_pages_checked,
         ),
+        ("migrations_out", led.migrations_out, lf.migrations_out),
+        ("migrations_in", led.migrations_in, lf.migrations_in),
+        ("migrate_pages", led.migrate_pages, lf.migrate_pages),
+        ("migrate_purged", led.migrate_purged, lf.migrate_purged),
+        ("migrate_spilled", led.migrate_spilled, lf.migrate_spilled),
     ];
     for (name, replayed, live) in ledger_fields {
-        check(&mut report, &format!("ledger.{name}"), replayed, live);
+        check(report, &format!("ledger.{name}"), replayed, live);
     }
     // The metrics registry must agree with a plain recount of the events.
     let m = &trace.metrics;
-    check(&mut report, "metrics.puts", puts, m.puts);
+    check(report, "metrics.puts", puts, m.puts);
     check(
-        &mut report,
+        report,
         "metrics.puts_rejected",
         puts_rejected,
         m.puts_rejected,
     );
-    check(&mut report, "metrics.gets", gets, m.gets);
-    check(&mut report, "metrics.get_hits", get_hits, m.get_hits);
+    check(report, "metrics.gets", gets, m.gets);
+    check(report, "metrics.get_hits", get_hits, m.get_hits);
+    check(report, "metrics.flush_pages", flush_pages, m.flush_pages);
+    check(report, "metrics.evictions", evictions, m.evictions);
     check(
-        &mut report,
-        "metrics.flush_pages",
-        flush_pages,
-        m.flush_pages,
-    );
-    check(&mut report, "metrics.evictions", evictions, m.evictions);
-    check(
-        &mut report,
+        report,
         "metrics.reclaimed_pages",
         reclaimed_pages,
         m.reclaimed_pages,
     );
+    check(report, "metrics.virq_samples", virq_samples, m.virq_samples);
     check(
-        &mut report,
-        "metrics.virq_samples",
-        virq_samples,
-        m.virq_samples,
-    );
-    check(
-        &mut report,
+        report,
         "metrics.relay_enqueued",
         relay_enqueued,
         m.relay_enqueued,
     );
-    check(&mut report, "metrics.relay_shed", relay_shed, m.relay_shed);
+    check(report, "metrics.relay_shed", relay_shed, m.relay_shed);
+    check(report, "metrics.relay_pushes", relay_pushes, m.relay_pushes);
     check(
-        &mut report,
-        "metrics.relay_pushes",
-        relay_pushes,
-        m.relay_pushes,
-    );
-    check(
-        &mut report,
+        report,
         "metrics.relay_retries",
         relay_retries,
         m.relay_retries,
     );
+    check(report, "metrics.mm_decisions", mm_decisions, m.mm_decisions);
     check(
-        &mut report,
-        "metrics.mm_decisions",
-        mm_decisions,
-        m.mm_decisions,
-    );
-    check(
-        &mut report,
+        report,
         "metrics.faults_injected",
         faults_injected,
         m.faults_injected,
     );
     // One latency sample per put; one depth sample per enqueue.
+    check(report, "put_latency samples", m.put_latency.count(), puts);
     check(
-        &mut report,
-        "put_latency samples",
-        m.put_latency.count(),
-        puts,
-    );
-    check(
-        &mut report,
+        report,
         "relay_depth samples",
         m.relay_depth.count(),
         relay_enqueued,
     );
     // MM counters surfaced on the run result.
-    check(&mut report, "mm_cycles", mm_decisions, result.mm_cycles);
-    check(
-        &mut report,
-        "mm_transmissions",
-        mm_sent,
-        result.mm_transmissions,
-    );
-    Ok(report)
+    check(report, "mm_cycles", mm_decisions, result.mm_cycles);
+    check(report, "mm_transmissions", mm_sent, result.mm_transmissions);
+    Ok(vms)
+}
+
+/// Per-VM admission counters against the guest kernels' own accounting.
+/// `vms` may span several hosts' replays (summed), since kernel statistics
+/// are lifetime totals that travel with a migrating VM.
+fn check_admission_counters(
+    result: &RunResult,
+    vms: &BTreeMap<u32, VmReplay>,
+    report: &mut ReplayReport,
+) {
+    for vr in &result.vm_results {
+        let v = vms.get(&vr.vm_id.0).copied().unwrap_or_default();
+        let ks = &vr.kernel_stats;
+        let name = &vr.name;
+        check(
+            report,
+            &format!("puts_succ[{name}]"),
+            v.puts_succ,
+            ks.evictions_to_tmem,
+        );
+        check(
+            report,
+            &format!("puts_failed[{name}]"),
+            v.puts_failed,
+            ks.failed_puts,
+        );
+        check(
+            report,
+            &format!("get_hits[{name}]"),
+            v.get_hits,
+            ks.tmem_faults,
+        );
+        check(
+            report,
+            &format!("flushes[{name}]"),
+            v.flushes,
+            ks.tmem_flushes,
+        );
+        check(
+            report,
+            &format!("reclaimed[{name}]"),
+            v.reclaimed,
+            ks.reclaimed_pages,
+        );
+    }
 }

@@ -543,6 +543,64 @@ fn trace_schema_golden_covers_every_event_kind() {
                 kind: FaultKind::MmCrash,
             },
         ),
+        (
+            Some(1),
+            Subsystem::Tmem,
+            Payload::PoolCreate {
+                pool: 0,
+                ephemeral: false,
+            },
+        ),
+        (
+            Some(1),
+            Subsystem::Tmem,
+            Payload::PoolCreate {
+                pool: 3,
+                ephemeral: true,
+            },
+        ),
+        (
+            Some(1),
+            Subsystem::Tmem,
+            Payload::Put {
+                pool: 0,
+                result: PutResult::StoredFar,
+                used: 100,
+                target: 100,
+            },
+        ),
+        (Some(1), Subsystem::Tmem, Payload::FarGet { pool: 0 }),
+        (
+            Some(1),
+            Subsystem::Tmem,
+            Payload::FarFlush { pool: 0, pages: 3 },
+        ),
+        (
+            Some(2),
+            Subsystem::Fleet,
+            Payload::MigrateOut {
+                pages: 40,
+                far: 5,
+                purged: 1,
+                ram: 2048,
+            },
+        ),
+        (
+            Some(2),
+            Subsystem::Fleet,
+            Payload::MigrateIn {
+                pages: 38,
+                far: 5,
+                spilled: 2,
+            },
+        ),
+        (
+            Some(2),
+            Subsystem::Fleet,
+            Payload::MigrateDone {
+                downtime: 5_702_400,
+            },
+        ),
     ];
     for (i, (vm, sub, payload)) in evs.into_iter().enumerate() {
         tracer.set_now(SimTime(i as u64 * 1_000));

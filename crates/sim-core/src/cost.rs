@@ -43,6 +43,11 @@ pub struct CostModel {
     /// Zero-fill cost of a never-before-touched anonymous page (minor
     /// fault: allocation + clearing).
     pub zero_fill: SimDuration,
+    /// One access to the far-memory tier (store or load of a 4 KiB page
+    /// over the host-local far-memory fabric: CXL/NVM-class, not the
+    /// cluster network). Sits between a tmem hypercall (~6 µs) and an SSD
+    /// access (~120 µs) — far memory is worth spilling to, but not free.
+    pub far_access: SimDuration,
 }
 
 impl CostModel {
@@ -60,6 +65,7 @@ impl CostModel {
             disk_seq_access: SimDuration::from_micros(500),
             disk_page_transfer: SimDuration::from_micros(40),
             zero_fill: SimDuration::from_nanos(600),
+            far_access: SimDuration::from_micros(25),
         }
     }
 
@@ -145,5 +151,12 @@ mod tests {
     #[test]
     fn default_is_the_paper_testbed() {
         assert_eq!(CostModel::default(), CostModel::hdd());
+    }
+
+    #[test]
+    fn far_access_sits_between_hypercall_and_ssd() {
+        let c = CostModel::hdd();
+        assert!(c.far_access > c.tmem_hypercall);
+        assert!(c.far_access < CostModel::ssd().disk_access);
     }
 }

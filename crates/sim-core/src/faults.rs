@@ -385,6 +385,18 @@ pub struct FaultLedger {
     pub scrub_passes: u64,
     /// Data plane: pages checksum-verified by the scrubber.
     pub scrub_pages_checked: u64,
+    /// Fleet: VMs migrated off this host.
+    pub migrations_out: u64,
+    /// Fleet: VMs that landed on this host by migration.
+    pub migrations_in: u64,
+    /// Fleet: tmem pages (local + far) exported by outbound migrations.
+    pub migrate_pages: u64,
+    /// Fleet: corrupt pages found at migration export and dropped there
+    /// (never transferred or laundered into the destination).
+    pub migrate_purged: u64,
+    /// Fleet: imported pages that found no tmem room on the destination
+    /// and spilled to its swap disk.
+    pub migrate_spilled: u64,
 }
 
 impl FaultLedger {

@@ -27,6 +27,7 @@ pub mod cost;
 pub mod event;
 pub mod faults;
 pub mod metrics;
+pub mod netmodel;
 pub mod rng;
 pub mod time;
 pub mod trace;
@@ -35,6 +36,7 @@ pub use cost::CostModel;
 pub use event::EventQueue;
 pub use faults::{FaultInjector, FaultLedger, FaultProfile, NetlinkFate, SampleFate};
 pub use metrics::{Counter, Histogram, Summary, TimeSeries};
+pub use netmodel::{Link, NetModel};
 pub use rng::SplitMix64;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceConfig, TraceData, Tracer};

@@ -77,6 +77,8 @@ pub enum Subsystem {
     Mm,
     /// The fault-injection layer (one event per injected fault).
     Fault,
+    /// The fleet layer (far-memory tier traffic, VM migrations).
+    Fleet,
 }
 
 impl Subsystem {
@@ -89,6 +91,7 @@ impl Subsystem {
             Subsystem::Relay => "relay",
             Subsystem::Mm => "mm",
             Subsystem::Fault => "fault",
+            Subsystem::Fleet => "fleet",
         }
     }
 
@@ -101,18 +104,20 @@ impl Subsystem {
             "relay" => Subsystem::Relay,
             "mm" => Subsystem::Mm,
             "fault" => Subsystem::Fault,
+            "fleet" => Subsystem::Fleet,
             _ => return None,
         })
     }
 
     /// All subsystems, in schema order.
-    pub const ALL: [Subsystem; 6] = [
+    pub const ALL: [Subsystem; 7] = [
         Subsystem::Tmem,
         Subsystem::Hypervisor,
         Subsystem::Virq,
         Subsystem::Relay,
         Subsystem::Mm,
         Subsystem::Fault,
+        Subsystem::Fleet,
     ];
 }
 
@@ -132,14 +137,17 @@ pub enum PutResult {
     /// Admitted by the target check but rejected by the data-fault layer
     /// (injected I/O failure or backend brownout window).
     RejectIo,
+    /// Admitted by the target check, found local tmem full, and spilled
+    /// into the far-memory tier instead. No local frame consumed.
+    StoredFar,
 }
 
 impl PutResult {
-    /// Whether the page ended up in tmem.
+    /// Whether the page ended up in tmem (local or far tier).
     pub fn is_success(self) -> bool {
         matches!(
             self,
-            PutResult::Stored | PutResult::Replaced | PutResult::StoredEvict
+            PutResult::Stored | PutResult::Replaced | PutResult::StoredEvict | PutResult::StoredFar
         )
     }
 
@@ -156,6 +164,7 @@ impl PutResult {
             PutResult::RejectTarget => "reject_target",
             PutResult::RejectCapacity => "reject_cap",
             PutResult::RejectIo => "reject_io",
+            PutResult::StoredFar => "stored_far",
         }
     }
 
@@ -167,6 +176,7 @@ impl PutResult {
             "reject_target" => PutResult::RejectTarget,
             "reject_cap" => PutResult::RejectCapacity,
             "reject_io" => PutResult::RejectIo,
+            "stored_far" => PutResult::StoredFar,
             _ => return None,
         })
     }
@@ -361,6 +371,16 @@ pub enum Payload {
         /// Frames actually freed (0 when the page was absent).
         pages: u64,
     },
+    /// A tmem pool was created. Makes the trace self-describing: replay
+    /// learns each pool's kind here, so ephemeral (cleancache) traffic can
+    /// be told apart from frontswap traffic without out-of-band context.
+    PoolCreate {
+        /// Pool created.
+        pool: u32,
+        /// True for ephemeral (cleancache) pools, false for persistent
+        /// (frontswap) pools.
+        ephemeral: bool,
+    },
     /// A whole object or pool was destroyed.
     PoolDestroy {
         /// Pool destroyed.
@@ -485,6 +505,50 @@ pub enum Payload {
         corrupt: u64,
         /// Corrupt objects quarantined by this pass.
         quarantined: u64,
+    },
+    /// A get missed local tmem and was serviced by the far-memory tier
+    /// (the far copy is consumed — exclusive read). Emitted in addition
+    /// to the `Get` event, which reports `freed: false` because no
+    /// *local* frame was released.
+    FarGet {
+        /// Pool the far copy belonged to.
+        pool: u32,
+    },
+    /// Far-tier entries were purged by a flush/destroy of their pool.
+    FarFlush {
+        /// Pool flushed.
+        pool: u32,
+        /// Far entries removed.
+        pages: u64,
+    },
+    /// A VM began migrating off this host. Emitted on the *source* host's
+    /// trace; the pages named here leave this host's accounting.
+    MigrateOut {
+        /// Clean local tmem pages exported.
+        pages: u64,
+        /// Far-tier entries exported.
+        far: u64,
+        /// Corrupt pages found at export and dropped (never transferred).
+        purged: u64,
+        /// Resident RAM pages transferred alongside.
+        ram: u64,
+    },
+    /// A migrating VM landed on this host. Emitted on the *destination*
+    /// host's trace. `pages + far + spilled` equals the source's
+    /// `pages + far` — conservation, checked by replay.
+    MigrateIn {
+        /// Pages stored into the destination's local tmem.
+        pages: u64,
+        /// Entries stored into the destination's far tier.
+        far: u64,
+        /// Pages that found no tmem room and spilled to the destination's
+        /// swap disk.
+        spilled: u64,
+    },
+    /// A migrated VM resumed on its destination host.
+    MigrateDone {
+        /// Pause-to-resume downtime in sim-nanoseconds.
+        downtime: u64,
     },
 }
 
@@ -641,14 +705,20 @@ impl Recorder {
             }
             Payload::MmDecision { .. } => self.metrics.mm_decisions += 1,
             Payload::Fault { .. } => self.metrics.faults_injected += 1,
-            Payload::TargetsApplied { .. }
+            Payload::PoolCreate { .. }
+            | Payload::TargetsApplied { .. }
             | Payload::IntervalClose { .. }
             | Payload::NetlinkStats { .. }
             | Payload::MmDiscard { .. }
             | Payload::MmCrash { .. }
             | Payload::MmRestart
             | Payload::DataPurge { .. }
-            | Payload::Scrub { .. } => {}
+            | Payload::Scrub { .. }
+            | Payload::FarGet { .. }
+            | Payload::FarFlush { .. }
+            | Payload::MigrateOut { .. }
+            | Payload::MigrateIn { .. }
+            | Payload::MigrateDone { .. } => {}
         }
         if self.ring.len() == self.capacity {
             self.ring.pop_front();
@@ -908,6 +978,12 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
         Payload::Flush { pool, pages } => {
             let _ = write!(out, ",\"ev\":\"flush\",\"pool\":{pool},\"pages\":{pages}");
         }
+        Payload::PoolCreate { pool, ephemeral } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"pool_create\",\"pool\":{pool},\"ephemeral\":{ephemeral}"
+            );
+        }
         Payload::PoolDestroy { pool, pages } => {
             let _ = write!(
                 out,
@@ -1014,6 +1090,39 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
                 out,
                 ",\"ev\":\"scrub\",\"checked\":{checked},\"corrupt\":{corrupt},\"quarantined\":{quarantined}"
             );
+        }
+        Payload::FarGet { pool } => {
+            let _ = write!(out, ",\"ev\":\"far_get\",\"pool\":{pool}");
+        }
+        Payload::FarFlush { pool, pages } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"far_flush\",\"pool\":{pool},\"pages\":{pages}"
+            );
+        }
+        Payload::MigrateOut {
+            pages,
+            far,
+            purged,
+            ram,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"migrate_out\",\"pages\":{pages},\"far\":{far},\"purged\":{purged},\"ram\":{ram}"
+            );
+        }
+        Payload::MigrateIn {
+            pages,
+            far,
+            spilled,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"migrate_in\",\"pages\":{pages},\"far\":{far},\"spilled\":{spilled}"
+            );
+        }
+        Payload::MigrateDone { downtime } => {
+            let _ = write!(out, ",\"ev\":\"migrate_done\",\"downtime\":{downtime}");
         }
     }
     out.push('}');
@@ -1271,6 +1380,10 @@ fn event_from_fields(obj: &[(String, Json)]) -> Result<TraceEvent, String> {
             pool: get_u64(obj, "pool")? as u32,
             pages: get_u64(obj, "pages")?,
         },
+        "pool_create" => Payload::PoolCreate {
+            pool: get_u64(obj, "pool")? as u32,
+            ephemeral: get_bool(obj, "ephemeral")?,
+        },
         "pool_destroy" => Payload::PoolDestroy {
             pool: get_u64(obj, "pool")? as u32,
             pages: get_u64(obj, "pages")?,
@@ -1374,6 +1487,27 @@ fn event_from_fields(obj: &[(String, Json)]) -> Result<TraceEvent, String> {
             checked: get_u64(obj, "checked")?,
             corrupt: get_u64(obj, "corrupt")?,
             quarantined: get_u64(obj, "quarantined")?,
+        },
+        "far_get" => Payload::FarGet {
+            pool: get_u64(obj, "pool")? as u32,
+        },
+        "far_flush" => Payload::FarFlush {
+            pool: get_u64(obj, "pool")? as u32,
+            pages: get_u64(obj, "pages")?,
+        },
+        "migrate_out" => Payload::MigrateOut {
+            pages: get_u64(obj, "pages")?,
+            far: get_u64(obj, "far")?,
+            purged: get_u64(obj, "purged")?,
+            ram: get_u64(obj, "ram")?,
+        },
+        "migrate_in" => Payload::MigrateIn {
+            pages: get_u64(obj, "pages")?,
+            far: get_u64(obj, "far")?,
+            spilled: get_u64(obj, "spilled")?,
+        },
+        "migrate_done" => Payload::MigrateDone {
+            downtime: get_u64(obj, "downtime")?,
         },
         other => return Err(format!("unknown event kind '{other}'")),
     };

@@ -119,10 +119,20 @@ pub enum PutOutcome {
     /// A new frame was obtained by evicting an ephemeral page (the evicted
     /// key is carried for observability).
     StoredAfterEviction(TmemKey),
+    /// The page was spilled to the host's far-memory tier instead of local
+    /// tmem. Never produced by [`TmemBackend::put`] itself — the hypervisor
+    /// synthesizes it when a `NoCapacity` put lands in the far tier — but it
+    /// lives here so every put caller matches one outcome type.
+    StoredFar,
 }
 
 /// One object's pages: index → payload slot.
 type ObjectPages = FxHashMap<PageIndex, SlotHandle>;
+
+/// What [`TmemBackend::export_pool`] hands the migration path: the
+/// surviving pages in `(object, index)` order, plus the number of corrupt
+/// pages purged at the boundary.
+pub type ExportedPool<P> = (Vec<(ObjectId, PageIndex, P)>, u64);
 
 /// Arena entry: the payload plus the integrity summary recorded when it was
 /// put. `flagged` marks pages whose corruption has already been counted, so
@@ -407,6 +417,18 @@ impl<P: PagePayload> TmemBackend<P> {
     /// Owner and kind of a pool, if it exists.
     pub fn pool_info(&self, pool: PoolId) -> Option<(VmId, PoolKind)> {
         self.pool(pool).map(|p| (p.owner, p.kind))
+    }
+
+    /// Live pools owned by `owner`, in pool-id order (migration needs the
+    /// full set: the frontswap pool travels, ephemeral pools are dropped).
+    pub fn pools_owned_by(&self, owner: VmId) -> Vec<(PoolId, PoolKind)> {
+        self.pools
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|p| (i, p)))
+            .filter(|(_, p)| p.owner == owner)
+            .map(|(i, p)| (PoolId(i as u32), p.kind))
+            .collect()
     }
 
     #[inline]
@@ -769,6 +791,48 @@ impl<P: PagePayload> TmemBackend<P> {
         self.used -= n;
         self.debit(pool.owner_slot, n);
         Ok(n)
+    }
+
+    /// Remove a pool wholesale and hand back its verified contents — the
+    /// migration export path. Returns the surviving pages in `(object,
+    /// index)` order (deterministic regardless of hash-map layout) plus the
+    /// number of corrupt pages found and purged at the boundary: a page
+    /// failing its recorded checksum is *never* exported, because the
+    /// destination would re-checksum the wrong bytes at import and launder
+    /// the corruption into a "clean" page. Purged pages are counted in
+    /// [`IntegrityCounters`] like every other silent removal.
+    pub fn export_pool(&mut self, pool_id: PoolId) -> Result<ExportedPool<P>, TmemError> {
+        let Some(entry) = self.pools.get_mut(pool_id.0 as usize) else {
+            return Err(TmemError::NoSuchPool);
+        };
+        let Some(pool) = entry.take() else {
+            return Err(TmemError::NoSuchPool);
+        };
+        self.live_pools -= 1;
+        let n = pool.page_count();
+        let mut out = Vec::with_capacity(n as usize);
+        let mut purged = 0u64;
+        for (&obj, &s) in pool.objects.iter() {
+            for (&idx, &slot) in pool.obj_slots[s as usize].iter() {
+                let sp = self.arena.free(slot);
+                if sp.payload.checksum() == sp.sum {
+                    out.push((obj, idx, sp.payload));
+                } else {
+                    if !sp.flagged {
+                        self.integrity.detections += 1;
+                    }
+                    self.integrity.corrupt_dropped += 1;
+                    purged += 1;
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(o, i, _)| (o, i));
+        if pool.kind == PoolKind::Ephemeral {
+            self.ephemeral_pages -= n;
+        }
+        self.used -= n;
+        self.debit(pool.owner_slot, n);
+        Ok((out, purged))
     }
 
     /// True if the key currently holds a page.
@@ -1498,6 +1562,52 @@ mod tests {
         assert!(b.corrupt_page(pool, ObjectId(1), 0));
         b.destroy_pool(pool).unwrap();
         assert_eq!(b.integrity().detections, 1);
+        assert!(accounting_consistent(&b));
+    }
+
+    #[test]
+    fn export_pool_returns_sorted_contents_and_removes_the_pool() {
+        let (mut b, pool) = persistent_pool(32);
+        for obj in [7u64, 1, 4] {
+            for i in [3u32, 0, 1] {
+                b.put(
+                    pool,
+                    ObjectId(obj),
+                    i,
+                    PageBuf::filled((obj + i as u64) as u8),
+                )
+                .unwrap();
+            }
+        }
+        let (pages, purged) = b.export_pool(pool).unwrap();
+        assert_eq!(purged, 0);
+        let keys: Vec<_> = pages.iter().map(|&(o, i, _)| (o, i)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "export order must be (object, index) order");
+        assert_eq!(pages.len(), 9);
+        assert_eq!(
+            pages.iter().find(|&&(o, i, _)| o == ObjectId(4) && i == 1),
+            Some(&(ObjectId(4), 1, PageBuf::filled(5)))
+        );
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.used_by(VmId(1)), 0);
+        assert_eq!(b.export_pool(pool), Err(TmemError::NoSuchPool));
+        assert!(accounting_consistent(&b));
+    }
+
+    #[test]
+    fn export_pool_purges_corrupt_pages_instead_of_laundering_them() {
+        let (mut b, pool) = persistent_pool(8);
+        b.arm_corruption();
+        b.put(pool, ObjectId(1), 0, PageBuf::filled(1)).unwrap();
+        b.put(pool, ObjectId(1), 1, PageBuf::filled(2)).unwrap();
+        assert!(b.corrupt_page(pool, ObjectId(1), 0));
+        let (pages, purged) = b.export_pool(pool).unwrap();
+        assert_eq!(purged, 1);
+        assert_eq!(pages, vec![(ObjectId(1), 1, PageBuf::filled(2))]);
+        assert_eq!(b.integrity().detections, 1);
+        assert_eq!(b.integrity().corrupt_dropped, 1);
         assert!(accounting_consistent(&b));
     }
 

@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use sim_core::rng::SplitMix64;
 use sim_core::time::SimDuration;
 use tmem::backend::PoolKind;
+use tmem::key::PoolId;
 
 /// Configuration for [`FileServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -162,6 +163,14 @@ impl Workload for FileServer {
             }
         }
         self.served = self.config.requests;
+    }
+
+    fn rebind_pool(&mut self, old: PoolId, new: PoolId) {
+        if let Some(cache) = &mut self.cache {
+            if cache.pool() == old {
+                cache.rebind(new);
+            }
+        }
     }
 }
 

@@ -2,6 +2,7 @@
 
 use guest_os::kernel::GuestKernel;
 use guest_os::machine::Machine;
+use tmem::key::PoolId;
 
 /// What a workload step reports back to the event loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +39,12 @@ pub trait Workload {
     /// Stop the workload prematurely, releasing all guest memory (process
     /// kill). Idempotent.
     fn abort(&mut self, kernel: &mut GuestKernel, m: &mut Machine<'_>);
+
+    /// The VM migrated and a pool this workload created was re-registered
+    /// on the destination host under a new id (ephemeral pools do not
+    /// survive migration — the replacement starts empty). Workloads that
+    /// hold no pool of their own ignore this.
+    fn rebind_pool(&mut self, _old: PoolId, _new: PoolId) {}
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 //! [`Hypervisor::reclaim_over_target`], a per-interval trickle of a VM's
 //! oldest persistent pages to its swap device while it exceeds its target.
 
+use crate::host::{FarConfig, FarTier};
 use crate::vm::VmConfig;
 use sim_core::faults::{DataFaultInjector, DataFaultLedger, FaultProfile, PutFate};
 use sim_core::time::SimTime;
@@ -42,6 +43,10 @@ pub const DEFAULT_TARGET_TTL: u64 = 5;
 pub enum GetOutcome<P> {
     /// The page, verified against its put-time checksum.
     Hit(P),
+    /// The page, served from the host's far-memory tier after a local miss.
+    /// Far hits are exclusive (the far copy is removed) and cost
+    /// `CostModel::far_access` instead of a plain hypercall.
+    FarHit(P),
     /// No page under this key.
     Miss,
     /// The stored page failed its integrity check. Persistent pools keep
@@ -85,6 +90,10 @@ pub struct Hypervisor<P> {
     /// operation byte-identical to a fault-free build: no RNG, no donor
     /// retention, one `Option` check per op.
     data_faults: Option<DataFaultInjector>,
+    /// Far-memory tier. `None` (the default) keeps the datapath
+    /// byte-identical to a host without far memory: one `Option` check on
+    /// the capacity-reject and miss paths, nothing else.
+    far: Option<FarTier<P>>,
 }
 
 impl<P: PagePayload> Hypervisor<P> {
@@ -106,7 +115,30 @@ impl<P: PagePayload> Hypervisor<P> {
             targets_clamped: 0,
             tracer: Tracer::disabled(),
             data_faults: None,
+            far: None,
         }
+    }
+
+    /// Attach a far-memory tier of `cfg.capacity_pages` pages. Persistent
+    /// puts rejected for local capacity spill here, and gets that miss
+    /// locally are served (exclusively) from it.
+    pub fn set_far_tier(&mut self, cfg: FarConfig) {
+        self.far = Some(FarTier::new(cfg.capacity_pages));
+    }
+
+    /// Pages currently held in the far tier (0 without one).
+    pub fn far_used(&self) -> u64 {
+        self.far.as_ref().map_or(0, |f| f.used())
+    }
+
+    /// Far-tier capacity in pages (0 without one).
+    pub fn far_capacity(&self) -> u64 {
+        self.far.as_ref().map_or(0, |f| f.capacity())
+    }
+
+    /// Far-tier pages held for `vm` (0 without a tier).
+    pub fn far_used_by(&self, vm: VmId) -> u64 {
+        self.far.as_ref().map_or(0, |f| f.used_by(vm))
     }
 
     /// Attach a flight-recorder handle; the tmem datapath and the target
@@ -218,13 +250,48 @@ impl<P: PagePayload> Hypervisor<P> {
             .or_insert_with(|| VmDataHyp::new(id, self.default_initial_target));
     }
 
-    /// Create a tmem pool owned by `vm` (guest TKM initialization).
+    /// Remove a VM from this host (outbound migration / domain teardown).
+    /// The VM's pools must already be gone ([`Hypervisor::migrate_export`]
+    /// or [`Hypervisor::destroy_pool`]); after this the host's samples and
+    /// `node_info.vm_count` no longer include the VM. Returns its config so
+    /// the destination host can re-register it.
+    pub fn unregister_vm(&mut self, vm: VmId) -> Option<VmConfig> {
+        assert_eq!(
+            self.backend.used_by(vm),
+            0,
+            "unregistering {vm} while it still holds tmem pages"
+        );
+        self.vm_data.remove(&vm);
+        self.vms.remove(&vm)
+    }
+
+    /// Live pools owned by `vm`, in pool-id order (see
+    /// [`TmemBackend::pools_owned_by`]).
+    pub fn pools_owned_by(&self, vm: VmId) -> Vec<(PoolId, PoolKind)> {
+        self.backend.pools_owned_by(vm)
+    }
+
+    /// Create a tmem pool owned by `vm` (guest TKM initialization). The
+    /// `PoolCreate` event makes the trace self-describing: replay learns
+    /// each pool's kind here and can separate frontswap traffic from
+    /// cleancache traffic without out-of-band context.
     pub fn new_pool(&mut self, vm: VmId, kind: PoolKind) -> Result<PoolId, TmemError> {
         assert!(
             self.vm_data.contains_key(&vm),
             "pool created for unregistered {vm}"
         );
-        self.backend.new_pool(vm, kind)
+        let pool = self.backend.new_pool(vm, kind)?;
+        self.tracer.emit(|| {
+            (
+                Some(vm.0),
+                Subsystem::Tmem,
+                Payload::PoolCreate {
+                    pool: pool.0,
+                    ephemeral: kind == PoolKind::Ephemeral,
+                },
+            )
+        });
+        Ok(pool)
     }
 
     /// Algorithm 1, `op == PUT`.
@@ -344,7 +411,13 @@ impl<P: PagePayload> Hypervisor<P> {
         }
         // Line 7: node free-page check. Replacement puts and ephemeral
         // recycling are resolved by the backend, so only translate a
-        // backend NoCapacity into E_TMEM here.
+        // backend NoCapacity into E_TMEM here. With a far tier installed a
+        // persistent payload is cloned up front so the capacity-reject path
+        // can spill it; hosts without one skip the clone entirely.
+        let far_copy = match (&self.far, kind) {
+            (Some(far), PoolKind::Persistent) if far.has_room() => Some(payload.clone()),
+            _ => None,
+        };
         match self.backend.put(pool, object, index, payload) {
             Ok(outcome) => {
                 // Lines 10-13.
@@ -373,6 +446,7 @@ impl<P: PagePayload> Hypervisor<P> {
                         PutOutcome::Stored => PutResult::Stored,
                         PutOutcome::Replaced => PutResult::Replaced,
                         PutOutcome::StoredAfterEviction(_) => PutResult::StoredEvict,
+                        PutOutcome::StoredFar => unreachable!("backend never stores far"),
                     };
                     (
                         Some(owner.0),
@@ -395,6 +469,33 @@ impl<P: PagePayload> Hypervisor<P> {
             }
             Err(TmemError::NoCapacity) => {
                 data.tmem_used = tmem_used;
+                // Local tmem is full. A host with a far-memory tier spills
+                // persistent pages there instead of bouncing the guest to
+                // its swap disk; ephemeral pages are not worth fabric
+                // round-trips (re-reading the file is comparable).
+                if let Some(p) = far_copy {
+                    let far = self.far.as_mut().expect("far_copy implies a far tier");
+                    if far.store(pool, owner, object, index, p) {
+                        let data = self
+                            .vm_data
+                            .get_mut(&owner)
+                            .expect("pool owner must be registered");
+                        data.puts_succ.incr();
+                        self.tracer.emit(|| {
+                            (
+                                Some(owner.0),
+                                Subsystem::Tmem,
+                                Payload::Put {
+                                    pool: pool.0,
+                                    result: PutResult::StoredFar,
+                                    used: tmem_used,
+                                    target,
+                                },
+                            )
+                        });
+                        return Ok(PutOutcome::StoredFar);
+                    }
+                }
                 self.tracer.emit(|| {
                     (
                         Some(owner.0),
@@ -487,7 +588,7 @@ impl<P: PagePayload> Hypervisor<P> {
     /// [`Hypervisor::get_checked`] to distinguish corruption from a miss.
     pub fn get(&mut self, pool: PoolId, object: ObjectId, index: PageIndex) -> Option<P> {
         match self.get_checked(pool, object, index) {
-            GetOutcome::Hit(p) => Some(p),
+            GetOutcome::Hit(p) | GetOutcome::FarHit(p) => Some(p),
             GetOutcome::Miss | GetOutcome::Corrupt => None,
         }
     }
@@ -522,9 +623,20 @@ impl<P: PagePayload> Hypervisor<P> {
                 }
                 GetOutcome::Corrupt
             }
-            Err(_) => GetOutcome::Miss,
+            // A local miss may still be a far-tier hit: the page was
+            // spilled at put time. Far hits are exclusive (the far copy is
+            // removed) but free no *local* frame, so the Get event carries
+            // `freed: false` and a FarGet event attributes the fabric hit.
+            Err(_) => match self.far.as_mut().and_then(|f| f.take(pool, object, index)) {
+                Some(p) => {
+                    data.gets_succ.incr();
+                    GetOutcome::FarHit(p)
+                }
+                None => GetOutcome::Miss,
+            },
         };
-        let hit = matches!(out, GetOutcome::Hit(_));
+        let hit = matches!(out, GetOutcome::Hit(_) | GetOutcome::FarHit(_));
+        let far_hit = matches!(out, GetOutcome::FarHit(_));
         self.tracer.emit(|| {
             (
                 Some(owner.0),
@@ -532,10 +644,19 @@ impl<P: PagePayload> Hypervisor<P> {
                 Payload::Get {
                     pool: pool.0,
                     hit,
-                    freed: hit && kind == PoolKind::Persistent,
+                    freed: hit && !far_hit && kind == PoolKind::Persistent,
                 },
             )
         });
+        if far_hit {
+            self.tracer.emit(|| {
+                (
+                    Some(owner.0),
+                    Subsystem::Tmem,
+                    Payload::FarGet { pool: pool.0 },
+                )
+            });
+        }
         if matches!(out, GetOutcome::Corrupt) {
             self.on_corrupt_get(pool, owner, kind);
         }
@@ -606,6 +727,23 @@ impl<P: PagePayload> Hypervisor<P> {
                 },
             )
         });
+        // The key may live in the far tier instead (spilled put); flush
+        // semantics cover it too. Far removal is traced separately so
+        // occupancy replay can keep local and far ledgers distinct.
+        if let Some(far) = self.far.as_mut() {
+            if far.purge_page(pool, object, index) {
+                self.tracer.emit(|| {
+                    (
+                        Some(owner.0),
+                        Subsystem::Tmem,
+                        Payload::FarFlush {
+                            pool: pool.0,
+                            pages: 1,
+                        },
+                    )
+                });
+            }
+        }
         // Flushing a corrupt page that nothing had observed yet still
         // counts as a detection.
         self.emit_new_detections(Some(owner.0));
@@ -634,6 +772,21 @@ impl<P: PagePayload> Hypervisor<P> {
                 },
             )
         });
+        if let Some(far) = self.far.as_mut() {
+            let far_freed = far.purge_object(pool, object);
+            if far_freed > 0 {
+                self.tracer.emit(|| {
+                    (
+                        Some(owner.0),
+                        Subsystem::Tmem,
+                        Payload::FarFlush {
+                            pool: pool.0,
+                            pages: far_freed,
+                        },
+                    )
+                });
+            }
+        }
         self.emit_new_detections(Some(owner.0));
         freed
     }
@@ -657,6 +810,21 @@ impl<P: PagePayload> Hypervisor<P> {
                 },
             )
         });
+        if let Some(far) = self.far.as_mut() {
+            let far_freed = far.purge_pool(pool);
+            if far_freed > 0 {
+                self.tracer.emit(|| {
+                    (
+                        Some(owner.0),
+                        Subsystem::Tmem,
+                        Payload::FarFlush {
+                            pool: pool.0,
+                            pages: far_freed,
+                        },
+                    )
+                });
+            }
+        }
         self.emit_new_detections(Some(owner.0));
         freed
     }
@@ -955,6 +1123,137 @@ impl<P: PagePayload> Hypervisor<P> {
         });
         report
     }
+
+    /// Rip one persistent pool out of this host for live migration: every
+    /// clean page (local and far) is returned in key order for the
+    /// destination to re-admit; corrupt pages are *purged at the source* —
+    /// never shipped, because re-checksumming wrong bytes on the
+    /// destination would launder the corruption into a "clean" page. The
+    /// pool itself is destroyed. The caller emits the `MigrateOut` event
+    /// (it knows the transfer context); detections surfaced by the export
+    /// are mirrored to ledger and trace here like any other op.
+    pub fn migrate_export(&mut self, pool: PoolId) -> Option<PoolExport<P>> {
+        let (owner, kind) = self.backend.pool_info(pool)?;
+        assert_eq!(
+            kind,
+            PoolKind::Persistent,
+            "only persistent (frontswap) pools migrate"
+        );
+        let (local, purged) = self.backend.export_pool(pool).ok()?;
+        if let Some(data) = self.vm_data.get_mut(&owner) {
+            data.tmem_used = self.backend.used_by(owner);
+        }
+        let far = self
+            .far
+            .as_mut()
+            .map(|f| f.export_pool(pool))
+            .unwrap_or_default();
+        self.emit_new_detections(Some(owner.0));
+        Some(PoolExport {
+            owner,
+            local,
+            far,
+            purged,
+        })
+    }
+
+    /// Admit migrated pages into `pool` on this (destination) host,
+    /// bypassing the target check — the pages were already admitted on the
+    /// source and dropping them would lose guest data. Local tmem fills
+    /// first, then the far tier; pages that fit nowhere are returned as
+    /// spill keys for the caller to write to the VM's swap device (the
+    /// swap-consistent overflow path). Imports are infrastructure traffic,
+    /// not guest hypercalls: no put counters move and no `Put` events are
+    /// emitted — the caller's `MigrateIn` event carries the occupancy.
+    pub fn import_pages(
+        &mut self,
+        pool: PoolId,
+        pages: Vec<(ObjectId, PageIndex, P)>,
+    ) -> ImportOutcome {
+        let (owner, kind) = self
+            .backend
+            .pool_info(pool)
+            .expect("import into a missing pool");
+        assert_eq!(kind, PoolKind::Persistent, "imports target frontswap pools");
+        let mut stored = 0u64;
+        let mut stored_far = 0u64;
+        let mut spilled = Vec::new();
+        for (object, index, payload) in pages {
+            match self.backend.put(pool, object, index, payload.clone()) {
+                Ok(PutOutcome::Stored) => stored += 1,
+                Ok(PutOutcome::StoredAfterEviction(victim)) => {
+                    // A crowded destination recycles an ephemeral victim to
+                    // make room, exactly like a guest put would — mirror the
+                    // accounting and the `Evict` event so replay stays exact.
+                    stored += 1;
+                    if let Some((victim_owner, _)) = self.backend.pool_info(victim.pool) {
+                        if let Some(v) = self.vm_data.get_mut(&victim_owner) {
+                            v.tmem_used = self.backend.used_by(victim_owner);
+                        }
+                        self.tracer.emit(|| {
+                            (
+                                Some(victim_owner.0),
+                                Subsystem::Tmem,
+                                Payload::Evict {
+                                    pool: victim.pool.0,
+                                },
+                            )
+                        });
+                    }
+                }
+                Ok(other) => {
+                    // The destination pool is fresh, so a Replaced outcome
+                    // means unaccounted side effects.
+                    panic!("import produced side-effecting outcome {other:?}")
+                }
+                Err(TmemError::NoCapacity) => {
+                    let to_far = self
+                        .far
+                        .as_mut()
+                        .is_some_and(|f| f.store(pool, owner, object, index, payload));
+                    if to_far {
+                        stored_far += 1;
+                    } else {
+                        spilled.push((object, index));
+                    }
+                }
+                Err(e) => panic!("unexpected tmem backend error on import: {e}"),
+            }
+        }
+        if let Some(data) = self.vm_data.get_mut(&owner) {
+            data.tmem_used = self.backend.used_by(owner);
+        }
+        ImportOutcome {
+            stored,
+            stored_far,
+            spilled,
+        }
+    }
+}
+
+/// Everything [`Hypervisor::migrate_export`] rips out of the source host
+/// for one migrating pool.
+#[derive(Debug)]
+pub struct PoolExport<P> {
+    /// The VM that owned the pool.
+    pub owner: VmId,
+    /// Clean local pages in `(object, index)` order.
+    pub local: Vec<(ObjectId, PageIndex, P)>,
+    /// Clean far-tier pages in `(object, index)` order.
+    pub far: Vec<(ObjectId, PageIndex, P)>,
+    /// Corrupt pages dropped at export (detected, never shipped).
+    pub purged: u64,
+}
+
+/// Where [`Hypervisor::import_pages`] landed a migrated page set.
+#[derive(Debug)]
+pub struct ImportOutcome {
+    /// Pages admitted into local tmem.
+    pub stored: u64,
+    /// Pages admitted into the far tier.
+    pub stored_far: u64,
+    /// Keys that fit nowhere; the caller writes them to the VM's swap.
+    pub spilled: Vec<(ObjectId, PageIndex)>,
 }
 
 #[cfg(test)]
@@ -1169,6 +1468,7 @@ mod tests {
                     corrupt += 1;
                 }
                 GetOutcome::Miss => panic!("page {i} vanished"),
+                GetOutcome::FarHit(_) => panic!("no far tier installed"),
             }
         }
         assert_eq!(corrupt, injected);

@@ -15,12 +15,14 @@
 //! `smartmem-guest`). The crate boundary mirrors the paper's architecture
 //! diagram (Fig. 2).
 
+pub mod host;
 pub mod hypercall;
 pub mod hypervisor;
 pub mod sched;
 pub mod virq;
 pub mod vm;
 
+pub use host::{FarConfig, FarTier};
 pub use hypercall::{HypercallKind, TmemOp};
 pub use hypervisor::{GetOutcome, Hypervisor};
 pub use sched::CpuModel;
